@@ -1,0 +1,301 @@
+//! A concurrent B+tree with top-down lock coupling ("crabbing") and
+//! preemptive splits — the paper's B+tree comparator [61].
+//!
+//! * Readers descend with read-lock coupling: at most two locks held, the
+//!   parent's released as soon as the child is acquired.
+//! * Writers descend with write-lock coupling and split any full child
+//!   *before* entering it, so a split never needs to propagate back up and
+//!   at most two nodes are write-locked at any time.
+//! * Deletion removes the key from its leaf without structural rebalancing
+//!   (nodes may become underfull but never invalid) — the standard
+//!   deferred-compaction simplification; the YCSB mixes of Figure 7 never
+//!   delete.
+
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
+use std::sync::Arc;
+
+use crate::ConcurrentMap;
+
+/// Maximum keys per node; nodes split when they reach this.
+const MAX_KEYS: usize = 31;
+
+type NodeRef = Arc<RwLock<Node>>;
+type WriteGuard = ArcRwLockWriteGuard<RawRwLock, Node>;
+type ReadGuard = ArcRwLockReadGuard<RawRwLock, Node>;
+
+enum Node {
+    Internal {
+        /// `children[i]` holds keys `< keys[i]`; `children.len() == keys.len() + 1`.
+        keys: Vec<u64>,
+        children: Vec<NodeRef>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<u64>,
+    },
+}
+
+impl Node {
+    fn empty_leaf() -> NodeRef {
+        Arc::new(RwLock::new(Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }))
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            Node::Internal { keys, .. } => keys.len() >= MAX_KEYS,
+            Node::Leaf { keys, .. } => keys.len() >= MAX_KEYS,
+        }
+    }
+
+    /// Index of the child to follow for `key`.
+    fn child_index(keys: &[u64], key: u64) -> usize {
+        keys.partition_point(|k| *k <= key)
+    }
+}
+
+/// Concurrent B+tree over `u64 -> u64`.
+pub struct BPlusTree {
+    /// Lock order: the root holder first, then nodes top-down.
+    root: RwLock<NodeRef>,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// Empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            root: RwLock::new(Node::empty_leaf()),
+        }
+    }
+
+    /// Split the full child at `idx` of the (write-locked) internal parent.
+    /// `child` is the child's write guard; returns the separator key and
+    /// the new right sibling.
+    fn split_child(parent: &mut Node, idx: usize, child: &mut Node) -> (u64, NodeRef) {
+        let (sep, right) = match child {
+            Node::Leaf { keys, vals } => {
+                let mid = keys.len() / 2;
+                let rkeys: Vec<u64> = keys.split_off(mid);
+                let rvals: Vec<u64> = vals.split_off(mid);
+                let sep = rkeys[0];
+                (
+                    sep,
+                    Arc::new(RwLock::new(Node::Leaf {
+                        keys: rkeys,
+                        vals: rvals,
+                    })),
+                )
+            }
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let mut rkeys: Vec<u64> = keys.split_off(mid);
+                let sep = rkeys.remove(0);
+                let rchildren: Vec<NodeRef> = children.split_off(mid + 1);
+                (
+                    sep,
+                    Arc::new(RwLock::new(Node::Internal {
+                        keys: rkeys,
+                        children: rchildren,
+                    })),
+                )
+            }
+        };
+        match parent {
+            Node::Internal { keys, children } => {
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right.clone());
+            }
+            Node::Leaf { .. } => unreachable!("leaf cannot be a parent"),
+        }
+        (sep, right)
+    }
+
+    /// Write-lock the root, growing the tree if the root is full, and
+    /// return (node, guard) with the root holder already released.
+    fn lock_root_for_write(&self, key: u64) -> (NodeRef, WriteGuard) {
+        let mut holder = self.root.write();
+        let mut cur = holder.clone();
+        let mut guard = cur.write_arc();
+        if guard.is_full() {
+            // Grow: fresh internal root over the old one, split the old.
+            let mut new_root = Node::Internal {
+                keys: Vec::new(),
+                children: vec![cur.clone()],
+            };
+            let (sep, right) = Self::split_child(&mut new_root, 0, &mut guard);
+            let new_ref = Arc::new(RwLock::new(new_root));
+            *holder = new_ref.clone();
+            if key >= sep {
+                drop(guard);
+                cur = right;
+                guard = cur.write_arc();
+            }
+            // else: keep descending into the old (now half) root.
+            let _ = new_ref;
+        }
+        drop(holder);
+        (cur, guard)
+    }
+}
+
+impl ConcurrentMap for BPlusTree {
+    fn get(&self, key: u64) -> Option<u64> {
+        let holder = self.root.read();
+        let cur = holder.clone();
+        let mut guard: ReadGuard = cur.read_arc();
+        drop(holder);
+        loop {
+            match &*guard {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(&key).ok().map(|i| vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = Node::child_index(keys, key);
+                    let child = children[idx].clone();
+                    let next = child.read_arc();
+                    guard = next; // parent guard drops here (coupling)
+                }
+            }
+        }
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        let (_cur, mut guard) = self.lock_root_for_write(key);
+        loop {
+            // Preemptive split keeps every descended-into child non-full.
+            let child_ref = match &mut *guard {
+                Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                    Ok(i) => {
+                        vals[i] = value;
+                        return false;
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, value);
+                        return true;
+                    }
+                },
+                Node::Internal { keys, children } => {
+                    let idx = Node::child_index(keys, key);
+                    children[idx].clone()
+                }
+            };
+            let mut child_guard = child_ref.write_arc();
+            if child_guard.is_full() {
+                let idx = match &*guard {
+                    Node::Internal { keys, .. } => Node::child_index(keys, key),
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                let (sep, right) = Self::split_child(&mut guard, idx, &mut child_guard);
+                if key >= sep {
+                    drop(child_guard);
+                    child_guard = right.write_arc();
+                }
+            }
+            guard = child_guard; // release the parent, descend
+        }
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        let holder = self.root.read();
+        let cur = holder.clone();
+        let mut guard: WriteGuard = cur.write_arc();
+        drop(holder);
+        loop {
+            let child_ref = match &mut *guard {
+                Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                    Ok(i) => {
+                        keys.remove(i);
+                        vals.remove(i);
+                        return true;
+                    }
+                    Err(_) => return false,
+                },
+                Node::Internal { keys, children } => {
+                    let idx = Node::child_index(keys, key);
+                    children[idx].clone()
+                }
+            };
+            let next = child_ref.write_arc();
+            guard = next;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "B+tree (lock coupling)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    #[test]
+    fn model_check() {
+        conformance::sequential_model_check(&BPlusTree::new(), 3, 5000);
+    }
+
+    #[test]
+    fn disjoint_writers() {
+        conformance::concurrent_disjoint_writers(&BPlusTree::new());
+    }
+
+    #[test]
+    fn contended_upserts() {
+        conformance::concurrent_contended_upserts(&BPlusTree::new());
+    }
+
+    #[test]
+    fn sequential_bulk_insert_and_lookup() {
+        let t = BPlusTree::new();
+        let n = 20_000u64;
+        for k in 0..n {
+            assert!(t.insert(k, k * 2));
+        }
+        for k in 0..n {
+            assert_eq!(t.get(k), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.get(n), None);
+    }
+
+    #[test]
+    fn descending_inserts_split_left_edge() {
+        let t = BPlusTree::new();
+        for k in (0..5_000u64).rev() {
+            assert!(t.insert(k, k));
+        }
+        for k in 0..5_000u64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn remove_then_reuse() {
+        let t = BPlusTree::new();
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        for k in (0..1000u64).step_by(3) {
+            assert!(t.remove(k));
+            assert!(!t.remove(k));
+        }
+        for k in 0..1000u64 {
+            let expect = if k % 3 == 0 { None } else { Some(k) };
+            assert_eq!(t.get(k), expect);
+        }
+        // Underfull leaves still accept inserts.
+        for k in (0..1000u64).step_by(3) {
+            assert!(t.insert(k, k + 1));
+        }
+        assert_eq!(t.get(999), Some(1000));
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks of the functional tree: point ops, bulk ops
+//! vs batch size (the §7.2 batching trade-off), and structural sharing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_ftree::{Forest, SumU64Map, U64Map};
+
+const N: u64 = 100_000;
+
+fn preloaded(f: &Forest<U64Map>) -> mvcc_ftree::Root {
+    let items: Vec<(u64, u64)> = (0..N).map(|k| (k * 2, k)).collect();
+    f.build_sorted(&items)
+}
+
+fn bench_point_ops(c: &mut Criterion) {
+    let f: Forest<U64Map> = Forest::new();
+    let root = preloaded(&f);
+    let mut g = c.benchmark_group("ftree_point");
+    let mut k = 1u64;
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            k = (k * 2654435761) % (2 * N);
+            std::hint::black_box(f.get(root, &((k / 2) * 2)))
+        })
+    });
+    g.bench_function("get_miss", |b| {
+        b.iter(|| {
+            k = (k * 2654435761) % (2 * N);
+            std::hint::black_box(f.get(root, &((k / 2) * 2 + 1)))
+        })
+    });
+    g.bench_function("insert_release", |b| {
+        b.iter(|| {
+            k = (k * 2654435761) % (2 * N);
+            f.retain(root);
+            let t = f.insert(root, k, k);
+            f.release(t);
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    // Larger batches amortize path copying — the reason batching wins.
+    let mut g = c.benchmark_group("ftree_multi_insert");
+    g.sample_size(10);
+    for batch in [10usize, 100, 1000, 10_000] {
+        let f: Forest<U64Map> = Forest::new();
+        let root = preloaded(&f);
+        let items: Vec<(u64, u64)> = (0..batch as u64).map(|i| (i * 37 % (2 * N), i)).collect();
+        g.throughput(criterion::Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                f.retain(root);
+                let t = f.multi_insert(root, items.clone(), |_o, v| *v);
+                f.release(t);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftree_union");
+    g.sample_size(10);
+    for m in [1_000u64, 10_000, 100_000] {
+        let f: Forest<U64Map> = Forest::new();
+        let a_items: Vec<(u64, u64)> = (0..N).map(|k| (k * 2, k)).collect();
+        let b_items: Vec<(u64, u64)> = (0..m).map(|k| (k * 5 + 1, k)).collect();
+        let a = f.build_sorted(&a_items);
+        let bt = f.build_sorted(&b_items);
+        g.bench_with_input(BenchmarkId::new("n100k_m", m), &m, |bch, _| {
+            bch.iter(|| {
+                f.retain(a);
+                f.retain(bt);
+                let u = f.union(a, bt);
+                f.release(u);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_range_sum(c: &mut Criterion) {
+    let f: Forest<SumU64Map> = Forest::new();
+    let items: Vec<(u64, u64)> = (0..N).map(|k| (k, k)).collect();
+    let root = f.build_sorted(&items);
+    let mut g = c.benchmark_group("ftree_aug_range");
+    let mut k = 1u64;
+    g.bench_function("sum_1pct_range", |b| {
+        b.iter(|| {
+            k = (k * 2654435761) % (N - N / 100);
+            std::hint::black_box(f.aug_range(root, &k, &(k + N / 100)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_point_ops, bench_batch_size, bench_union, bench_range_sum
+}
+criterion_main!(benches);

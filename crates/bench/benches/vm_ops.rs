@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of the Version Maintenance operations across
+//! all five algorithms (Table 1 / §7.1 support): per-op latency of the
+//! acquire → release and acquire → set → release cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_vm::{VersionMaintenance, VmKind};
+
+fn bench_read_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_read_cycle");
+    for kind in VmKind::ALL {
+        let vm = kind.build(16, 0);
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
+            b.iter(|| {
+                std::hint::black_box(vm.acquire(0));
+                vm.release(0, &mut out);
+                out.clear();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_write_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_write_cycle");
+    for kind in VmKind::ALL {
+        let vm = kind.build(16, 0);
+        let mut out = Vec::new();
+        let mut token = 1u64;
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
+            b.iter(|| {
+                vm.acquire(0);
+                assert!(vm.set(0, token));
+                token += 1;
+                vm.release(0, &mut out);
+                out.clear();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_acquire_scaling(c: &mut Criterion) {
+    // Theorem 3.4: acquire O(1) regardless of P; set/release O(P).
+    let mut g = c.benchmark_group("pswf_scaling");
+    for p in [1usize, 16, 128] {
+        let vm = mvcc_vm::PswfVm::new(p, 0);
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::new("read_cycle_P", p), &p, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(vm.acquire(0));
+                vm.release(0, &mut out);
+                out.clear();
+            })
+        });
+        let vm = mvcc_vm::PswfVm::new(p, 0);
+        let mut out = Vec::new();
+        let mut token = 1u64;
+        g.bench_with_input(BenchmarkId::new("write_cycle_P", p), &p, |b, _| {
+            b.iter(|| {
+                vm.acquire(0);
+                assert!(vm.set(0, token));
+                token += 1;
+                vm.release(0, &mut out);
+                out.clear();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_read_cycle, bench_write_cycle, bench_acquire_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! **Ablation: batch size vs throughput and latency** (Appendix F).
+//!
+//! The batching writer trades per-operation latency for throughput: a
+//! larger batch amortizes the acquire/set/release cost and gives the
+//! parallel `multi_insert` more work per commit, but every operation in
+//! the batch waits for the whole batch to commit. Appendix F: "a larger
+//! batch size leads to higher throughput because of better parallelism,
+//! but at the cost of longer latency" — this bench sweeps the combiner's
+//! target batch size and reports both sides of the trade.
+//!
+//! ```sh
+//! cargo run --release -p mvcc-bench --bin ablation_batch
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mvcc_bench::{env_u64, run_secs};
+use mvcc_core::{BatchWriter, Database, MapOp};
+use mvcc_ftree::U64Map;
+
+struct Outcome {
+    ops: u64,
+    commits: u64,
+    mean_latency_us: f64,
+}
+
+fn run(producers: usize, target_batch: usize, secs: f64) -> Outcome {
+    let db: Arc<Database<U64Map>> = Arc::new(Database::new(1));
+    let bw: Arc<BatchWriter<U64Map>> =
+        Arc::new(BatchWriter::new(producers, (4 * target_batch).max(1024)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let latency_ns = Arc::new(AtomicU64::new(0));
+    let latency_samples = Arc::new(AtomicU64::new(0));
+    let mut ops_total = 0u64;
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let bw = Arc::clone(&bw);
+                let stop = Arc::clone(&stop);
+                let latency_ns = Arc::clone(&latency_ns);
+                let latency_samples = Arc::clone(&latency_samples);
+                s.spawn(move || {
+                    let mut ops = 0u64;
+                    let mut key = (p as u64) << 40;
+                    while !stop.load(Ordering::Relaxed) {
+                        key += 1;
+                        // Sample latency sparsely so the wait does not
+                        // dominate the producer's submission rate.
+                        if ops.is_multiple_of(512) {
+                            let t0 = Instant::now();
+                            let ticket = bw.submit_blocking(p, MapOp::Insert(key, key));
+                            bw.wait_applied(ticket);
+                            latency_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            latency_samples.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            bw.submit_blocking(p, MapOp::Insert(key, key));
+                        }
+                        ops += 1;
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        // Combiner: wait until roughly `target_batch` operations are
+        // pending (or a 50 ms deadline passes, the paper's latency cap),
+        // then commit one batch.
+        let combiner_db = Arc::clone(&db);
+        let combiner_bw = Arc::clone(&bw);
+        let combiner_stop = Arc::clone(&stop);
+        let combiner = s.spawn(move || {
+            let deadline = Duration::from_millis(50);
+            loop {
+                let t0 = Instant::now();
+                loop {
+                    let pending: usize = (0..producers).map(|p| combiner_bw.pending(p)).sum();
+                    if pending >= target_batch || t0.elapsed() >= deadline {
+                        break;
+                    }
+                    if combiner_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                combiner_bw.combine(&combiner_db, 0);
+                if combiner_stop.load(Ordering::Relaxed) {
+                    // Final drain so no producer hangs in wait_applied.
+                    while combiner_bw.combine(&combiner_db, 0) > 0 {}
+                    break;
+                }
+            }
+        });
+
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        combiner.join().unwrap();
+        for h in handles {
+            ops_total += h.join().unwrap();
+        }
+    });
+
+    let samples = latency_samples.load(Ordering::Relaxed).max(1);
+    Outcome {
+        ops: ops_total,
+        commits: db.stats().commits,
+        mean_latency_us: latency_ns.load(Ordering::Relaxed) as f64 / samples as f64 / 1000.0,
+    }
+}
+
+fn main() {
+    let producers = env_u64("MVCC_PRODUCERS", 3).max(1) as usize;
+    let secs = run_secs();
+    let targets = [1usize, 16, 256, 4096];
+
+    println!("Ablation — batch size vs throughput/latency (Appendix F)");
+    println!("{producers} producers, 1 combiner, {secs}s per point, 50ms latency cap");
+    println!();
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>14}",
+        "target", "Kops/s", "commits/s", "ops/commit", "latency (us)"
+    );
+    println!("{}", "-".repeat(68));
+    for target in targets {
+        let o = run(producers, target, secs);
+        println!(
+            "{:>12} {:>12.1} {:>12.0} {:>14.1} {:>14.1}",
+            target,
+            o.ops as f64 / secs / 1000.0,
+            o.commits as f64 / secs,
+            o.ops as f64 / o.commits.max(1) as f64,
+            o.mean_latency_us
+        );
+    }
+    println!();
+    println!("Expected shape: ops/commit and Kops/s rise with the target; latency rises too.");
+}

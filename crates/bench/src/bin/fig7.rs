@@ -1,0 +1,60 @@
+//! Regenerates **Figure 7**: YCSB A/B/C throughput of our batched
+//! functional tree versus the concurrent baselines.
+//!
+//! ```sh
+//! MVCC_KEYSPACE=100000 MVCC_SECS=2 MVCC_READERS=3 \
+//!     cargo run --release -p mvcc-bench --bin fig7
+//! ```
+
+use mvcc_baselines::{BPlusTree, CoarseMap, ConcurrentMap, LazySkipList, LockFreeBst};
+use mvcc_bench::ycsb::{run_baseline, run_ours};
+use mvcc_bench::{env_u64, reader_threads, run_secs};
+use mvcc_workloads::ycsb::Mix;
+
+fn main() {
+    let keyspace = env_u64("MVCC_KEYSPACE", 100_000);
+    let threads = reader_threads() + 1;
+    let secs = run_secs();
+
+    println!("Figure 7 — YCSB throughput (Zipfian θ=0.99), {threads} worker threads");
+    println!("keyspace = {keyspace}, {secs}s per cell (paper: 5·10^7 keys, 10^7 txns)");
+    println!();
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "structure", "A (50/50)", "B (95/5)", "C (100/0)"
+    );
+    println!("{}", "-".repeat(66));
+
+    // Ours: batched functional tree with snapshot reads.
+    let mut ours = Vec::new();
+    for mix in Mix::ALL {
+        ours.push(run_ours(mix, keyspace, threads, secs));
+        eprintln!("  measured Ours {}", mix.name());
+    }
+    println!(
+        "{:<26} {:>12.3} {:>12.3} {:>12.3}",
+        "Ours (batched ftree)", ours[0], ours[1], ours[2]
+    );
+
+    let baselines: Vec<Box<dyn Fn() -> Box<dyn ConcurrentMap>>> = vec![
+        Box::new(|| Box::new(LazySkipList::new())),
+        Box::new(|| Box::new(BPlusTree::new())),
+        Box::new(|| Box::new(LockFreeBst::new())),
+        Box::new(|| Box::new(CoarseMap::new())),
+    ];
+    for make in &baselines {
+        let mut cells = Vec::new();
+        let name = make().name();
+        for mix in Mix::ALL {
+            let map = make(); // fresh structure per cell
+            cells.push(run_baseline(&*map, mix, keyspace, threads, secs));
+            eprintln!("  measured {name} {}", mix.name());
+        }
+        println!(
+            "{:<26} {:>12.3} {:>12.3} {:>12.3}",
+            name, cells[0], cells[1], cells[2]
+        );
+    }
+    println!();
+    println!("cells are Mop/s; higher is better");
+}

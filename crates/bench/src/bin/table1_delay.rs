@@ -1,0 +1,62 @@
+//! Empirically validates **Table 1**'s asymptotic bounds:
+//!
+//! * `acquire` cost is flat in P (O(1));
+//! * `set` and `release` grow linearly in P (O(P));
+//! * read transactions are delay-free: per-lookup cost inside a
+//!   transaction stays within a small constant of the raw tree search,
+//!   independent of P.
+//!
+//! ```sh
+//! cargo run --release -p mvcc-bench --bin table1_delay
+//! ```
+
+use mvcc_bench::env_u64;
+use mvcc_bench::table1::{measure_read_delay, measure_vm_costs};
+
+fn main() {
+    let iters = env_u64("MVCC_ITERS", 200_000);
+    let ps = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    println!("Table 1 (empirical) — PSWF op cost vs process count P");
+    println!("{iters} acquire/set/release rounds per row, single driver thread");
+    println!();
+    println!(
+        "{:>5} {:>13} {:>13} {:>13}",
+        "P", "acquire ns", "set ns", "release ns"
+    );
+    println!("{}", "-".repeat(48));
+    let mut first_acquire = None;
+    for p in ps {
+        let c = measure_vm_costs(p, iters);
+        first_acquire.get_or_insert(c.acquire_ns);
+        println!(
+            "{:>5} {:>13.1} {:>13.1} {:>13.1}",
+            c.p, c.acquire_ns, c.set_ns, c.release_ns
+        );
+    }
+    println!();
+    println!("expected: acquire flat (O(1)); set/release linear in P (O(P))");
+    println!();
+
+    let n = env_u64("MVCC_N", 100_000);
+    println!("Read-transaction delay factor (Theorem 5.4: delay-free)");
+    println!("n = {n}, 100 lookups per transaction");
+    println!();
+    println!(
+        "{:>5} {:>13} {:>13} {:>8}",
+        "P", "txn ns/get", "raw ns/get", "factor"
+    );
+    println!("{}", "-".repeat(44));
+    for p in [1usize, 8, 64] {
+        let d = measure_read_delay(p, n, 100, 2_000);
+        println!(
+            "{:>5} {:>13.1} {:>13.1} {:>8.3}",
+            d.p,
+            d.txn_ns,
+            d.raw_ns,
+            d.factor()
+        );
+    }
+    println!();
+    println!("expected: factor ≈ 1 and independent of P");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Table 3**: inverted-index update/query separability —
+//! running the update stream and the query stream together should take
+//! about as long as running them back-to-back (Tu + Tq ≈ Tu+q).
+//!
+//! ```sh
+//! MVCC_DOCS=5000 MVCC_SECS=5 cargo run --release -p mvcc-bench --bin table3
+//! ```
+
+use mvcc_bench::table3::{run, Table3Config};
+use mvcc_bench::{env_u64, run_secs};
+
+fn main() {
+    let initial_docs = env_u64("MVCC_DOCS", 5_000) as usize;
+    let secs = run_secs();
+    let thread_counts = [1usize, 2, 4];
+
+    println!("Table 3 — inverted index: simultaneous vs separate (seconds)");
+    println!("initial corpus = {initial_docs} docs, mixed run = {secs}s");
+    println!("(paper: Wikipedia 8.13M docs, 30s runs, 144 threads)");
+    println!();
+    println!(
+        "{:>3} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "p", "Tu", "Tq", "Tu+Tq", "Tu+q", "updates", "queries"
+    );
+    println!("{}", "-".repeat(64));
+
+    for p in thread_counts {
+        let row = run(Table3Config {
+            initial_docs,
+            batch_docs: 64,
+            secs,
+            query_threads: p,
+        });
+        println!(
+            "{:>3} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10} {:>10}",
+            row.p,
+            row.tu,
+            row.tq,
+            row.tu + row.tq,
+            row.tuq,
+            row.updates_done,
+            row.queries_done
+        );
+    }
+    println!();
+    println!("paper's conclusion holds when Tu + Tq ≈ Tu+q (work conserved under mixing)");
+}

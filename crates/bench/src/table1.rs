@@ -1,0 +1,121 @@
+//! Empirical validation of **Table 1**'s cost bounds: `acquire` is O(1)
+//! while `set` and `release` are O(P), and read transactions are
+//! delay-free (cost identical to the raw sequential search).
+
+use std::time::Instant;
+
+use mvcc_core::Database;
+use mvcc_ftree::{Forest, U64Map};
+use mvcc_vm::{PswfVm, VersionMaintenance};
+
+/// Mean nanoseconds per VM operation for a PSWF instance with `p`
+/// processes, measured over `iters` acquire/set/release rounds driven by
+/// one thread (the bounds are per-operation instruction counts, so a
+/// single driver suffices).
+#[derive(Debug, Clone, Copy)]
+pub struct VmOpCosts {
+    /// Processes the instance was built for.
+    pub p: usize,
+    /// ns per `acquire`.
+    pub acquire_ns: f64,
+    /// ns per `set`.
+    pub set_ns: f64,
+    /// ns per `release`.
+    pub release_ns: f64,
+}
+
+/// Measure PSWF op costs at process count `p`.
+pub fn measure_vm_costs(p: usize, iters: u64) -> VmOpCosts {
+    let vm = PswfVm::new(p, 0);
+    let mut out = Vec::with_capacity(1);
+    let mut acquire_ns = 0u128;
+    let mut set_ns = 0u128;
+    let mut release_ns = 0u128;
+    for i in 1..=iters {
+        let t0 = Instant::now();
+        std::hint::black_box(vm.acquire(0));
+        let t1 = Instant::now();
+        std::hint::black_box(vm.set(0, i));
+        let t2 = Instant::now();
+        vm.release(0, &mut out);
+        let t3 = Instant::now();
+        out.clear();
+        acquire_ns += (t1 - t0).as_nanos();
+        set_ns += (t2 - t1).as_nanos();
+        release_ns += (t3 - t2).as_nanos();
+    }
+    VmOpCosts {
+        p,
+        acquire_ns: acquire_ns as f64 / iters as f64,
+        set_ns: set_ns as f64 / iters as f64,
+        release_ns: release_ns as f64 / iters as f64,
+    }
+}
+
+/// Delay-freedom check: ns per lookup through a read transaction versus
+/// the identical lookup on a raw (non-transactional) tree. The ratio is
+/// the reader's *delay factor* — Theorem 5.4 says it is O(1), independent
+/// of P.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadDelay {
+    /// Processes in the transactional configuration.
+    pub p: usize,
+    /// ns per lookup inside a read transaction.
+    pub txn_ns: f64,
+    /// ns per raw lookup on an identical tree.
+    pub raw_ns: f64,
+}
+
+impl ReadDelay {
+    /// Observed delay factor (≈ constant ⇒ delay-free).
+    pub fn factor(&self) -> f64 {
+        self.txn_ns / self.raw_ns
+    }
+}
+
+/// Measure the read-transaction delay factor at process count `p`. Each
+/// transaction performs `lookups_per_txn` lookups, amortizing the
+/// acquire/release pair exactly as the paper's `nq` does.
+pub fn measure_read_delay(p: usize, n: u64, lookups_per_txn: usize, txns: u64) -> ReadDelay {
+    let items: Vec<(u64, u64)> = (0..n).map(|k| (k, k)).collect();
+
+    // Raw tree.
+    let forest: Forest<U64Map> = Forest::new();
+    let root = forest.build_sorted(&items);
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..txns {
+        for j in 0..lookups_per_txn {
+            let k = (i * 2654435761 + j as u64 * 40503) % n;
+            acc = acc.wrapping_add(forest.get(root, &k).copied().unwrap_or(0));
+        }
+    }
+    std::hint::black_box(acc);
+    let raw = t0.elapsed().as_nanos() as f64 / (txns * lookups_per_txn as u64) as f64;
+
+    // Transactional.
+    let db: Database<U64Map> = Database::new(p);
+    db.write(0, |f, base| {
+        (f.multi_insert(base, items.clone(), |_o, v| *v), ())
+    });
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..txns {
+        acc = acc.wrapping_add(db.read(0, |s| {
+            let mut a = 0u64;
+            for j in 0..lookups_per_txn {
+                let k = (i * 2654435761 + j as u64 * 40503) % n;
+                a = a.wrapping_add(s.get(&k).copied().unwrap_or(0));
+            }
+            a
+        }));
+    }
+    std::hint::black_box(acc);
+    let txn = t0.elapsed().as_nanos() as f64 / (txns * lookups_per_txn as u64) as f64;
+
+    ReadDelay {
+        p,
+        txn_ns: txn,
+        raw_ns: raw,
+    }
+}

@@ -1,0 +1,143 @@
+//! The §7.2 inverted-index experiment behind **Table 3**: does running
+//! updates and queries *simultaneously* cost more than running the same
+//! work separately? The paper reports Tu (updates alone) + Tq (queries
+//! alone) ≈ Tu+q (together): the single writer adds almost no overhead.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use mvcc_index::InvertedIndex;
+use mvcc_workloads::corpus::{Corpus, CorpusConfig};
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Row {
+    /// Query threads used in the mixed run.
+    pub p: usize,
+    /// Seconds to run the update stream alone.
+    pub tu: f64,
+    /// Seconds to run the query stream alone.
+    pub tq: f64,
+    /// Duration of the mixed run (fixed).
+    pub tuq: f64,
+    /// Updates completed in the mixed run.
+    pub updates_done: u64,
+    /// Queries completed in the mixed run.
+    pub queries_done: u64,
+}
+
+/// Scaling parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Config {
+    /// Initial corpus size (paper: 8.13M docs).
+    pub initial_docs: usize,
+    /// Documents per update batch.
+    pub batch_docs: usize,
+    /// Duration of the mixed run (paper: 30 s).
+    pub secs: f64,
+    /// Query threads.
+    pub query_threads: usize,
+}
+
+/// One document as `(doc id, [(term, weight)])`, the `add_documents` input.
+type DocTuple = (u64, Vec<(u64, u64)>);
+
+fn doc_tuples(c: &mut Corpus, n: usize) -> Vec<DocTuple> {
+    c.take(n).into_iter().map(|d| (d.id, d.terms)).collect()
+}
+
+/// Run one Table 3 row.
+pub fn run(cfg: Table3Config) -> Table3Row {
+    let mut corpus = Corpus::new(CorpusConfig::default());
+    let total_pids = cfg.query_threads + 1;
+    let idx = InvertedIndex::new(total_pids);
+    let initial = doc_tuples(&mut corpus, cfg.initial_docs);
+    for chunk in initial.chunks(512) {
+        idx.add_documents(0, chunk);
+    }
+
+    // ---- Phase 1: mixed run for `secs` (this defines the work volume) ----
+    let stop = AtomicBool::new(false);
+    let updates_done = AtomicU64::new(0);
+    let queries_done = AtomicU64::new(0);
+    // Snapshot the RNG-driven update stream so the solo run replays it.
+    let mut update_batches: Vec<Vec<DocTuple>> = Vec::new();
+    let query_seed_base = 0xFACE;
+
+    let mixed_start = Instant::now();
+    std::thread::scope(|s| {
+        for qt in 0..cfg.query_threads {
+            let idx = &idx;
+            let stop = &stop;
+            let queries_done = &queries_done;
+            s.spawn(move || {
+                let mut local_corpus = Corpus::new(CorpusConfig {
+                    seed: query_seed_base + qt as u64,
+                    ..CorpusConfig::default()
+                });
+                while !stop.load(Ordering::Relaxed) {
+                    let (a, b) = local_corpus.query_terms();
+                    std::hint::black_box(idx.and_query(1 + qt, a, b, 10));
+                    queries_done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Writer on this thread.
+        let deadline = Duration::from_secs_f64(cfg.secs);
+        while mixed_start.elapsed() < deadline {
+            let batch = doc_tuples(&mut corpus, cfg.batch_docs);
+            idx.add_documents(0, &batch);
+            update_batches.push(batch);
+            updates_done.fetch_add(1, Ordering::Relaxed);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let tuq = mixed_start.elapsed().as_secs_f64();
+    let u_done = updates_done.load(Ordering::Relaxed);
+    let q_done = queries_done.load(Ordering::Relaxed);
+
+    // ---- Phase 2: the same number of updates, alone ----
+    let idx_u = InvertedIndex::new(1);
+    let initial2 = {
+        let mut c = Corpus::new(CorpusConfig::default());
+        doc_tuples(&mut c, cfg.initial_docs)
+    };
+    for chunk in initial2.chunks(512) {
+        idx_u.add_documents(0, chunk);
+    }
+    let t0 = Instant::now();
+    for batch in &update_batches {
+        idx_u.add_documents(0, batch);
+    }
+    let tu = t0.elapsed().as_secs_f64();
+
+    // ---- Phase 3: the same number of queries, alone (on the initial
+    //      corpus, all threads) ----
+    let per_thread = q_done / cfg.query_threads.max(1) as u64;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for qt in 0..cfg.query_threads {
+            let idx = &idx;
+            s.spawn(move || {
+                let mut local_corpus = Corpus::new(CorpusConfig {
+                    seed: query_seed_base + qt as u64,
+                    ..CorpusConfig::default()
+                });
+                for _ in 0..per_thread {
+                    let (a, b) = local_corpus.query_terms();
+                    std::hint::black_box(idx.and_query(1 + qt, a, b, 10));
+                }
+            });
+        }
+    });
+    let tq = t0.elapsed().as_secs_f64();
+
+    Table3Row {
+        p: cfg.query_threads,
+        tu,
+        tq,
+        tuq,
+        updates_done: u_done,
+        queries_done: q_done,
+    }
+}

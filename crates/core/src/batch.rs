@@ -1,0 +1,361 @@
+//! Flat-combining batched writes (Appendix F).
+//!
+//! Multi-writer workloads can avoid aborts entirely by funnelling updates
+//! through a single combining writer: each producer process appends
+//! operations to its own bounded buffer; the combiner periodically drains
+//! every buffer, assembles one batch, applies it with the *parallel*
+//! `multi_insert` / `multi_remove` of `mvcc-ftree`, and commits the whole
+//! batch as **one atomic version**. Producers never contend with each
+//! other (one queue each) and the single writer never aborts.
+//!
+//! As the paper notes, batching trades the wait-freedom of individual
+//! writes for throughput and atomicity; per-buffer watermarks let a
+//! producer wait until its operations are durable in a committed version
+//! (bounded latency, §7.2 uses 50 ms batches).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::queue::ArrayQueue;
+use mvcc_ftree::TreeParams;
+use mvcc_vm::VersionMaintenance;
+
+use crate::Database;
+
+/// One map update, as submitted by a producer.
+#[derive(Clone)]
+pub enum MapOp<P: TreeParams> {
+    /// Insert or overwrite `key`.
+    Insert(P::K, P::V),
+    /// Remove `key` (no-op if absent).
+    Remove(P::K),
+}
+
+impl<P: TreeParams> std::fmt::Debug for MapOp<P>
+where
+    P::K: std::fmt::Debug,
+    P::V: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapOp::Insert(k, v) => f.debug_tuple("Insert").field(k).field(v).finish(),
+            MapOp::Remove(k) => f.debug_tuple("Remove").field(k).finish(),
+        }
+    }
+}
+
+impl<P: TreeParams> PartialEq for MapOp<P>
+where
+    P::K: PartialEq,
+    P::V: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (MapOp::Insert(k1, v1), MapOp::Insert(k2, v2)) => k1 == k2 && v1 == v2,
+            (MapOp::Remove(k1), MapOp::Remove(k2)) => k1 == k2,
+            _ => false,
+        }
+    }
+}
+
+/// Error returned by [`BatchWriter::submit`] when the producer's buffer is
+/// full (the combiner is behind); the operation is handed back.
+pub struct SubmitError<P: TreeParams>(pub MapOp<P>);
+
+impl<P: TreeParams> std::fmt::Debug for SubmitError<P>
+where
+    P::K: std::fmt::Debug,
+    P::V: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SubmitError").field(&self.0).finish()
+    }
+}
+
+impl<P: TreeParams> PartialEq for SubmitError<P>
+where
+    P::K: PartialEq,
+    P::V: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+/// A ticket identifying a submitted operation's position in its buffer;
+/// pass to [`BatchWriter::is_applied`] / [`BatchWriter::wait_applied`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    producer: usize,
+    seq: u64,
+}
+
+struct Buffer<P: TreeParams> {
+    queue: ArrayQueue<MapOp<P>>,
+    /// Total operations ever pushed (producer-side sequence).
+    pushed: AtomicU64,
+    /// Total operations applied in committed versions (combiner-side).
+    applied: AtomicU64,
+}
+
+/// The Appendix F combining writer for a [`Database`].
+///
+/// `producers` independent submitters (indexed `0..producers`, each used
+/// by one thread at a time) plus one combiner thread calling
+/// [`BatchWriter::combine`] with a dedicated database process id.
+pub struct BatchWriter<P: TreeParams> {
+    buffers: Vec<Buffer<P>>,
+}
+
+impl<P: TreeParams> BatchWriter<P> {
+    /// Create buffers for `producers` producers, each holding up to
+    /// `capacity` pending operations.
+    pub fn new(producers: usize, capacity: usize) -> Self {
+        assert!(producers >= 1 && capacity >= 1);
+        BatchWriter {
+            buffers: (0..producers)
+                .map(|_| Buffer {
+                    queue: ArrayQueue::new(capacity),
+                    pushed: AtomicU64::new(0),
+                    applied: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of producer buffers.
+    pub fn producers(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Operations currently waiting in `producer`'s buffer (a racy
+    /// snapshot — combiner pacing, not synchronization).
+    pub fn pending(&self, producer: usize) -> usize {
+        self.buffers[producer].queue.len()
+    }
+
+    /// Submit an operation from `producer`. Non-blocking; returns a ticket
+    /// for durability tracking, or the operation back if the buffer is
+    /// full.
+    pub fn submit(&self, producer: usize, op: MapOp<P>) -> Result<Ticket, SubmitError<P>> {
+        let buf = &self.buffers[producer];
+        match buf.queue.push(op) {
+            Ok(()) => {
+                let seq = buf.pushed.fetch_add(1, Ordering::Relaxed) + 1;
+                Ok(Ticket { producer, seq })
+            }
+            Err(op) => Err(SubmitError(op)),
+        }
+    }
+
+    /// Submit, spinning until buffer space frees up (producers outpacing
+    /// the combiner block — the latency/throughput trade-off of batching).
+    pub fn submit_blocking(&self, producer: usize, mut op: MapOp<P>) -> Ticket {
+        loop {
+            match self.submit(producer, op) {
+                Ok(t) => return t,
+                Err(SubmitError(back)) => {
+                    op = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Has the operation behind `ticket` been applied in a committed
+    /// version?
+    pub fn is_applied(&self, ticket: Ticket) -> bool {
+        self.buffers[ticket.producer]
+            .applied
+            .load(Ordering::Acquire)
+            >= ticket.seq
+    }
+
+    /// Spin until [`BatchWriter::is_applied`].
+    pub fn wait_applied(&self, ticket: Ticket) {
+        while !self.is_applied(ticket) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Drain all buffers and commit the batch as a single write
+    /// transaction on process `pid` of `db`. Returns the number of
+    /// operations applied (0 = nothing pending).
+    ///
+    /// Intended to be called in a loop by one combiner thread; with a
+    /// single combiner the transaction commits on the first attempt
+    /// (single-writer, O(P) delay).
+    pub fn combine<M: VersionMaintenance>(&self, db: &Database<P, M>, pid: usize) -> usize {
+        // Drain phase: take a snapshot of each queue's current contents.
+        let mut drained: Vec<(usize, Vec<MapOp<P>>)> = Vec::with_capacity(self.buffers.len());
+        let mut total = 0usize;
+        for (i, buf) in self.buffers.iter().enumerate() {
+            let n = buf.queue.len();
+            if n == 0 {
+                continue;
+            }
+            let mut ops = Vec::with_capacity(n);
+            // Only pop what we observed: ops submitted during the drain
+            // belong to the next batch (bounded latency).
+            for _ in 0..n {
+                match buf.queue.pop() {
+                    Some(op) => ops.push(op),
+                    None => break,
+                }
+            }
+            total += ops.len();
+            drained.push((i, ops));
+        }
+        if total == 0 {
+            return 0;
+        }
+
+        // Resolution phase: last-writer-wins per key, respecting each
+        // producer's order and a deterministic producer order.
+        let mut resolved: std::collections::BTreeMap<P::K, Option<P::V>> =
+            std::collections::BTreeMap::new();
+        for (_, ops) in &drained {
+            for op in ops {
+                match op {
+                    MapOp::Insert(k, v) => {
+                        resolved.insert(k.clone(), Some(v.clone()));
+                    }
+                    MapOp::Remove(k) => {
+                        resolved.insert(k.clone(), None);
+                    }
+                }
+            }
+        }
+        let mut inserts: Vec<(P::K, P::V)> = Vec::new();
+        let mut removes: Vec<P::K> = Vec::new();
+        for (k, v) in resolved {
+            match v {
+                Some(v) => inserts.push((k, v)),
+                None => removes.push(k),
+            }
+        }
+
+        // Apply phase: one atomic version containing the whole batch,
+        // built with the parallel bulk algorithms.
+        db.write(pid, |f, base| {
+            let t = f.build_sorted(&inserts);
+            let t = f.union(base, t);
+            let t = f.multi_remove(t, removes.clone());
+            (t, ())
+        });
+
+        // Publish watermarks: producers can now observe durability.
+        for (i, ops) in &drained {
+            self.buffers[*i]
+                .applied
+                .fetch_add(ops.len() as u64, Ordering::Release);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_ftree::U64Map;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn combine_applies_batch_atomically() {
+        let db: Database<U64Map> = Database::new(1);
+        let bw: BatchWriter<U64Map> = BatchWriter::new(2, 64);
+        for k in 0..10u64 {
+            bw.submit(0, MapOp::Insert(k, k)).unwrap();
+        }
+        for k in 5..15u64 {
+            bw.submit(1, MapOp::Insert(k, k + 100)).unwrap();
+        }
+        let versions_before = db.stats().commits;
+        let applied = bw.combine(&db, 0);
+        assert_eq!(applied, 20);
+        assert_eq!(db.stats().commits, versions_before + 1, "one atomic commit");
+        // Producer 1 (drained later) wins the overlap.
+        assert_eq!(db.get(0, &7), Some(107));
+        assert_eq!(db.get(0, &2), Some(2));
+        assert_eq!(db.len(0), 15);
+    }
+
+    #[test]
+    fn removes_and_inserts_resolve_last_writer_wins() {
+        let db: Database<U64Map> = Database::new(1);
+        let bw: BatchWriter<U64Map> = BatchWriter::new(1, 64);
+        db.insert(0, 1, 1);
+        bw.submit(0, MapOp::Insert(2, 2)).unwrap();
+        bw.submit(0, MapOp::Remove(2)).unwrap();
+        bw.submit(0, MapOp::Remove(1)).unwrap();
+        bw.submit(0, MapOp::Insert(1, 11)).unwrap();
+        bw.combine(&db, 0);
+        assert_eq!(db.get(0, &2), None, "insert-then-remove nets to remove");
+        assert_eq!(db.get(0, &1), Some(11), "remove-then-insert nets to insert");
+    }
+
+    #[test]
+    fn tickets_track_durability() {
+        let db: Database<U64Map> = Database::new(1);
+        let bw: BatchWriter<U64Map> = BatchWriter::new(1, 8);
+        let t1 = bw.submit(0, MapOp::Insert(1, 1)).unwrap();
+        assert!(!bw.is_applied(t1));
+        bw.combine(&db, 0);
+        assert!(bw.is_applied(t1));
+        let t2 = bw.submit(0, MapOp::Insert(2, 2)).unwrap();
+        assert!(!bw.is_applied(t2));
+        bw.combine(&db, 0);
+        assert!(bw.is_applied(t2));
+        bw.wait_applied(t2);
+    }
+
+    #[test]
+    fn full_buffer_rejects_then_accepts() {
+        let db: Database<U64Map> = Database::new(1);
+        let bw: BatchWriter<U64Map> = BatchWriter::new(1, 2);
+        bw.submit(0, MapOp::Insert(1, 1)).unwrap();
+        bw.submit(0, MapOp::Insert(2, 2)).unwrap();
+        let err = bw.submit(0, MapOp::Insert(3, 3));
+        assert_eq!(err, Err(SubmitError(MapOp::Insert(3, 3))));
+        bw.combine(&db, 0);
+        bw.submit(0, MapOp::Insert(3, 3)).unwrap();
+        bw.combine(&db, 0);
+        assert_eq!(db.len(0), 3);
+    }
+
+    #[test]
+    fn concurrent_producers_with_combiner_thread() {
+        let db: std::sync::Arc<Database<U64Map>> = std::sync::Arc::new(Database::new(2));
+        let bw: std::sync::Arc<BatchWriter<U64Map>> = std::sync::Arc::new(BatchWriter::new(3, 256));
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let per_producer = 2_000u64;
+
+        std::thread::scope(|s| {
+            for p in 0..3usize {
+                let bw = bw.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        let key = (p as u64) * per_producer + i;
+                        bw.submit_blocking(p, MapOp::Insert(key, key));
+                    }
+                });
+            }
+            let combiner_db = db.clone();
+            let combiner_bw = bw.clone();
+            let combiner_stop = stop.clone();
+            s.spawn(move || {
+                let mut applied = 0u64;
+                while applied < 3 * per_producer {
+                    applied += combiner_bw.combine(&combiner_db, 0) as u64;
+                    if combiner_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(db.len(1), 3 * per_producer as usize);
+        // Every version except the current one was collected.
+        assert_eq!(db.live_versions(), 1);
+    }
+}

@@ -1,0 +1,592 @@
+//! # mvcc-core — the multiversion transactional framework (Figure 1)
+//!
+//! This crate assembles the paper's primary contribution: a transactional
+//! system over purely functional data structures in which
+//!
+//! * **read transactions are delay-free** — `acquire` (O(1) with PSWF),
+//!   then the unmodified sequential user code on an immutable snapshot
+//!   (Theorem 5.4);
+//! * **a single writer has O(P) delay** — `acquire` + user code
+//!   (path-copying) + `set` (O(P));
+//! * **concurrent writers are lock-free** — a failed `set` implies another
+//!   writer succeeded; the loser collects its speculative version and
+//!   retries;
+//! * **garbage collection is safe and precise** (Theorem 5.3) — `release`
+//!   returns a version exactly when its last holder lets go, and
+//!   [`mvcc_ftree::Forest::release`] then frees exactly the tuples
+//!   unreachable from every other live version, in time linear in the
+//!   garbage (Theorem 4.2).
+//!
+//! The transaction skeletons are Figure 1 verbatim:
+//!
+//! ```text
+//! Read:  v = acquire(k); user_code(v); /*response*/ release(k) -> collect
+//! Write: v = acquire(k); newv = user_code(v); set(newv); /*response*/
+//!        release(k) -> collect; if set failed: collect(newv), retry
+//! ```
+//!
+//! [`Database`] is generic over the [`VersionMaintenance`] algorithm, so
+//! the §7.1 experiments can swap PSWF / PSLF / HP / EP / RCU under an
+//! identical transaction layer. [`batch`] adds the Appendix F
+//! flat-combining single-writer that turns concurrent update requests into
+//! atomically-committed parallel batches.
+
+pub mod batch;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mvcc_ftree::{Forest, OptNodeId, Root, TreeParams};
+use mvcc_vm::{PswfVm, VersionMaintenance, VmKind};
+
+pub use batch::{BatchWriter, MapOp, SubmitError};
+pub use mvcc_ftree as ftree;
+pub use mvcc_vm as vm;
+
+#[inline]
+fn encode(root: Root) -> u64 {
+    root.raw() as u64
+}
+
+#[inline]
+fn decode(token: u64) -> Root {
+    debug_assert!(token <= u32::MAX as u64, "corrupt version token");
+    OptNodeId::from_raw(token as u32)
+}
+
+/// Cumulative transaction statistics (monotone counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Committed write transactions.
+    pub commits: u64,
+    /// Aborted `set` attempts (each implies a concurrent successful write).
+    pub aborts: u64,
+    /// Completed read transactions.
+    pub reads: u64,
+}
+
+/// A multiversion ordered-map database: one [`Forest`] of tree versions
+/// plus a Version Maintenance object deciding which versions are live.
+///
+/// `P` fixes key/value/augmentation types; `M` picks the VM algorithm
+/// (default: the paper's PSWF). Each of the `processes` process ids may be
+/// used by at most one thread at a time (the VM problem's contract).
+pub struct Database<P: TreeParams, M: VersionMaintenance = PswfVm> {
+    forest: Forest<P>,
+    vmo: M,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl<P: TreeParams> Database<P, PswfVm> {
+    /// An empty database using the PSWF algorithm for `processes`
+    /// processes.
+    pub fn new(processes: usize) -> Self {
+        Self::with_vm(PswfVm::new(processes, encode(OptNodeId::NONE)))
+    }
+}
+
+impl<P: TreeParams> Database<P, Box<dyn VersionMaintenance>> {
+    /// An empty database using the given VM algorithm family — the
+    /// experiment harness's entry point.
+    pub fn with_kind(kind: VmKind, processes: usize) -> Self {
+        Self::with_vm(kind.build(processes, encode(OptNodeId::NONE)))
+    }
+}
+
+impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
+    /// Wrap an explicit VM instance whose initial version must carry the
+    /// nil-root token.
+    pub fn with_vm(vmo: M) -> Self {
+        assert_eq!(
+            vmo.current(),
+            encode(OptNodeId::NONE),
+            "VM's initial version must be the empty tree"
+        );
+        Database {
+            forest: Forest::new(),
+            vmo,
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared forest (for building batches outside transactions).
+    pub fn forest(&self) -> &Forest<P> {
+        &self.forest
+    }
+
+    /// The underlying Version Maintenance object (diagnostics).
+    pub fn vm(&self) -> &M {
+        &self.vmo
+    }
+
+    /// Number of process ids.
+    pub fn processes(&self) -> usize {
+        self.vmo.processes()
+    }
+
+    /// Snapshot of the transaction counters.
+    pub fn stats(&self) -> TxnStats {
+        TxnStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Versions not yet collected (Table 2's "live versions" metric).
+    pub fn live_versions(&self) -> u64 {
+        self.vmo.uncollected_versions()
+    }
+
+    /// Release tokens returned by the VM and precisely collect their trees.
+    fn collect_released(&self, released: &mut Vec<u64>) {
+        for tok in released.drain(..) {
+            self.forest.release(decode(tok));
+        }
+    }
+
+    /// Run a **read-only transaction** on process `pid` (Figure 1, left).
+    ///
+    /// `f` sees an immutable [`Snapshot`]; the transaction's *response* is
+    /// when `f` returns — the release/collect cleanup that follows is the
+    /// completion phase and adds no delay to the result.
+    pub fn read<R>(&self, pid: usize, f: impl FnOnce(&Snapshot<'_, P>) -> R) -> R {
+        let root = decode(self.vmo.acquire(pid));
+        let result = f(&Snapshot {
+            forest: &self.forest,
+            root,
+        });
+        // ---- response delivered; cleanup phase ----
+        let mut released = Vec::new();
+        self.vmo.release(pid, &mut released);
+        self.collect_released(&mut released);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Begin a read transaction as an RAII guard (release + collect on
+    /// drop). Useful when the borrow needs to live across statements.
+    pub fn begin_read(&self, pid: usize) -> ReadGuard<'_, P, M> {
+        let root = decode(self.vmo.acquire(pid));
+        ReadGuard {
+            db: self,
+            pid,
+            root,
+        }
+    }
+
+    /// Run a **write transaction** (Figure 1, right), retrying on abort —
+    /// lock-free: each retry is caused by another writer's commit.
+    ///
+    /// `f` receives the forest and an *owned* copy of the snapshot root;
+    /// it returns the new version's owned root (typically via consuming
+    /// tree operations such as `insert` / `multi_insert`). `f` may run
+    /// multiple times; it must not have side effects beyond tree building.
+    pub fn write<R>(&self, pid: usize, mut f: impl FnMut(&Forest<P>, Root) -> (Root, R)) -> R {
+        loop {
+            match self.try_write_inner(pid, &mut f) {
+                Some(r) => return r,
+                None => continue,
+            }
+        }
+    }
+
+    /// Run a write transaction without retrying. Returns `Err(Aborted)` if
+    /// a concurrent writer's `set` intervened.
+    pub fn try_write<R>(
+        &self,
+        pid: usize,
+        mut f: impl FnMut(&Forest<P>, Root) -> (Root, R),
+    ) -> Result<R, Aborted> {
+        self.try_write_inner(pid, &mut f).ok_or(Aborted)
+    }
+
+    fn try_write_inner<R>(
+        &self,
+        pid: usize,
+        f: &mut impl FnMut(&Forest<P>, Root) -> (Root, R),
+    ) -> Option<R> {
+        let base = decode(self.vmo.acquire(pid));
+        // Hand the user code an owned reference to the snapshot; the
+        // version system keeps its own.
+        self.forest.retain(base);
+        let (new_root, result) = f(&self.forest, base);
+        // Commit: ownership of `new_root`'s reference transfers to the
+        // version system on success.
+        let ok = self.vmo.set(pid, encode(new_root));
+        // ---- response (if ok) delivered; cleanup phase ----
+        let mut released = Vec::new();
+        self.vmo.release(pid, &mut released);
+        self.collect_released(&mut released);
+        if ok {
+            self.commits.fetch_add(1, Ordering::Relaxed);
+            Some(result)
+        } else {
+            // Figure 1 line 7: collect the speculative version.
+            self.forest.release(new_root);
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    // ---- convenience single-op transactions ----
+
+    /// Transactionally insert one entry.
+    pub fn insert(&self, pid: usize, key: P::K, value: P::V) {
+        self.write(pid, move |f, base| {
+            (f.insert(base, key.clone(), value.clone()), ())
+        })
+    }
+
+    /// Transactionally remove one key; returns the removed value.
+    pub fn remove(&self, pid: usize, key: &P::K) -> Option<P::V> {
+        self.write(pid, |f, base| f.remove(base, key))
+    }
+
+    /// Transactionally remove every key in `[lo, hi]` (one atomic
+    /// commit, O(log n) plus the collected garbage).
+    pub fn remove_range(&self, pid: usize, lo: &P::K, hi: &P::K) {
+        self.write(pid, |f, base| (f.remove_range(base, lo, hi), ()))
+    }
+
+    /// Point lookup as a read transaction (clones the value out).
+    pub fn get(&self, pid: usize, key: &P::K) -> Option<P::V> {
+        self.read(pid, |s| s.get(key).cloned())
+    }
+
+    /// Entry count of the current version.
+    pub fn len(&self, pid: usize) -> usize {
+        self.read(pid, |s| s.len())
+    }
+
+    /// Is the current version empty?
+    pub fn is_empty(&self, pid: usize) -> bool {
+        self.len(pid) == 0
+    }
+}
+
+/// Error returned by [`Database::try_write`] when a concurrent writer
+/// committed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aborted;
+
+impl std::fmt::Display for Aborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "write transaction aborted by a concurrent commit")
+    }
+}
+
+impl std::error::Error for Aborted {}
+
+/// An immutable view of one version of the database — what read
+/// transactions and writers' user code see. All queries run the plain
+/// sequential tree code (delay-free).
+pub struct Snapshot<'a, P: TreeParams> {
+    forest: &'a Forest<P>,
+    root: Root,
+}
+
+impl<'a, P: TreeParams> Snapshot<'a, P> {
+    /// The version root (for advanced tree operations via
+    /// [`Snapshot::forest`]).
+    pub fn root(&self) -> Root {
+        self.root
+    }
+
+    /// The forest the root lives in. The borrow is tied to the snapshot so
+    /// references cannot outlive the transaction's active interval.
+    pub fn forest(&self) -> &Forest<P> {
+        self.forest
+    }
+
+    /// Look up a key. The returned borrow is tied to the snapshot, not the
+    /// database — it cannot escape the transaction closure.
+    pub fn get(&self, key: &P::K) -> Option<&P::V> {
+        self.forest.get(self.root, key)
+    }
+
+    /// Does the snapshot contain `key`?
+    pub fn contains(&self, key: &P::K) -> bool {
+        self.forest.contains(self.root, key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.forest.size(self.root)
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Monoid fold over the inclusive key range (O(log n)).
+    pub fn aug_range(&self, lo: &P::K, hi: &P::K) -> P::Aug {
+        self.forest.aug_range(self.root, lo, hi)
+    }
+
+    /// Fold over the whole snapshot.
+    pub fn aug_total(&self) -> P::Aug {
+        self.forest.aug_total(self.root)
+    }
+
+    /// In-order traversal.
+    pub fn for_each(&self, mut f: impl FnMut(&P::K, &P::V)) {
+        self.forest.for_each(self.root, &mut f);
+    }
+
+    /// Clone the snapshot out as a sorted vector.
+    pub fn to_vec(&self) -> Vec<(P::K, P::V)> {
+        self.forest.to_vec(self.root)
+    }
+
+    /// Smallest entry.
+    pub fn min(&self) -> Option<(&P::K, &P::V)> {
+        self.forest.min(self.root)
+    }
+
+    /// Largest entry.
+    pub fn max(&self) -> Option<(&P::K, &P::V)> {
+        self.forest.max(self.root)
+    }
+
+    /// The `i`-th smallest entry (0-based), in O(log n).
+    pub fn kth(&self, i: usize) -> Option<(&P::K, &P::V)> {
+        self.forest.kth(self.root, i)
+    }
+
+    /// Number of entries with key strictly below `key`, in O(log n).
+    pub fn rank(&self, key: &P::K) -> usize {
+        self.forest.rank(self.root, key)
+    }
+
+    /// In-order traversal restricted to the inclusive key range.
+    pub fn range_for_each(&self, lo: &P::K, hi: &P::K, mut f: impl FnMut(&P::K, &P::V)) {
+        self.forest.range_for_each(self.root, lo, hi, &mut f);
+    }
+}
+
+/// RAII read transaction: the snapshot stays valid until the guard drops,
+/// at which point the version is released and (if this was the last
+/// holder) precisely collected.
+pub struct ReadGuard<'a, P: TreeParams, M: VersionMaintenance> {
+    db: &'a Database<P, M>,
+    pid: usize,
+    root: Root,
+}
+
+impl<'a, P: TreeParams, M: VersionMaintenance> ReadGuard<'a, P, M> {
+    /// The snapshot this guard pins.
+    pub fn snapshot(&self) -> Snapshot<'_, P> {
+        Snapshot {
+            forest: &self.db.forest,
+            root: self.root,
+        }
+    }
+}
+
+impl<P: TreeParams, M: VersionMaintenance> Drop for ReadGuard<'_, P, M> {
+    fn drop(&mut self) {
+        let mut released = Vec::new();
+        self.db.vmo.release(self.pid, &mut released);
+        self.db.collect_released(&mut released);
+        self.db.reads.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_ftree::{SumU64Map, U64Map};
+
+    #[test]
+    fn snapshot_order_statistics() {
+        let db: Database<U64Map> = Database::new(2);
+        for k in [40u64, 10, 30, 20, 50] {
+            db.insert(0, k, k * 2);
+        }
+        db.read(1, |s| {
+            assert_eq!(s.min(), Some((&10, &20)));
+            assert_eq!(s.max(), Some((&50, &100)));
+            assert_eq!(s.kth(0), Some((&10, &20)));
+            assert_eq!(s.kth(2), Some((&30, &60)));
+            assert_eq!(s.kth(5), None);
+            assert_eq!(s.rank(&10), 0);
+            assert_eq!(s.rank(&35), 3);
+            assert_eq!(s.rank(&99), 5);
+            let mut seen = Vec::new();
+            s.range_for_each(&20, &40, |k, _| seen.push(*k));
+            assert_eq!(seen, vec![20, 30, 40]);
+        });
+    }
+
+    #[test]
+    fn remove_range_is_one_atomic_commit() {
+        let db: Database<SumU64Map> = Database::new(2);
+        db.write(0, |f, base| {
+            let init: Vec<(u64, u64)> = (0..100).map(|k| (k, 1)).collect();
+            (f.multi_insert(base, init, |_o, v| *v), ())
+        });
+        let before = db.stats().commits;
+        db.remove_range(0, &10, &89);
+        assert_eq!(db.stats().commits, before + 1, "single commit");
+        assert_eq!(db.read(1, |s| s.len()), 20);
+        assert_eq!(db.read(1, |s| s.aug_total()), 20);
+        // Precision: the removed entries' tuples are collected.
+        assert_eq!(db.live_versions(), 1);
+        assert_eq!(db.forest().arena().live(), 20);
+    }
+
+    #[test]
+    fn single_process_insert_get_remove() {
+        let db: Database<U64Map> = Database::new(1);
+        db.insert(0, 5, 50);
+        db.insert(0, 3, 30);
+        assert_eq!(db.get(0, &5), Some(50));
+        assert_eq!(db.get(0, &4), None);
+        assert_eq!(db.remove(0, &5), Some(50));
+        assert_eq!(db.get(0, &5), None);
+        assert_eq!(db.len(0), 1);
+        let s = db.stats();
+        assert_eq!(s.commits, 3);
+        assert_eq!(s.aborts, 0);
+    }
+
+    #[test]
+    fn snapshot_isolation_under_writes() {
+        let db: Database<U64Map> = Database::new(2);
+        for k in 0..50u64 {
+            db.insert(0, k, k);
+        }
+        let guard = db.begin_read(1);
+        let snap_len = guard.snapshot().len();
+        for k in 50..100u64 {
+            db.insert(0, k, k);
+        }
+        // The pinned snapshot is unaffected by the 50 commits after it.
+        assert_eq!(guard.snapshot().len(), snap_len);
+        assert_eq!(guard.snapshot().get(&75), None);
+        drop(guard);
+        assert_eq!(db.len(0), 100);
+    }
+
+    #[test]
+    fn precise_gc_after_quiescence() {
+        let db: Database<U64Map> = Database::new(2);
+        for k in 0..200u64 {
+            db.insert(0, k, k);
+        }
+        for k in 0..100u64 {
+            db.remove(0, &k);
+        }
+        // Quiescent: exactly the current version is live.
+        assert_eq!(db.live_versions(), 1);
+        let live = db.forest().arena().live();
+        assert_eq!(
+            live, 100,
+            "allocated tuples must equal entries of the sole live version"
+        );
+    }
+
+    #[test]
+    fn failed_set_collects_speculative_version() {
+        let db: Database<U64Map> = Database::new(2);
+        db.insert(0, 1, 1);
+        // Force an abort: acquire on pid 1, then let pid 0 commit first.
+        let r = db.try_write(1, |f, base| {
+            // Sneak a competing committed write in while we're active.
+            db.insert(0, 99, 99);
+            (f.insert(base, 2, 2), ())
+        });
+        assert_eq!(r, Err(Aborted));
+        assert_eq!(db.stats().aborts, 1);
+        assert_eq!(db.get(0, &2), None);
+        assert_eq!(db.get(0, &99), Some(99));
+        // The speculative path-copied nodes were collected.
+        assert_eq!(db.live_versions(), 1);
+        assert_eq!(db.forest().arena().live(), 2);
+    }
+
+    #[test]
+    fn write_retries_until_commit() {
+        let db: Database<U64Map> = Database::new(2);
+        db.insert(0, 1, 1);
+        let mut attempts = 0;
+        db.write(1, |f, base| {
+            attempts += 1;
+            if attempts == 1 {
+                db.insert(0, 100 + attempts, 0); // make attempt 1 fail
+            }
+            (f.insert(base, 2, 2), ())
+        });
+        assert_eq!(attempts, 2);
+        assert_eq!(db.get(0, &2), Some(2));
+    }
+
+    #[test]
+    fn aug_range_through_snapshot() {
+        let db: Database<SumU64Map> = Database::new(1);
+        db.write(0, |f, base| {
+            let batch: Vec<(u64, u64)> = (0..100).map(|k| (k, k)).collect();
+            (f.multi_insert(base, batch, |_o, n| *n), ())
+        });
+        let sum = db.read(0, |s| s.aug_range(&10, &20));
+        assert_eq!(sum, (10..=20).sum::<u64>());
+        assert_eq!(db.read(0, |s| s.aug_total()), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn with_kind_builds_all_algorithms() {
+        for kind in VmKind::ALL {
+            let db: Database<U64Map, _> = Database::with_kind(kind, 2);
+            db.insert(0, 1, 10);
+            assert_eq!(db.get(1, &1), Some(10), "{kind:?}");
+            db.insert(0, 1, 20);
+            assert_eq!(db.get(1, &1), Some(20), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_single_writer_smoke() {
+        use std::sync::atomic::AtomicBool;
+        let db: std::sync::Arc<Database<SumU64Map>> = std::sync::Arc::new(Database::new(4));
+        // Constant-sum invariant: every committed version sums to 1000.
+        db.write(0, |f, base| {
+            let batch: Vec<(u64, u64)> = (0..10).map(|k| (k, 100)).collect();
+            (f.multi_insert(base, batch, |_o, n| *n), ())
+        });
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for pid in 1..4 {
+                let db = db.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let total = db.read(pid, |snap| snap.aug_total());
+                        assert_eq!(total, 1000, "snapshot saw a torn update");
+                    }
+                });
+            }
+            // Writer moves value between keys, preserving the total.
+            for i in 0..2_000u64 {
+                let from = i % 10;
+                let to = (i + 1) % 10;
+                db.write(0, |f, base| {
+                    let vf = *f.get(base, &from).unwrap();
+                    let vt = *f.get(base, &to).unwrap();
+                    let moved = vf.min(10);
+                    let t = f.insert(base, from, vf - moved);
+                    let t = f.insert(t, to, vt + moved);
+                    (t, ())
+                });
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(db.read(0, |s| s.aug_total()), 1000);
+        assert_eq!(db.live_versions(), 1);
+        assert_eq!(db.forest().arena().live(), 10);
+    }
+}

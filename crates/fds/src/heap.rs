@@ -1,0 +1,331 @@
+//! Functional leftist min-heap over the PLM arena.
+//!
+//! A leftist heap keeps, at every node, the *rank* (distance to the
+//! nearest nil descendant along the right spine) of the left child at
+//! least that of the right child, so the right spine has length
+//! O(log n). `merge` walks only right spines and path-copies the nodes
+//! it touches, giving O(log n) insert / pop-min / merge with full
+//! structural sharing between versions — the priority-queue instance of
+//! the paper's §2 claim that standard data types work in the functional
+//! setting.
+
+use mvcc_plm::{Arena, NodeId, OptNodeId, Tuple};
+
+use crate::versioned::VersionRoots;
+
+/// One heap node.
+pub struct HeapNode<V: Clone + Ord + Send + Sync + 'static> {
+    value: V,
+    left: OptNodeId,
+    right: OptNodeId,
+    /// Leftist rank: 1 + rank of the right child (nil has rank 0).
+    rank: u32,
+    /// Cached subtree size.
+    len: u32,
+}
+
+impl<V: Clone + Ord + Send + Sync + 'static> Tuple for HeapNode<V> {
+    fn for_each_child(&self, f: &mut dyn FnMut(NodeId)) {
+        if let Some(n) = self.left.get() {
+            f(n);
+        }
+        if let Some(n) = self.right.get() {
+            f(n);
+        }
+    }
+}
+
+/// A family of persistent min-heaps sharing one arena. A heap version is
+/// an [`OptNodeId`] root (nil = empty heap). Operations consume one owned
+/// reference per input version and return an owned output version.
+pub struct Heap<V: Clone + Ord + Send + Sync + 'static> {
+    arena: Arena<HeapNode<V>>,
+}
+
+impl<V: Clone + Ord + Send + Sync + 'static> Default for Heap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Ord + Send + Sync + 'static> Heap<V> {
+    /// New empty family.
+    pub fn new() -> Self {
+        Heap {
+            arena: Arena::new(),
+        }
+    }
+
+    /// The underlying arena (statistics).
+    pub fn arena(&self) -> &Arena<HeapNode<V>> {
+        &self.arena
+    }
+
+    /// The empty heap.
+    pub fn empty(&self) -> OptNodeId {
+        OptNodeId::NONE
+    }
+
+    /// Number of elements.
+    pub fn len(&self, h: OptNodeId) -> usize {
+        h.get().map_or(0, |id| self.arena.get(id).len as usize)
+    }
+
+    /// Is the heap empty?
+    pub fn is_empty(&self, h: OptNodeId) -> bool {
+        h.is_none()
+    }
+
+    /// Retain a snapshot (add one owner).
+    pub fn retain(&self, h: OptNodeId) {
+        self.arena.inc_opt(h);
+    }
+
+    /// Release one owned reference, collecting garbage precisely.
+    pub fn release(&self, h: OptNodeId) -> usize {
+        self.arena.collect_opt(h)
+    }
+
+    fn rank(&self, h: OptNodeId) -> u32 {
+        h.get().map_or(0, |id| self.arena.get(id).rank)
+    }
+
+    /// Build a node from an owned value and two owned children, swapping
+    /// them if needed to restore the leftist invariant.
+    fn make(&self, value: V, a: OptNodeId, b: OptNodeId) -> OptNodeId {
+        let (ra, rb) = (self.rank(a), self.rank(b));
+        let (left, right, rank) = if ra >= rb {
+            (a, b, rb + 1)
+        } else {
+            (b, a, ra + 1)
+        };
+        let len = 1 + self.len(left) as u32 + self.len(right) as u32;
+        OptNodeId::some(self.arena.alloc(HeapNode {
+            value,
+            left,
+            right,
+            rank,
+            len,
+        }))
+    }
+
+    /// Destructure an owned root into `(value, left, right)`, transferring
+    /// ownership of both children to the caller.
+    fn take_node(&self, id: NodeId) -> (V, OptNodeId, OptNodeId) {
+        if self.arena.rc(id) == 1 {
+            let n = self.arena.take(id);
+            (n.value, n.left, n.right)
+        } else {
+            let n = self.arena.get(id);
+            let (value, left, right) = (n.value.clone(), n.left, n.right);
+            self.arena.inc_opt(left);
+            self.arena.inc_opt(right);
+            self.arena.collect(id);
+            (value, left, right)
+        }
+    }
+
+    /// Merge two heaps — O(log n + log m) path-copied nodes; consumes
+    /// both arguments.
+    pub fn merge(&self, a: OptNodeId, b: OptNodeId) -> OptNodeId {
+        let Some(ia) = a.get() else { return b };
+        let Some(ib) = b.get() else { return a };
+        // Recurse into the heap with the smaller root; ties go left so the
+        // merge is deterministic.
+        let (small, big) = if self.arena.get(ia).value <= self.arena.get(ib).value {
+            (ia, b)
+        } else {
+            (ib, a)
+        };
+        let (value, left, right) = self.take_node(small);
+        let merged = self.merge(right, big);
+        self.make(value, left, merged)
+    }
+
+    /// Insert one element — O(log n); consumes `h`.
+    pub fn insert(&self, h: OptNodeId, value: V) -> OptNodeId {
+        let single = self.make(value, OptNodeId::NONE, OptNodeId::NONE);
+        self.merge(h, single)
+    }
+
+    /// Remove the minimum — O(log n); consumes `h`, returns the remaining
+    /// heap and the removed value.
+    pub fn pop_min(&self, h: OptNodeId) -> (OptNodeId, Option<V>) {
+        let Some(id) = h.get() else {
+            return (OptNodeId::NONE, None);
+        };
+        let (value, left, right) = self.take_node(id);
+        (self.merge(left, right), Some(value))
+    }
+
+    /// The minimum element without removing it.
+    pub fn peek_min(&self, h: OptNodeId) -> Option<&V> {
+        h.get().map(|id| &self.arena.get(id).value)
+    }
+
+    /// Clone every element out (heap order not guaranteed).
+    pub fn to_vec(&self, h: OptNodeId) -> Vec<V> {
+        let mut out = Vec::with_capacity(self.len(h));
+        let mut stack = vec![h];
+        while let Some(cur) = stack.pop() {
+            if let Some(id) = cur.get() {
+                let n = self.arena.get(id);
+                out.push(n.value.clone());
+                stack.push(n.left);
+                stack.push(n.right);
+            }
+        }
+        out
+    }
+
+    /// Drain in sorted order — consumes `h`.
+    pub fn into_sorted_vec(&self, h: OptNodeId) -> Vec<V> {
+        let mut out = Vec::with_capacity(self.len(h));
+        let mut cur = h;
+        loop {
+            let (rest, v) = self.pop_min(cur);
+            match v {
+                Some(v) => out.push(v),
+                None => return out,
+            }
+            cur = rest;
+        }
+    }
+
+    /// Check the min-heap and leftist-rank invariants (test support).
+    pub fn check_invariants(&self, h: OptNodeId) -> Result<(), String> {
+        let Some(id) = h.get() else { return Ok(()) };
+        let n = self.arena.get(id);
+        for child in [n.left, n.right] {
+            if let Some(cid) = child.get() {
+                let c = self.arena.get(cid);
+                if c.value < n.value {
+                    return Err(format!("heap order violated at node {:?}", id));
+                }
+            }
+            self.check_invariants(child)?;
+        }
+        if self.rank(n.left) < self.rank(n.right) {
+            return Err(format!("leftist rank violated at node {:?}", id));
+        }
+        if n.rank != self.rank(n.right) + 1 {
+            return Err(format!("cached rank wrong at node {:?}", id));
+        }
+        if n.len as usize != 1 + self.len(n.left) + self.len(n.right) {
+            return Err(format!("cached len wrong at node {:?}", id));
+        }
+        Ok(())
+    }
+}
+
+impl<V: Clone + Ord + Send + Sync + 'static> VersionRoots for Heap<V> {
+    fn retain_root(&self, root: OptNodeId) {
+        self.retain(root);
+    }
+
+    fn collect_root(&self, root: OptNodeId) -> usize {
+        self.release(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_pop_sorted() {
+        let h: Heap<u64> = Heap::new();
+        let mut t = h.empty();
+        for v in [5u64, 3, 8, 1, 9, 2, 7, 4, 6, 0] {
+            t = h.insert(t, v);
+            h.check_invariants(t).unwrap();
+        }
+        assert_eq!(h.len(t), 10);
+        assert_eq!(h.peek_min(t), Some(&0));
+        assert_eq!(h.into_sorted_vec(t), (0..10).collect::<Vec<_>>());
+        assert_eq!(h.arena().live(), 0);
+    }
+
+    #[test]
+    fn merge_two_heaps() {
+        let h: Heap<u64> = Heap::new();
+        let mut a = h.empty();
+        let mut b = h.empty();
+        for v in 0..50 {
+            if v % 2 == 0 {
+                a = h.insert(a, v);
+            } else {
+                b = h.insert(b, v);
+            }
+        }
+        let m = h.merge(a, b);
+        h.check_invariants(m).unwrap();
+        assert_eq!(h.into_sorted_vec(m), (0..50).collect::<Vec<_>>());
+        assert_eq!(h.arena().live(), 0);
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let h: Heap<u64> = Heap::new();
+        let mut t = h.empty();
+        for v in 0..20 {
+            t = h.insert(t, v);
+        }
+        h.retain(t);
+        let (t2, min) = h.pop_min(t);
+        assert_eq!(min, Some(0));
+        let t2 = h.insert(t2, 100);
+        // Snapshot `t` still has all 20 originals.
+        let mut snap = h.to_vec(t);
+        snap.sort_unstable();
+        assert_eq!(snap, (0..20).collect::<Vec<_>>());
+        let mut new = h.to_vec(t2);
+        new.sort_unstable();
+        let mut want: Vec<u64> = (1..20).collect();
+        want.push(100);
+        assert_eq!(new, want);
+        h.release(t);
+        h.release(t2);
+        assert_eq!(h.arena().live(), 0);
+    }
+
+    #[test]
+    fn duplicates_and_empty() {
+        let h: Heap<u64> = Heap::new();
+        assert_eq!(h.pop_min(h.empty()), (OptNodeId::NONE, None));
+        let mut t = h.empty();
+        for _ in 0..5 {
+            t = h.insert(t, 7);
+        }
+        t = h.insert(t, 7);
+        assert_eq!(h.into_sorted_vec(t), vec![7; 6]);
+        assert_eq!(h.arena().live(), 0);
+    }
+
+    #[test]
+    fn random_model_check() {
+        let h: Heap<i64> = Heap::new();
+        let mut t = h.empty();
+        let mut model: std::collections::BinaryHeap<std::cmp::Reverse<i64>> =
+            std::collections::BinaryHeap::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if !x.is_multiple_of(5) {
+                let v = (x >> 8) as i64 % 1000;
+                t = h.insert(t, v);
+                model.push(std::cmp::Reverse(v));
+            } else {
+                let (rest, v) = h.pop_min(t);
+                assert_eq!(v, model.pop().map(|r| r.0));
+                t = rest;
+            }
+            assert_eq!(h.len(t), model.len());
+        }
+        h.check_invariants(t).unwrap();
+        h.release(t);
+        assert_eq!(h.arena().live(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # mvcc-fds — more purely functional data structures on the PLM arena
+//!
+//! The paper (§2) notes that "most standard data types can be implemented
+//! efficiently (asymptotically) in the functional setting, including
+//! balanced trees, queues, stacks and priority queues" — and the whole
+//! transactional framework is agnostic to *which* functional structure the
+//! versions point at. This crate backs that claim up with three more
+//! structures sharing the `mvcc-plm` reference-counted tuple memory and
+//! its precise `collect`:
+//!
+//! * [`Stack`] — a cons list: O(1) push/pop with full version sharing;
+//! * [`Queue`] — the classic two-stack functional queue: O(1) enqueue,
+//!   amortized O(1) dequeue;
+//! * [`Heap`] — a leftist min-heap: O(log n) insert / pop-min / merge,
+//!   all by path copying.
+//!
+//! All follow the same ownership convention as `mvcc-ftree`: operations
+//! consume one owned reference per input version and return an owned
+//! output version; `retain`/`release` manage snapshots.
+//!
+//! [`VersionedCell`] is a miniature Figure-1 transaction wrapper that
+//! works for *any* of these structures (anything whose versions are
+//! arena roots): delay-free readers, single-writer commits, precise GC —
+//! demonstrating that `Database` is not tree-specific by construction
+//! but only by convenience.
+
+//! ## Example
+//!
+//! ```
+//! use mvcc_fds::{Stack, VersionedCell};
+//!
+//! // A transactional stack: PSWF version maintenance + precise GC.
+//! let cell = VersionedCell::new(Stack::<u64>::new(), 2);
+//! cell.write(0, |stack, base| (stack.push(base, 7), ()));
+//! cell.write(0, |stack, base| (stack.push(base, 9), ()));
+//!
+//! // Delay-free snapshot read on another process id.
+//! let top = cell.read(1, |stack, root| stack.peek(root).copied());
+//! assert_eq!(top, Some(9));
+//! assert_eq!(cell.live_versions(), 1); // precise GC in quiescence
+//! ```
+
+mod heap;
+mod queue;
+mod stack;
+mod versioned;
+
+pub use heap::{Heap, HeapNode};
+pub use queue::{Queue, QueueNode};
+pub use stack::{Stack, StackNode};
+pub use versioned::{Aborted, VersionRoots, VersionedCell};

@@ -1,0 +1,343 @@
+//! Functional FIFO queue: the classic two-list ("banker's") design. The
+//! queue version is a single root tuple pointing at a front list (next to
+//! dequeue) and a reversed back list (recent enqueues); when the front
+//! empties, the back is reversed in — O(1) enqueue, amortized O(1)
+//! dequeue (each element is reversed exactly once along any version
+//! chain).
+
+use mvcc_plm::{Arena, NodeId, OptNodeId, Tuple};
+
+use crate::versioned::VersionRoots;
+
+/// A queue tuple: either a cons cell (shared by both internal lists) or
+/// the queue root pairing the two lists.
+pub enum QueueNode<V: Clone + Send + Sync + 'static> {
+    /// List cell.
+    Cell {
+        /// Element value.
+        value: V,
+        /// Rest of the list.
+        next: OptNodeId,
+    },
+    /// Version root: `(front, back, len)`.
+    Root {
+        /// Dequeue side (in order).
+        front: OptNodeId,
+        /// Enqueue side (reversed).
+        back: OptNodeId,
+        /// Total elements.
+        len: u32,
+    },
+}
+
+impl<V: Clone + Send + Sync + 'static> Tuple for QueueNode<V> {
+    fn for_each_child(&self, f: &mut dyn FnMut(NodeId)) {
+        match self {
+            QueueNode::Cell { next, .. } => {
+                if let Some(n) = next.get() {
+                    f(n);
+                }
+            }
+            QueueNode::Root { front, back, .. } => {
+                if let Some(n) = front.get() {
+                    f(n);
+                }
+                if let Some(n) = back.get() {
+                    f(n);
+                }
+            }
+        }
+    }
+}
+
+/// A family of persistent queues sharing one arena. A queue version is
+/// the `OptNodeId` of its root tuple (nil = empty queue).
+pub struct Queue<V: Clone + Send + Sync + 'static> {
+    arena: Arena<QueueNode<V>>,
+}
+
+impl<V: Clone + Send + Sync + 'static> Default for Queue<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> Queue<V> {
+    /// New empty family.
+    pub fn new() -> Self {
+        Queue {
+            arena: Arena::new(),
+        }
+    }
+
+    /// The underlying arena (statistics).
+    pub fn arena(&self) -> &Arena<QueueNode<V>> {
+        &self.arena
+    }
+
+    /// The empty queue.
+    pub fn empty(&self) -> OptNodeId {
+        OptNodeId::NONE
+    }
+
+    /// Retain a snapshot.
+    pub fn retain(&self, q: OptNodeId) {
+        self.arena.inc_opt(q);
+    }
+
+    /// Release one owned reference (precise collect).
+    pub fn release(&self, q: OptNodeId) -> usize {
+        self.arena.collect_opt(q)
+    }
+
+    /// Number of elements.
+    pub fn len(&self, q: OptNodeId) -> usize {
+        match q.get() {
+            None => 0,
+            Some(id) => match self.arena.get(id) {
+                QueueNode::Root { len, .. } => *len as usize,
+                QueueNode::Cell { .. } => unreachable!("version root expected"),
+            },
+        }
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self, q: OptNodeId) -> bool {
+        self.len(q) == 0
+    }
+
+    fn root_parts(&self, q: OptNodeId) -> (OptNodeId, OptNodeId, u32) {
+        match q.get() {
+            None => (OptNodeId::NONE, OptNodeId::NONE, 0),
+            Some(id) => match self.arena.get(id) {
+                QueueNode::Root { front, back, len } => (*front, *back, *len),
+                QueueNode::Cell { .. } => unreachable!("version root expected"),
+            },
+        }
+    }
+
+    /// Destructure an owned root, transferring ownership of both lists to
+    /// the caller.
+    fn take_root(&self, q: OptNodeId) -> (OptNodeId, OptNodeId, u32) {
+        let Some(id) = q.get() else {
+            return (OptNodeId::NONE, OptNodeId::NONE, 0);
+        };
+        if self.arena.rc(id) == 1 {
+            match self.arena.take(id) {
+                QueueNode::Root { front, back, len } => (front, back, len),
+                QueueNode::Cell { .. } => unreachable!("version root expected"),
+            }
+        } else {
+            let (front, back, len) = self.root_parts(q);
+            self.arena.inc_opt(front);
+            self.arena.inc_opt(back);
+            self.arena.collect(id);
+            (front, back, len)
+        }
+    }
+
+    fn make_root(&self, front: OptNodeId, back: OptNodeId, len: u32) -> OptNodeId {
+        if len == 0 {
+            debug_assert!(front.is_none() && back.is_none());
+            return OptNodeId::NONE;
+        }
+        OptNodeId::some(self.arena.alloc(QueueNode::Root { front, back, len }))
+    }
+
+    fn cons(&self, value: V, next: OptNodeId) -> OptNodeId {
+        OptNodeId::some(self.arena.alloc(QueueNode::Cell { value, next }))
+    }
+
+    /// Pop one cell off a list, consuming the caller's reference.
+    fn uncons(&self, list: OptNodeId) -> (OptNodeId, Option<V>) {
+        let Some(id) = list.get() else {
+            return (OptNodeId::NONE, None);
+        };
+        if self.arena.rc(id) == 1 {
+            match self.arena.take(id) {
+                QueueNode::Cell { value, next } => (next, Some(value)),
+                QueueNode::Root { .. } => unreachable!("cell expected"),
+            }
+        } else {
+            let (next, value) = match self.arena.get(id) {
+                QueueNode::Cell { value, next } => (*next, value.clone()),
+                QueueNode::Root { .. } => unreachable!("cell expected"),
+            };
+            self.arena.inc_opt(next);
+            self.arena.collect(id);
+            (next, Some(value))
+        }
+    }
+
+    /// Enqueue at the tail — O(1); consumes `q`.
+    pub fn enqueue(&self, q: OptNodeId, value: V) -> OptNodeId {
+        let (front, back, len) = self.take_root(q);
+        let back = self.cons(value, back);
+        // Keep the invariant "front empty ⇒ queue empty" lazily: the
+        // reversal happens on dequeue.
+        self.make_root(front, back, len + 1)
+    }
+
+    /// Dequeue from the head — amortized O(1); consumes `q`.
+    pub fn dequeue(&self, q: OptNodeId) -> (OptNodeId, Option<V>) {
+        let (mut front, mut back, len) = self.take_root(q);
+        if len == 0 {
+            return (OptNodeId::NONE, None);
+        }
+        if front.is_none() {
+            // Reverse the back list into the front (each element pays
+            // this exactly once along a linear version history).
+            while let (rest, Some(v)) = self.uncons(back) {
+                front = self.cons(v, front);
+                back = rest;
+            }
+            back = OptNodeId::NONE;
+        }
+        let (front_rest, value) = self.uncons(front);
+        (self.make_root(front_rest, back, len - 1), value)
+    }
+
+    /// Front element without dequeueing (may have to walk the back list
+    /// if the front is lazy-empty: O(n) worst case, read-only).
+    pub fn peek(&self, q: OptNodeId) -> Option<&V> {
+        let (front, back, len) = self.root_parts(q);
+        if len == 0 {
+            return None;
+        }
+        if let Some(id) = front.get() {
+            match self.arena.get(id) {
+                QueueNode::Cell { value, .. } => return Some(value),
+                QueueNode::Root { .. } => unreachable!(),
+            }
+        }
+        // Front empty: head is the *last* cell of the back list.
+        let mut cur = back;
+        let mut last = None;
+        while let Some(id) = cur.get() {
+            match self.arena.get(id) {
+                QueueNode::Cell { value, next } => {
+                    last = Some(value);
+                    cur = *next;
+                }
+                QueueNode::Root { .. } => unreachable!(),
+            }
+        }
+        last
+    }
+
+    /// Clone out in FIFO order.
+    pub fn to_vec(&self, q: OptNodeId) -> Vec<V> {
+        let (front, back, len) = self.root_parts(q);
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cur = front;
+        while let Some(id) = cur.get() {
+            match self.arena.get(id) {
+                QueueNode::Cell { value, next } => {
+                    out.push(value.clone());
+                    cur = *next;
+                }
+                QueueNode::Root { .. } => unreachable!(),
+            }
+        }
+        let mut rev = Vec::new();
+        let mut cur = back;
+        while let Some(id) = cur.get() {
+            match self.arena.get(id) {
+                QueueNode::Cell { value, next } => {
+                    rev.push(value.clone());
+                    cur = *next;
+                }
+                QueueNode::Root { .. } => unreachable!(),
+            }
+        }
+        out.extend(rev.into_iter().rev());
+        out
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> VersionRoots for Queue<V> {
+    fn retain_root(&self, root: OptNodeId) {
+        self.retain(root);
+    }
+
+    fn collect_root(&self, root: OptNodeId) -> usize {
+        self.release(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn fifo_order() {
+        let q: Queue<u64> = Queue::new();
+        let mut t = q.empty();
+        for i in 0..20 {
+            t = q.enqueue(t, i);
+        }
+        assert_eq!(q.len(t), 20);
+        for i in 0..20 {
+            assert_eq!(q.peek(t), Some(&i));
+            let (rest, v) = q.dequeue(t);
+            assert_eq!(v, Some(i));
+            t = rest;
+        }
+        assert!(q.is_empty(t));
+        assert_eq!(q.arena().live(), 0);
+    }
+
+    #[test]
+    fn model_check_interleaved() {
+        let q: Queue<u64> = Queue::new();
+        let mut t = q.empty();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut x = 88172645463325252u64;
+        for i in 0..2000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if !x.is_multiple_of(3) {
+                t = q.enqueue(t, i);
+                model.push_back(i);
+            } else {
+                let (rest, v) = q.dequeue(t);
+                assert_eq!(v, model.pop_front());
+                t = rest;
+            }
+            assert_eq!(q.len(t), model.len());
+        }
+        assert_eq!(q.to_vec(t), model.iter().copied().collect::<Vec<_>>());
+        q.release(t);
+        assert_eq!(q.arena().live(), 0);
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let q: Queue<u64> = Queue::new();
+        let mut t = q.empty();
+        for i in 0..10 {
+            t = q.enqueue(t, i);
+        }
+        q.retain(t);
+        let (t2, v) = q.dequeue(t);
+        assert_eq!(v, Some(0));
+        let t2 = q.enqueue(t2, 100);
+        assert_eq!(q.to_vec(t), (0..10).collect::<Vec<_>>(), "snapshot moved");
+        let mut want: Vec<u64> = (1..10).collect();
+        want.push(100);
+        assert_eq!(q.to_vec(t2), want);
+        q.release(t);
+        q.release(t2);
+        assert_eq!(q.arena().live(), 0);
+    }
+
+    #[test]
+    fn dequeue_empty() {
+        let q: Queue<u64> = Queue::new();
+        let (t, v) = q.dequeue(q.empty());
+        assert!(t.is_none() && v.is_none());
+        assert_eq!(q.peek(q.empty()), None);
+    }
+}

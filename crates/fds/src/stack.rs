@@ -1,0 +1,217 @@
+//! Functional stack (cons list) over the PLM arena.
+
+use mvcc_plm::{Arena, NodeId, OptNodeId, Tuple};
+
+use crate::versioned::VersionRoots;
+
+/// One cons cell.
+pub struct StackNode<V: Clone + Send + Sync + 'static> {
+    value: V,
+    next: OptNodeId,
+    /// Cached length of the list hanging off this cell.
+    len: u32,
+}
+
+impl<V: Clone + Send + Sync + 'static> Tuple for StackNode<V> {
+    fn for_each_child(&self, f: &mut dyn FnMut(NodeId)) {
+        if let Some(n) = self.next.get() {
+            f(n);
+        }
+    }
+}
+
+/// A family of persistent stacks sharing one arena. A stack version is an
+/// [`OptNodeId`] root; push/pop produce new versions sharing the tail.
+pub struct Stack<V: Clone + Send + Sync + 'static> {
+    arena: Arena<StackNode<V>>,
+}
+
+impl<V: Clone + Send + Sync + 'static> Default for Stack<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> Stack<V> {
+    /// New empty family.
+    pub fn new() -> Self {
+        Stack {
+            arena: Arena::new(),
+        }
+    }
+
+    /// The underlying arena (statistics).
+    pub fn arena(&self) -> &Arena<StackNode<V>> {
+        &self.arena
+    }
+
+    /// The empty stack.
+    pub fn empty(&self) -> OptNodeId {
+        OptNodeId::NONE
+    }
+
+    /// Number of elements.
+    pub fn len(&self, s: OptNodeId) -> usize {
+        s.get().map_or(0, |id| self.arena.get(id).len as usize)
+    }
+
+    /// Is the stack empty?
+    pub fn is_empty(&self, s: OptNodeId) -> bool {
+        s.is_none()
+    }
+
+    /// Retain a snapshot (add one owner).
+    pub fn retain(&self, s: OptNodeId) {
+        self.arena.inc_opt(s);
+    }
+
+    /// Release one owned reference, collecting garbage precisely.
+    pub fn release(&self, s: OptNodeId) -> usize {
+        self.arena.collect_opt(s)
+    }
+
+    /// Push — O(1), one fresh cell; consumes `s`.
+    pub fn push(&self, s: OptNodeId, value: V) -> OptNodeId {
+        let len = self.len(s) as u32 + 1;
+        OptNodeId::some(self.arena.alloc(StackNode {
+            value,
+            next: s,
+            len,
+        }))
+    }
+
+    /// Pop — O(1); consumes `s`, returns the rest and the value.
+    pub fn pop(&self, s: OptNodeId) -> (OptNodeId, Option<V>) {
+        let Some(id) = s.get() else {
+            return (OptNodeId::NONE, None);
+        };
+        if self.arena.rc(id) == 1 {
+            let node = self.arena.take(id);
+            (node.next, Some(node.value))
+        } else {
+            let n = self.arena.get(id);
+            let (next, value) = (n.next, n.value.clone());
+            self.arena.inc_opt(next);
+            self.arena.collect(id);
+            (next, Some(value))
+        }
+    }
+
+    /// Peek at the top value.
+    pub fn peek(&self, s: OptNodeId) -> Option<&V> {
+        s.get().map(|id| &self.arena.get(id).value)
+    }
+
+    /// Top-to-bottom traversal.
+    pub fn for_each(&self, s: OptNodeId, f: &mut impl FnMut(&V)) {
+        let mut cur = s;
+        while let Some(id) = cur.get() {
+            let n = self.arena.get(id);
+            f(&n.value);
+            cur = n.next;
+        }
+    }
+
+    /// Collect into a Vec, top first.
+    pub fn to_vec(&self, s: OptNodeId) -> Vec<V> {
+        let mut out = Vec::with_capacity(self.len(s));
+        self.for_each(s, &mut |v| out.push(v.clone()));
+        out
+    }
+
+    /// Reverse — O(n) fresh cells; consumes `s`.
+    pub fn reverse(&self, s: OptNodeId) -> OptNodeId {
+        let mut out = OptNodeId::NONE;
+        let mut cur = s;
+        loop {
+            let (rest, v) = self.pop(cur);
+            match v {
+                Some(v) => out = self.push(out, v),
+                None => return out,
+            }
+            cur = rest;
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> VersionRoots for Stack<V> {
+    fn retain_root(&self, root: OptNodeId) {
+        self.retain(root);
+    }
+
+    fn collect_root(&self, root: OptNodeId) -> usize {
+        self.release(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let s: Stack<u64> = Stack::new();
+        let mut t = s.empty();
+        for i in 0..10 {
+            t = s.push(t, i);
+        }
+        assert_eq!(s.len(t), 10);
+        assert_eq!(s.peek(t), Some(&9));
+        for i in (0..10).rev() {
+            let (rest, v) = s.pop(t);
+            assert_eq!(v, Some(i));
+            t = rest;
+        }
+        assert!(s.is_empty(t));
+        assert_eq!(s.arena().live(), 0);
+    }
+
+    #[test]
+    fn versions_share_tails() {
+        let s: Stack<u64> = Stack::new();
+        let mut base = s.empty();
+        for i in 0..100 {
+            base = s.push(base, i);
+        }
+        s.retain(base);
+        let v2 = s.push(base, 1000);
+        // 101 cells total, not 201: v2 shares base's 100.
+        assert_eq!(s.arena().live(), 101);
+        assert_eq!(s.to_vec(base).len(), 100);
+        assert_eq!(s.to_vec(v2)[0], 1000);
+        s.release(base);
+        s.release(v2);
+        assert_eq!(s.arena().live(), 0);
+    }
+
+    #[test]
+    fn pop_on_shared_version_preserves_snapshot() {
+        let s: Stack<u64> = Stack::new();
+        let mut t = s.empty();
+        for i in 0..5 {
+            t = s.push(t, i);
+        }
+        s.retain(t);
+        let (rest, v) = s.pop(t);
+        assert_eq!(v, Some(4));
+        assert_eq!(s.to_vec(t), vec![4, 3, 2, 1, 0]); // snapshot intact
+        assert_eq!(s.to_vec(rest), vec![3, 2, 1, 0]);
+        s.release(t);
+        s.release(rest);
+        assert_eq!(s.arena().live(), 0);
+    }
+
+    #[test]
+    fn reverse_and_empty_edge() {
+        let s: Stack<u64> = Stack::new();
+        assert_eq!(s.pop(s.empty()), (OptNodeId::NONE, None));
+        let mut t = s.empty();
+        for i in 0..6 {
+            t = s.push(t, i);
+        }
+        let r = s.reverse(t);
+        assert_eq!(s.to_vec(r), vec![0, 1, 2, 3, 4, 5]);
+        s.release(r);
+        assert_eq!(s.arena().live(), 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Lazy in-order iterators over one tree version.
+//!
+//! Like every query, iteration touches no reference counts and no shared
+//! mutable state: holding a version root pins the whole snapshot, so an
+//! iterator may be consumed at any pace (even interleaved with writer
+//! commits) and still observes exactly its version — the mechanism behind
+//! delay-free read transactions extends to lazy consumption.
+
+use std::ops::Bound;
+
+use mvcc_plm::NodeId;
+
+use crate::forest::Forest;
+use crate::node::Root;
+use crate::params::TreeParams;
+
+/// In-order iterator over all entries of one version.
+///
+/// Created by [`Forest::iter`]. Holds `O(log n)` node ids of pending
+/// ancestors; `next` is amortized O(1).
+pub struct Iter<'a, P: TreeParams> {
+    forest: &'a Forest<P>,
+    /// Ancestors whose entry (and right subtree) are still pending.
+    stack: Vec<NodeId>,
+    remaining: usize,
+}
+
+impl<'a, P: TreeParams> Iter<'a, P> {
+    fn push_left(&mut self, mut t: Root) {
+        while let Some(id) = t.get() {
+            self.stack.push(id);
+            t = self.forest.node(id).left();
+        }
+    }
+}
+
+impl<'a, P: TreeParams> Iterator for Iter<'a, P> {
+    type Item = (&'a P::K, &'a P::V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.stack.pop()?;
+        let n = self.forest.node(id);
+        self.push_left(n.right());
+        self.remaining -= 1;
+        Some((n.key(), n.value()))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<P: TreeParams> ExactSizeIterator for Iter<'_, P> {}
+impl<P: TreeParams> std::iter::FusedIterator for Iter<'_, P> {}
+
+/// In-order iterator over the entries whose keys fall in a range.
+///
+/// Created by [`Forest::range_iter`] / [`Forest::range_iter_bounds`].
+/// Visits O(log n + output) nodes in total.
+pub struct RangeIter<'a, P: TreeParams> {
+    forest: &'a Forest<P>,
+    stack: Vec<NodeId>,
+    hi: Bound<&'a P::K>,
+}
+
+impl<'a, P: TreeParams> RangeIter<'a, P> {
+    /// Descend, skipping subtrees entirely below the lower bound.
+    fn push_left_from(&mut self, mut t: Root, lo: Bound<&P::K>) {
+        while let Some(id) = t.get() {
+            let n = self.forest.node(id);
+            let below = match lo {
+                Bound::Included(k) => n.key() < k,
+                Bound::Excluded(k) => n.key() <= k,
+                Bound::Unbounded => false,
+            };
+            if below {
+                t = n.right();
+            } else {
+                self.stack.push(id);
+                t = n.left();
+            }
+        }
+    }
+}
+
+impl<'a, P: TreeParams> Iterator for RangeIter<'a, P> {
+    type Item = (&'a P::K, &'a P::V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.stack.pop()?;
+        let n = self.forest.node(id);
+        let above = match self.hi {
+            Bound::Included(k) => n.key() > k,
+            Bound::Excluded(k) => n.key() >= k,
+            Bound::Unbounded => false,
+        };
+        if above {
+            // In-order: everything still stacked is larger too.
+            self.stack.clear();
+            return None;
+        }
+        // The right subtree's keys all exceed this node's, which already
+        // passed the lower bound — descend with the bound dropped.
+        let mut t = n.right();
+        while let Some(rid) = t.get() {
+            self.stack.push(rid);
+            t = self.forest.node(rid).left();
+        }
+        Some((n.key(), n.value()))
+    }
+}
+
+impl<P: TreeParams> std::iter::FusedIterator for RangeIter<'_, P> {}
+
+impl<P: TreeParams> Forest<P> {
+    /// Lazy in-order iterator over all entries of version `t`.
+    pub fn iter(&self, t: Root) -> Iter<'_, P> {
+        let mut it = Iter {
+            forest: self,
+            stack: Vec::new(),
+            remaining: self.size(t),
+        };
+        it.push_left(t);
+        it
+    }
+
+    /// Lazy in-order iterator over the inclusive key range `[lo, hi]`.
+    pub fn range_iter<'a>(&'a self, t: Root, lo: &'a P::K, hi: &'a P::K) -> RangeIter<'a, P> {
+        self.range_iter_bounds(t, Bound::Included(lo), Bound::Included(hi))
+    }
+
+    /// Lazy in-order iterator with explicit bounds.
+    pub fn range_iter_bounds<'a>(
+        &'a self,
+        t: Root,
+        lo: Bound<&'a P::K>,
+        hi: Bound<&'a P::K>,
+    ) -> RangeIter<'a, P> {
+        let mut it = RangeIter {
+            forest: self,
+            stack: Vec::new(),
+            hi,
+        };
+        it.push_left_from(t, lo);
+        it
+    }
+
+    /// Lazy iterator over keys only.
+    pub fn keys(&self, t: Root) -> impl Iterator<Item = &P::K> + '_ {
+        self.iter(t).map(|(k, _)| k)
+    }
+
+    /// Lazy iterator over values only, in key order.
+    pub fn values(&self, t: Root) -> impl Iterator<Item = &P::V> + '_ {
+        self.iter(t).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::U64Map;
+
+    fn build(f: &Forest<U64Map>, keys: impl Iterator<Item = u64>) -> Root {
+        let mut t = f.empty();
+        for k in keys {
+            t = f.insert(t, k, k * 10);
+        }
+        t
+    }
+
+    #[test]
+    fn iter_yields_sorted_entries() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, (0..500).map(|k| (k * 379) % 500));
+        let got: Vec<u64> = f.iter(t).map(|(k, _)| *k).collect();
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+        assert_eq!(f.iter(t).len(), 500);
+        f.release(t);
+    }
+
+    #[test]
+    fn iter_empty_and_singleton() {
+        let f: Forest<U64Map> = Forest::new();
+        assert_eq!(f.iter(f.empty()).count(), 0);
+        let t = f.insert(f.empty(), 7, 70);
+        assert_eq!(f.iter(t).collect::<Vec<_>>(), vec![(&7, &70)]);
+        f.release(t);
+    }
+
+    #[test]
+    fn size_hint_is_exact_throughout() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 0..100);
+        let mut it = f.iter(t);
+        for left in (0..100usize).rev() {
+            it.next().unwrap();
+            assert_eq!(it.size_hint(), (left, Some(left)));
+        }
+        assert!(it.next().is_none());
+        f.release(t);
+    }
+
+    #[test]
+    fn range_iter_matches_range_for_each() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, (0..300).map(|k| k * 2));
+        for (lo, hi) in [
+            (0u64, 598u64),
+            (5, 5),
+            (6, 6),
+            (100, 200),
+            (599, 1000),
+            (301, 250),
+        ] {
+            let mut want = Vec::new();
+            f.range_for_each(t, &lo, &hi, &mut |k, _| want.push(*k));
+            let got: Vec<u64> = f.range_iter(t, &lo, &hi).map(|(k, _)| *k).collect();
+            assert_eq!(got, want, "range [{lo},{hi}]");
+        }
+        f.release(t);
+    }
+
+    #[test]
+    fn range_iter_exclusive_and_unbounded() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 0..50);
+        use Bound::*;
+        let got: Vec<u64> = f
+            .range_iter_bounds(t, Excluded(&10), Excluded(&15))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![11, 12, 13, 14]);
+        let got: Vec<u64> = f
+            .range_iter_bounds(t, Unbounded, Included(&3))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        let got: Vec<u64> = f
+            .range_iter_bounds(t, Included(&47), Unbounded)
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![47, 48, 49]);
+        f.release(t);
+    }
+
+    #[test]
+    fn lazy_iterator_survives_snapshot_pattern() {
+        let f: Forest<U64Map> = Forest::new();
+        let v1 = build(&f, 0..100);
+        f.retain(v1);
+        let v2 = f.insert(v1, 1000, 1);
+        // Iterate v1 lazily while v2 exists; v1 must not show key 1000.
+        let keys: Vec<u64> = f.iter(v1).map(|(k, _)| *k).collect();
+        assert_eq!(keys.len(), 100);
+        assert!(!keys.contains(&1000));
+        f.release(v1);
+        f.release(v2);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn keys_values_projections() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 0..10);
+        assert_eq!(
+            f.keys(t).copied().collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            f.values(t).copied().collect::<Vec<_>>(),
+            (0..10).map(|k| k * 10).collect::<Vec<_>>()
+        );
+        f.release(t);
+    }
+}

@@ -1,0 +1,75 @@
+//! Tree nodes as PLM tuples.
+
+use mvcc_plm::{NodeId, OptNodeId, Tuple};
+
+use crate::params::TreeParams;
+
+/// A tree root: nil for the empty map. This is the "version root" of the
+/// paper — the entire state visible to a transaction is whatever is
+/// reachable from it.
+pub type Root = OptNodeId;
+
+/// One tree node: an immutable PLM tuple holding the entry, the cached
+/// subtree size / height / augmentation, and two child links.
+pub struct Node<P: TreeParams> {
+    pub(crate) key: P::K,
+    pub(crate) value: P::V,
+    /// Monoid fold over this whole subtree.
+    pub(crate) aug: P::Aug,
+    /// Number of entries in this subtree.
+    pub(crate) size: u32,
+    /// AVL height (leaf = 1).
+    pub(crate) height: u8,
+    pub(crate) left: Root,
+    pub(crate) right: Root,
+}
+
+impl<P: TreeParams> Node<P> {
+    /// Key of this node.
+    #[inline]
+    pub fn key(&self) -> &P::K {
+        &self.key
+    }
+
+    /// Value of this node.
+    #[inline]
+    pub fn value(&self) -> &P::V {
+        &self.value
+    }
+
+    /// Cached subtree augmentation.
+    #[inline]
+    pub fn aug(&self) -> &P::Aug {
+        &self.aug
+    }
+
+    /// Cached subtree size.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Left child.
+    #[inline]
+    pub fn left(&self) -> Root {
+        self.left
+    }
+
+    /// Right child.
+    #[inline]
+    pub fn right(&self) -> Root {
+        self.right
+    }
+}
+
+impl<P: TreeParams> Tuple for Node<P> {
+    #[inline]
+    fn for_each_child(&self, f: &mut dyn FnMut(NodeId)) {
+        if let Some(l) = self.left.get() {
+            f(l);
+        }
+        if let Some(r) = self.right.get() {
+            f(r);
+        }
+    }
+}

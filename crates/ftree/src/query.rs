@@ -1,0 +1,328 @@
+//! Read-only queries: search, order statistics, iteration, and O(log n)
+//! augmented range queries.
+//!
+//! None of these touch reference counts or any shared mutable state — a
+//! reader executes exactly the instructions the sequential code would,
+//! which is the mechanism behind the paper's *delay-free* read
+//! transactions (Theorem 5.4).
+
+use std::cmp::Ordering::{Equal, Greater, Less};
+use std::ops::Bound;
+
+use crate::forest::Forest;
+use crate::node::Root;
+use crate::params::TreeParams;
+
+impl<P: TreeParams> Forest<P> {
+    /// Look up `key`; O(log n), allocation-free.
+    pub fn get<'a>(&'a self, t: Root, key: &P::K) -> Option<&'a P::V> {
+        let mut cur = t;
+        while let Some(id) = cur.get() {
+            let n = self.node(id);
+            match key.cmp(&n.key) {
+                Less => cur = n.left,
+                Greater => cur = n.right,
+                Equal => return Some(&n.value),
+            }
+        }
+        None
+    }
+
+    /// Does the map contain `key`?
+    #[inline]
+    pub fn contains(&self, t: Root, key: &P::K) -> bool {
+        self.get(t, key).is_some()
+    }
+
+    /// Smallest entry, if any.
+    pub fn min(&self, t: Root) -> Option<(&P::K, &P::V)> {
+        let mut id = t.get()?;
+        loop {
+            let n = self.node(id);
+            match n.left.get() {
+                Some(l) => id = l,
+                None => return Some((&n.key, &n.value)),
+            }
+        }
+    }
+
+    /// Largest entry, if any.
+    pub fn max(&self, t: Root) -> Option<(&P::K, &P::V)> {
+        let mut id = t.get()?;
+        loop {
+            let n = self.node(id);
+            match n.right.get() {
+                Some(r) => id = r,
+                None => return Some((&n.key, &n.value)),
+            }
+        }
+    }
+
+    /// `i`-th smallest entry (0-based), if `i < size`.
+    pub fn kth(&self, t: Root, mut i: usize) -> Option<(&P::K, &P::V)> {
+        let mut cur = t;
+        while let Some(id) = cur.get() {
+            let n = self.node(id);
+            let ls = self.size(n.left);
+            match i.cmp(&ls) {
+                Less => cur = n.left,
+                Equal => return Some((&n.key, &n.value)),
+                Greater => {
+                    i -= ls + 1;
+                    cur = n.right;
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of keys strictly smaller than `key`.
+    pub fn rank(&self, t: Root, key: &P::K) -> usize {
+        let mut cur = t;
+        let mut acc = 0;
+        while let Some(id) = cur.get() {
+            let n = self.node(id);
+            match key.cmp(&n.key) {
+                Less => cur = n.left,
+                Equal => return acc + self.size(n.left),
+                Greater => {
+                    acc += self.size(n.left) + 1;
+                    cur = n.right;
+                }
+            }
+        }
+        acc
+    }
+
+    /// In-order traversal.
+    pub fn for_each(&self, t: Root, f: &mut impl FnMut(&P::K, &P::V)) {
+        if let Some(id) = t.get() {
+            let n = self.node(id);
+            self.for_each(n.left, f);
+            f(&n.key, &n.value);
+            self.for_each(n.right, f);
+        }
+    }
+
+    /// In-order traversal of the inclusive key range `[lo, hi]`, visiting
+    /// O(log n + output) nodes.
+    pub fn range_for_each(&self, t: Root, lo: &P::K, hi: &P::K, f: &mut impl FnMut(&P::K, &P::V)) {
+        let Some(id) = t.get() else { return };
+        let n = self.node(id);
+        if *lo < n.key {
+            self.range_for_each(n.left, lo, hi, f);
+        }
+        if *lo <= n.key && n.key <= *hi {
+            f(&n.key, &n.value);
+        }
+        if n.key < *hi {
+            self.range_for_each(n.right, lo, hi, f);
+        }
+    }
+
+    /// Collect the whole map into a sorted vector (clones entries).
+    pub fn to_vec(&self, t: Root) -> Vec<(P::K, P::V)> {
+        let mut out = Vec::with_capacity(self.size(t));
+        self.for_each(t, &mut |k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    /// Monoid fold over all entries with keys in `[lo, hi]` (inclusive),
+    /// computed from the cached node augmentations in O(log n) — the
+    /// range-sum query of the paper's §7.1 experiments.
+    pub fn aug_range(&self, t: Root, lo: &P::K, hi: &P::K) -> P::Aug {
+        self.aug_range_bounds(t, Bound::Included(lo), Bound::Included(hi))
+    }
+
+    /// Like [`Forest::aug_range`] with explicit bounds.
+    pub fn aug_range_bounds(&self, t: Root, lo: Bound<&P::K>, hi: Bound<&P::K>) -> P::Aug {
+        let Some(id) = t.get() else {
+            return P::aug_id();
+        };
+        let n = self.node(id);
+        let below = match lo {
+            Bound::Included(k) => n.key < *k,
+            Bound::Excluded(k) => n.key <= *k,
+            Bound::Unbounded => false,
+        };
+        if below {
+            return self.aug_range_bounds(n.right, lo, hi);
+        }
+        let above = match hi {
+            Bound::Included(k) => n.key > *k,
+            Bound::Excluded(k) => n.key >= *k,
+            Bound::Unbounded => false,
+        };
+        if above {
+            return self.aug_range_bounds(n.left, lo, hi);
+        }
+        // Node inside the range: left side only needs the lower bound,
+        // right side only the upper — each descends a single path.
+        let left = self.aug_left(n.left, lo);
+        let right = self.aug_right(n.right, hi);
+        P::combine(&P::combine(&left, &P::make_aug(&n.key, &n.value)), &right)
+    }
+
+    /// Fold of all entries with key satisfying the lower bound (single
+    /// right-spine descent; full subtrees contribute their cached aug).
+    fn aug_left(&self, t: Root, lo: Bound<&P::K>) -> P::Aug {
+        let Some(id) = t.get() else {
+            return P::aug_id();
+        };
+        let n = self.node(id);
+        let in_range = match lo {
+            Bound::Included(k) => n.key >= *k,
+            Bound::Excluded(k) => n.key > *k,
+            Bound::Unbounded => true,
+        };
+        if in_range {
+            let left = self.aug_left(n.left, lo);
+            P::combine(
+                &P::combine(&left, &P::make_aug(&n.key, &n.value)),
+                &self.aug_total(n.right),
+            )
+        } else {
+            self.aug_left(n.right, lo)
+        }
+    }
+
+    /// Mirror image of [`Forest::aug_left`].
+    fn aug_right(&self, t: Root, hi: Bound<&P::K>) -> P::Aug {
+        let Some(id) = t.get() else {
+            return P::aug_id();
+        };
+        let n = self.node(id);
+        let in_range = match hi {
+            Bound::Included(k) => n.key <= *k,
+            Bound::Excluded(k) => n.key < *k,
+            Bound::Unbounded => true,
+        };
+        if in_range {
+            let right = self.aug_right(n.right, hi);
+            P::combine(
+                &P::combine(&self.aug_total(n.left), &P::make_aug(&n.key, &n.value)),
+                &right,
+            )
+        } else {
+            self.aug_right(n.left, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{MaxU64Map, SumU64Map, U64Map};
+
+    fn build(f: &Forest<SumU64Map>, keys: impl Iterator<Item = u64>) -> Root {
+        let mut t = f.empty();
+        for k in keys {
+            t = f.insert(t, k, k);
+        }
+        t
+    }
+
+    #[test]
+    fn range_sum_matches_naive() {
+        let f: Forest<SumU64Map> = Forest::new();
+        let t = build(&f, (0..1000).map(|k| k * 7 % 1000));
+        for (lo, hi) in [
+            (0u64, 999u64),
+            (100, 100),
+            (250, 750),
+            (990, 10_000),
+            (5, 6),
+        ] {
+            let naive: u64 = (lo..=hi.min(999)).filter(|k| *k <= 999).sum();
+            assert_eq!(f.aug_range(t, &lo, &hi), naive, "range [{lo},{hi}]");
+        }
+        // Empty ranges.
+        assert_eq!(f.aug_range(t, &500, &400), 0);
+        f.release(t);
+    }
+
+    #[test]
+    fn range_sum_exclusive_bounds() {
+        let f: Forest<SumU64Map> = Forest::new();
+        let t = build(&f, 0..100);
+        use std::ops::Bound::*;
+        assert_eq!(
+            f.aug_range_bounds(t, Excluded(&10), Excluded(&20)),
+            (11..=19).sum::<u64>()
+        );
+        assert_eq!(
+            f.aug_range_bounds(t, Unbounded, Included(&5)),
+            (0..=5).sum::<u64>()
+        );
+        assert_eq!(
+            f.aug_range_bounds(t, Included(&95), Unbounded),
+            (95..=99).sum::<u64>()
+        );
+        assert_eq!(
+            f.aug_range_bounds(t, Unbounded, Unbounded),
+            (0..100).sum::<u64>()
+        );
+        f.release(t);
+    }
+
+    #[test]
+    fn max_augmentation_range() {
+        let f: Forest<MaxU64Map> = Forest::new();
+        let mut t = f.empty();
+        for k in 0..200u64 {
+            t = f.insert(t, k, (k * 37) % 199);
+        }
+        for (lo, hi) in [(0u64, 199u64), (50, 60), (120, 121)] {
+            let naive = (lo..=hi.min(199)).map(|k| (k * 37) % 199).max().unwrap();
+            assert_eq!(f.aug_range(t, &lo, &hi), naive);
+        }
+        f.release(t);
+    }
+
+    #[test]
+    fn order_statistics() {
+        let f: Forest<U64Map> = Forest::new();
+        let keys = [13u64, 2, 77, 40, 8, 99, 55];
+        let mut t = f.empty();
+        for k in keys {
+            t = f.insert(t, k, k);
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for (i, k) in sorted.iter().enumerate() {
+            assert_eq!(f.kth(t, i).map(|(k, _)| *k), Some(*k));
+            assert_eq!(f.rank(t, k), i);
+        }
+        assert_eq!(f.kth(t, 7), None);
+        assert_eq!(f.rank(t, &1000), 7);
+        assert_eq!(f.min(t).map(|(k, _)| *k), Some(2));
+        assert_eq!(f.max(t).map(|(k, _)| *k), Some(99));
+        f.release(t);
+    }
+
+    #[test]
+    fn range_iteration() {
+        let f: Forest<U64Map> = Forest::new();
+        let mut t = f.empty();
+        for k in (0..100u64).step_by(3) {
+            t = f.insert(t, k, k);
+        }
+        let mut seen = Vec::new();
+        f.range_for_each(t, &10, &40, &mut |k, _| seen.push(*k));
+        assert_eq!(seen, vec![12, 15, 18, 21, 24, 27, 30, 33, 36, 39]);
+        f.release(t);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let f: Forest<SumU64Map> = Forest::new();
+        let t = f.empty();
+        assert_eq!(f.get(t, &1), None);
+        assert_eq!(f.min(t), None);
+        assert_eq!(f.max(t), None);
+        assert_eq!(f.kth(t, 0), None);
+        assert_eq!(f.rank(t, &5), 0);
+        assert_eq!(f.aug_range(t, &0, &100), 0);
+        assert_eq!(f.to_vec(t), vec![]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Rank- and range-structured operations: `split_rank`, `take`, `drop`,
+//! `range_tree`, `remove_range`, `symmetric_difference`.
+//!
+//! All are PAM-surface operations built on the join-based core, following
+//! the same ownership convention: one owned reference consumed per input
+//! root, one owned result returned, discarded subtrees collected eagerly
+//! so GC stays precise even mid-operation.
+
+use crate::forest::Forest;
+use crate::node::Root;
+use crate::params::TreeParams;
+use mvcc_plm::OptNodeId;
+
+impl<P: TreeParams> Forest<P> {
+    /// Split by **rank**: `(first i entries, the rest)`. If `i ≥ size`,
+    /// the right part is empty. O(log n). Consumes `t`.
+    pub fn split_rank(&self, t: Root, i: usize) -> (Root, Root) {
+        let Some(id) = t.get() else {
+            return (OptNodeId::NONE, OptNodeId::NONE);
+        };
+        if i == 0 {
+            return (OptNodeId::NONE, t);
+        }
+        let (l, k, v, r) = self.expose_owned(id);
+        let ls = self.size(l);
+        if i <= ls {
+            let (a, b) = self.split_rank(l, i);
+            (a, self.join(b, k, v, r))
+        } else {
+            let (a, b) = self.split_rank(r, i - ls - 1);
+            (self.join(l, k, v, a), b)
+        }
+    }
+
+    /// The first `i` entries (in key order). Consumes `t`.
+    pub fn take(&self, t: Root, i: usize) -> Root {
+        let (a, b) = self.split_rank(t, i);
+        self.release(b);
+        a
+    }
+
+    /// Everything but the first `i` entries. Consumes `t`.
+    pub fn drop_first(&self, t: Root, i: usize) -> Root {
+        let (a, b) = self.split_rank(t, i);
+        self.release(a);
+        b
+    }
+
+    /// The sub-map of entries with keys in `[lo, hi]` (inclusive), as its
+    /// own tree. O(log n) plus the output's build cost. Consumes `t`.
+    pub fn range_tree(&self, t: Root, lo: &P::K, hi: &P::K) -> Root {
+        if lo > hi {
+            self.release(t);
+            return OptNodeId::NONE;
+        }
+        let (below, at_lo, rest) = self.split(t, lo);
+        self.release(below);
+        let (mid, at_hi, above) = self.split(rest, hi);
+        self.release(above);
+        let mid = match at_lo {
+            Some((k, v)) => self.join(OptNodeId::NONE, k, v, mid),
+            None => mid,
+        };
+        match at_hi {
+            Some((k, v)) => self.join(mid, k, v, OptNodeId::NONE),
+            None => mid,
+        }
+    }
+
+    /// Remove every entry with key in `[lo, hi]` (inclusive). O(log n)
+    /// plus the collected garbage. Consumes `t`.
+    pub fn remove_range(&self, t: Root, lo: &P::K, hi: &P::K) -> Root {
+        if lo > hi {
+            return t;
+        }
+        let (below, _at_lo, rest) = self.split(t, lo);
+        let (mid, _at_hi, above) = self.split(rest, hi);
+        self.release(mid);
+        self.join2(below, above)
+    }
+
+    /// Entries whose key appears in **exactly one** of `a`, `b` (values
+    /// come from whichever side held the key). Consumes both roots.
+    pub fn symmetric_difference(&self, a: Root, b: Root) -> Root {
+        if a.is_none() {
+            return b;
+        }
+        if b.is_none() {
+            return a;
+        }
+        let (bl, bk, bv, br) = self.expose_owned(b.unwrap());
+        let (al, m, ar) = self.split(a, &bk);
+        let l = self.symmetric_difference(al, bl);
+        let r = self.symmetric_difference(ar, br);
+        match m {
+            Some(_) => self.join2(l, r),
+            None => self.join(l, bk, bv, r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Forest, U64Map};
+    use mvcc_plm::OptNodeId;
+
+    fn build(f: &Forest<U64Map>, keys: impl IntoIterator<Item = u64>) -> crate::Root {
+        let mut t = f.empty();
+        for k in keys {
+            t = f.insert(t, k, k * 10);
+        }
+        t
+    }
+
+    fn keys_of(f: &Forest<U64Map>, t: crate::Root) -> Vec<u64> {
+        f.to_vec(t).into_iter().map(|(k, _)| k).collect()
+    }
+
+    #[test]
+    fn split_rank_partitions_in_order() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 0..20);
+        let (a, b) = f.split_rank(t, 7);
+        assert_eq!(keys_of(&f, a), (0..7).collect::<Vec<_>>());
+        assert_eq!(keys_of(&f, b), (7..20).collect::<Vec<_>>());
+        assert_eq!(f.check_invariants(a), 7);
+        assert_eq!(f.check_invariants(b), 13);
+        f.release(a);
+        f.release(b);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn split_rank_edges() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 0..5);
+        let (a, b) = f.split_rank(t, 0);
+        assert_eq!(f.size(a), 0);
+        assert_eq!(f.size(b), 5);
+        let (c, d) = f.split_rank(b, 99);
+        assert_eq!(f.size(c), 5);
+        assert_eq!(d, OptNodeId::NONE);
+        f.release(c);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn take_and_drop_complement() {
+        let f: Forest<U64Map> = Forest::new();
+        for i in [0usize, 1, 5, 16, 17] {
+            let t = build(&f, 0..17);
+            f.retain(t);
+            let head = f.take(t, i);
+            let tail = f.drop_first(t, i);
+            let mut all = keys_of(&f, head);
+            all.extend(keys_of(&f, tail));
+            assert_eq!(all, (0..17).collect::<Vec<_>>(), "i={i}");
+            f.release(head);
+            f.release(tail);
+            assert_eq!(f.arena().live(), 0);
+        }
+    }
+
+    #[test]
+    fn range_tree_inclusive_bounds() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, (0..40).map(|k| k * 2)); // evens 0..78
+        let sub = f.range_tree(t, &10, &20);
+        assert_eq!(keys_of(&f, sub), vec![10, 12, 14, 16, 18, 20]);
+        f.check_invariants(sub);
+        f.release(sub);
+        assert_eq!(f.arena().live(), 0);
+
+        // Bounds falling between keys.
+        let t = build(&f, (0..40).map(|k| k * 2));
+        let sub = f.range_tree(t, &11, &19);
+        assert_eq!(keys_of(&f, sub), vec![12, 14, 16, 18]);
+        f.release(sub);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn range_tree_empty_and_inverted() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 0..10);
+        let sub = f.range_tree(t, &7, &3);
+        assert_eq!(sub, OptNodeId::NONE);
+        assert_eq!(f.arena().live(), 0, "inverted range releases everything");
+    }
+
+    #[test]
+    fn remove_range_drops_exactly_the_span() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 0..30);
+        let t = f.remove_range(t, &10, &19);
+        let mut expect: Vec<u64> = (0..10).collect();
+        expect.extend(20..30);
+        assert_eq!(keys_of(&f, t), expect);
+        f.check_invariants(t);
+        // Precision: the 10 removed entries' tuples are gone.
+        assert_eq!(f.size(t), 20);
+        f.release(t);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn remove_range_misses_are_noops() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, (0..10).map(|k| k * 10)); // keys 0,10,...,90
+        let t = f.remove_range(t, &11, &19); // falls between keys: no-op
+        assert_eq!(keys_of(&f, t), (0..10).map(|k| k * 10).collect::<Vec<_>>());
+        f.check_invariants(t);
+        f.release(t);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn symmetric_difference_vs_model() {
+        let f: Forest<U64Map> = Forest::new();
+        let a = build(&f, [1, 2, 3, 5, 8, 13]);
+        let b = build(&f, [2, 3, 4, 8, 21]);
+        let s = f.symmetric_difference(a, b);
+        assert_eq!(keys_of(&f, s), vec![1, 4, 5, 13, 21]);
+        f.check_invariants(s);
+        f.release(s);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn symmetric_difference_disjoint_is_union() {
+        let f: Forest<U64Map> = Forest::new();
+        let a = build(&f, [1, 3, 5]);
+        let b = build(&f, [2, 4, 6]);
+        let s = f.symmetric_difference(a, b);
+        assert_eq!(keys_of(&f, s), vec![1, 2, 3, 4, 5, 6]);
+        f.release(s);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn symmetric_difference_identical_is_empty() {
+        let f: Forest<U64Map> = Forest::new();
+        let a = build(&f, 0..12);
+        let b = build(&f, 0..12);
+        let s = f.symmetric_difference(a, b);
+        assert_eq!(s, OptNodeId::NONE);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn shared_snapshots_unaffected_by_range_ops() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 0..50);
+        f.retain(t); // snapshot
+        let trimmed = f.remove_range(t, &10, &39);
+        assert_eq!(f.size(trimmed), 20);
+        assert_eq!(f.size(t), 50, "snapshot intact after remove_range");
+        assert_eq!(keys_of(&f, t), (0..50).collect::<Vec<_>>());
+        f.release(trimmed);
+        f.release(t);
+        assert_eq!(f.arena().live(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Parallel map-reduce over one tree version — PAM's `map_reduce` and
+//! friends.
+//!
+//! A snapshot is immutable, so a fold over it parallelizes embarrassingly:
+//! recurse on both children with `rayon::join` above a sequential cutoff
+//! and combine with an associative operation. These are *read* operations
+//! (no reference-count traffic), so a read transaction may use all cores
+//! for one query — the inverted-index experiment (§7.2) runs each "and"
+//! query as a parallel intersection this way.
+
+use crate::forest::Forest;
+use crate::node::Root;
+use crate::params::TreeParams;
+
+/// Below this many entries, recursion stays sequential.
+const PAR_CUTOFF: usize = 2048;
+
+impl<P: TreeParams> Forest<P> {
+    /// Fold `map` over every entry, combining with the associative
+    /// `combine` (identity `id`); parallel above a cutoff. O(n) work,
+    /// O(log² n) span.
+    pub fn map_reduce<A>(
+        &self,
+        t: Root,
+        map: &(impl Fn(&P::K, &P::V) -> A + Sync),
+        combine: &(impl Fn(A, A) -> A + Sync),
+        id: &(impl Fn() -> A + Sync),
+    ) -> A
+    where
+        A: Send,
+    {
+        let Some(nid) = t.get() else { return id() };
+        let n = self.node(nid);
+        if n.size() as usize <= PAR_CUTOFF {
+            // Sequential fold, left to right.
+            let l = self.map_reduce(n.left(), map, combine, id);
+            let m = map(n.key(), n.value());
+            let r = self.map_reduce(n.right(), map, combine, id);
+            return combine(combine(l, m), r);
+        }
+        let (l, r) = rayon::join(
+            || self.map_reduce(n.left(), map, combine, id),
+            || self.map_reduce(n.right(), map, combine, id),
+        );
+        combine(combine(l, map(n.key(), n.value())), r)
+    }
+
+    /// Number of entries satisfying `pred`; parallel above a cutoff.
+    pub fn count_if(&self, t: Root, pred: impl Fn(&P::K, &P::V) -> bool + Sync) -> usize {
+        self.map_reduce(t, &|k, v| usize::from(pred(k, v)), &|a, b| a + b, &|| 0)
+    }
+
+    /// Does any entry satisfy `pred`? Short-circuits per subtree once a
+    /// witness is found (sequential early exit; parallel branches may
+    /// overshoot by one subtree).
+    pub fn any(&self, t: Root, pred: impl Fn(&P::K, &P::V) -> bool + Sync) -> bool {
+        self.any_rec(t, &pred)
+    }
+
+    fn any_rec<F: Fn(&P::K, &P::V) -> bool + Sync>(&self, t: Root, pred: &F) -> bool {
+        let Some(nid) = t.get() else { return false };
+        let n = self.node(nid);
+        if n.size() as usize <= PAR_CUTOFF {
+            return self.any_rec(n.left(), pred)
+                || pred(n.key(), n.value())
+                || self.any_rec(n.right(), pred);
+        }
+        let (l, r) = rayon::join(
+            || self.any_rec(n.left(), pred),
+            || self.any_rec(n.right(), pred),
+        );
+        l || r || pred(n.key(), n.value())
+    }
+
+    /// Every entry satisfies `pred`?
+    pub fn all(&self, t: Root, pred: impl Fn(&P::K, &P::V) -> bool + Sync) -> bool {
+        !self.any(t, |k, v| !pred(k, v))
+    }
+
+    /// Build a new version with every value rewritten by `f` (keys and
+    /// shape unchanged, augmentations recomputed). Consumes `t`. O(n)
+    /// work — this path-copies the *entire* tree, as any whole-map update
+    /// must.
+    pub fn map_values(&self, t: Root, f: impl Fn(&P::K, &P::V) -> P::V + Sync) -> Root {
+        self.map_values_rec(t, &f)
+    }
+
+    fn map_values_rec<F: Fn(&P::K, &P::V) -> P::V + Sync>(&self, t: Root, f: &F) -> Root {
+        let Some(nid) = t.get() else { return t };
+        let par = self.size(t) > PAR_CUTOFF;
+        let (l, k, v, r) = self.expose_owned(nid);
+        let nv = f(&k, &v);
+        let (nl, nr) = if par {
+            rayon::join(|| self.map_values_rec(l, f), || self.map_values_rec(r, f))
+        } else {
+            (self.map_values_rec(l, f), self.map_values_rec(r, f))
+        };
+        // Shape is preserved, so a plain `make` keeps the balance.
+        Root::some(self.make(nl, k, nv, nr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{SumU64Map, U64Map};
+
+    fn build(f: &Forest<U64Map>, n: u64) -> Root {
+        let mut t = f.empty();
+        for k in 0..n {
+            t = f.insert(t, k, k);
+        }
+        t
+    }
+
+    #[test]
+    fn map_reduce_sum_matches_iterator() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 3000); // exceeds the parallel cutoff
+        let sum = f.map_reduce(t, &|_, v| *v, &|a, b| a + b, &|| 0u64);
+        assert_eq!(sum, (0..3000).sum::<u64>());
+        assert_eq!(
+            f.map_reduce(f.empty(), &|_, v| *v, &|a, b| a + b, &|| 0u64),
+            0
+        );
+        f.release(t);
+    }
+
+    #[test]
+    fn map_reduce_ordered_concat() {
+        // A non-commutative monoid proves left-to-right combination order.
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 10);
+        let s = f.map_reduce(t, &|k, _| k.to_string(), &|a, b| a + &b, &String::new);
+        assert_eq!(s, "0123456789");
+        f.release(t);
+    }
+
+    #[test]
+    fn count_any_all() {
+        let f: Forest<U64Map> = Forest::new();
+        let t = build(&f, 5000);
+        assert_eq!(f.count_if(t, |k, _| k % 5 == 0), 1000);
+        assert!(f.any(t, |k, _| *k == 4999));
+        assert!(!f.any(t, |k, _| *k == 5000));
+        assert!(f.all(t, |k, v| k == v));
+        assert!(!f.all(t, |k, _| *k < 4999));
+        f.release(t);
+    }
+
+    #[test]
+    fn map_values_rewrites_and_preserves_snapshot() {
+        let f: Forest<SumU64Map> = Forest::new();
+        let mut t = f.empty();
+        for k in 0..4000u64 {
+            t = f.insert(t, k, 1);
+        }
+        f.retain(t);
+        let doubled = f.map_values(t, |_, v| v * 2);
+        assert_eq!(f.aug_total(t), 4000, "snapshot unchanged");
+        assert_eq!(f.aug_total(doubled), 8000, "augmentation recomputed");
+        assert_eq!(f.size(doubled), 4000);
+        f.check_invariants(doubled);
+        f.release(t);
+        f.release(doubled);
+        assert_eq!(f.arena().live(), 0);
+    }
+
+    #[test]
+    fn map_values_empty() {
+        let f: Forest<U64Map> = Forest::new();
+        assert!(f.map_values(f.empty(), |_, v| *v).is_none());
+    }
+}

@@ -1,0 +1,395 @@
+//! # mvcc-index — a weighted inverted index on the transactional framework
+//!
+//! The paper's §7.2 application: map each *term* to a *posting list* of
+//! `(document, weight)` pairs, support adding/removing whole documents
+//! **atomically** (one write transaction per batch of documents — queries
+//! never observe a partially indexed document), and run concurrent
+//! "and"-queries that intersect two posting lists and return the top-k
+//! documents by combined weight — all on snapshots, so queries never block
+//! the writer and vice versa.
+//!
+//! The outer term tree is an `mvcc-ftree` map augmented with the maximum
+//! posting weight in each subtree (the paper's augmentation). Posting
+//! lists are immutable sorted arrays behind `Arc` — per DESIGN.md this
+//! substitutes for PAM's nested inner trees: merging on union gives the
+//! same atomic-visibility semantics with coarser sharing, and mirrors how
+//! production indexes store postings.
+
+use std::sync::Arc;
+
+use mvcc_core::Database;
+use mvcc_ftree::TreeParams;
+use mvcc_vm::{PswfVm, VersionMaintenance};
+
+/// One posting: `(document id, weight)`.
+pub type Posting = (u64, u64);
+
+/// An immutable, doc-sorted posting list with its maximum weight cached
+/// (the augmentation the outer tree folds).
+#[derive(Debug, Clone)]
+pub struct PostingList {
+    postings: Arc<[Posting]>,
+    max_weight: u64,
+}
+
+impl PostingList {
+    /// Build from postings sorted by document id (asserted in debug).
+    pub fn from_sorted(postings: Vec<Posting>) -> Self {
+        debug_assert!(postings.windows(2).all(|w| w[0].0 < w[1].0));
+        let max_weight = postings.iter().map(|p| p.1).max().unwrap_or(0);
+        PostingList {
+            postings: postings.into(),
+            max_weight,
+        }
+    }
+
+    /// The postings, sorted by document id.
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Number of documents containing the term.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Largest weight in the list.
+    pub fn max_weight(&self) -> u64 {
+        self.max_weight
+    }
+
+    /// Merge two sorted lists; on duplicate documents `other` wins
+    /// (newer index generation).
+    pub fn merge(&self, other: &PostingList) -> PostingList {
+        let (a, b) = (self.postings(), other.postings());
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(b[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        PostingList::from_sorted(out)
+    }
+
+    /// Remove all postings for the given sorted document ids.
+    pub fn without_docs(&self, docs: &[u64]) -> PostingList {
+        let filtered: Vec<Posting> = self
+            .postings
+            .iter()
+            .filter(|(d, _)| docs.binary_search(d).is_err())
+            .copied()
+            .collect();
+        PostingList::from_sorted(filtered)
+    }
+}
+
+/// Sequential cutoff for the parallel intersection.
+const INTERSECT_CUTOFF: usize = 4096;
+
+/// Intersect two doc-sorted posting lists, summing weights — the paper's
+/// parallel intersection (divide-and-conquer on the larger list, binary
+/// search in the smaller).
+pub fn intersect(a: &[Posting], b: &[Posting]) -> Vec<(u64, u64)> {
+    if a.len() > b.len() {
+        return intersect(b, a);
+    }
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len() + b.len() <= INTERSECT_CUTOFF {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, a[i].1 + b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        return out;
+    }
+    // Split the larger list, partition the smaller by binary search.
+    let mid = b.len() / 2;
+    let pivot = b[mid].0;
+    let split = a.partition_point(|p| p.0 < pivot);
+    let (left, right) = rayon::join(
+        || intersect(&a[..split], &b[..mid]),
+        || intersect(&a[split..], &b[mid..]),
+    );
+    let mut out = left;
+    out.extend(right);
+    out
+}
+
+/// Tree parameters of the term map: term id → posting list, augmented with
+/// the subtree's maximum posting weight.
+pub struct IndexParams;
+
+impl TreeParams for IndexParams {
+    type K = u64;
+    type V = PostingList;
+    type Aug = u64;
+
+    fn aug_id() -> u64 {
+        0
+    }
+    fn make_aug(_term: &u64, pl: &PostingList) -> u64 {
+        pl.max_weight()
+    }
+    fn combine(a: &u64, b: &u64) -> u64 {
+        (*a).max(*b)
+    }
+}
+
+/// A searchable, transactionally-updated inverted index.
+pub struct InvertedIndex<M: VersionMaintenance = PswfVm> {
+    db: Database<IndexParams, M>,
+}
+
+impl InvertedIndex<PswfVm> {
+    /// Empty index for `processes` process ids (PSWF version maintenance).
+    pub fn new(processes: usize) -> Self {
+        InvertedIndex {
+            db: Database::new(processes),
+        }
+    }
+}
+
+impl<M: VersionMaintenance> InvertedIndex<M> {
+    /// The underlying database (stats, advanced use).
+    pub fn database(&self) -> &Database<IndexParams, M> {
+        &self.db
+    }
+
+    /// Add a batch of documents in **one atomic write transaction** on
+    /// process `pid`. Each document is `(doc_id, [(term, weight), ...])`.
+    /// Queries see either none or all of the batch.
+    pub fn add_documents(&self, pid: usize, docs: &[(u64, Vec<(u64, u64)>)]) {
+        // Build term -> postings for the batch (T' of §7.2).
+        let mut by_term: std::collections::BTreeMap<u64, Vec<Posting>> =
+            std::collections::BTreeMap::new();
+        for (doc, terms) in docs {
+            for (term, weight) in terms {
+                by_term.entry(*term).or_default().push((*doc, *weight));
+            }
+        }
+        let batch: Vec<(u64, PostingList)> = by_term
+            .into_iter()
+            .map(|(term, mut postings)| {
+                postings.sort_unstable_by_key(|p| p.0);
+                postings.dedup_by_key(|p| p.0);
+                (term, PostingList::from_sorted(postings))
+            })
+            .collect();
+        // union-with-merge: duplicate terms combine their posting lists
+        // (the paper's union "whenever duplicate keys appear, we take a
+        // union on their values").
+        self.db.write(pid, |f, base| {
+            let t = f.multi_insert(base, batch.clone(), |old, new| old.merge(new));
+            (t, ())
+        });
+    }
+
+    /// Remove a set of documents atomically (posting lists are rewritten;
+    /// terms left empty are dropped from the index).
+    pub fn remove_documents(&self, pid: usize, docs: &[u64]) {
+        let mut sorted: Vec<u64> = docs.to_vec();
+        sorted.sort_unstable();
+        self.db.write(pid, |f, base| {
+            let filtered = f.filter(base, |_term, pl| {
+                // Keep terms that still have postings after removal...
+                pl.postings()
+                    .iter()
+                    .any(|(d, _)| sorted.binary_search(d).is_err())
+            });
+            // ...and rewrite the lists that referenced removed docs.
+            let mut rewrites: Vec<(u64, PostingList)> = Vec::new();
+            f.for_each(filtered, &mut |term, pl| {
+                if pl
+                    .postings()
+                    .iter()
+                    .any(|(d, _)| sorted.binary_search(d).is_ok())
+                {
+                    rewrites.push((*term, pl.without_docs(&sorted)));
+                }
+            });
+            let t = f.multi_insert(filtered, rewrites, |_old, new| new.clone());
+            (t, ())
+        });
+    }
+
+    /// Number of indexed terms.
+    pub fn term_count(&self, pid: usize) -> usize {
+        self.db.read(pid, |s| s.len())
+    }
+
+    /// The largest posting weight anywhere in `term_lo..=term_hi`
+    /// (O(log n) via the augmentation).
+    pub fn max_weight_in_range(&self, pid: usize, term_lo: u64, term_hi: u64) -> u64 {
+        self.db.read(pid, |s| s.aug_range(&term_lo, &term_hi))
+    }
+
+    /// "and"-query (§7.2): top-`k` documents containing both terms, ranked
+    /// by combined weight. Runs as one read transaction on a snapshot —
+    /// the two posting lists are consistent with each other by
+    /// construction.
+    pub fn and_query(&self, pid: usize, term_a: u64, term_b: u64, k: usize) -> Vec<(u64, u64)> {
+        self.db.read(pid, |s| {
+            let (Some(pa), Some(pb)) = (s.get(&term_a), s.get(&term_b)) else {
+                return Vec::new();
+            };
+            let mut hits = intersect(pa.postings(), pb.postings());
+            hits.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+            hits.truncate(k);
+            hits
+        })
+    }
+
+    /// Posting-list length of a term (0 if absent).
+    pub fn doc_frequency(&self, pid: usize, term: u64) -> usize {
+        self.db.read(pid, |s| s.get(&term).map_or(0, |pl| pl.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u64, terms: &[(u64, u64)]) -> (u64, Vec<(u64, u64)>) {
+        (id, terms.to_vec())
+    }
+
+    #[test]
+    fn add_and_query() {
+        let idx = InvertedIndex::new(2);
+        idx.add_documents(
+            0,
+            &[
+                doc(1, &[(10, 5), (20, 3)]),
+                doc(2, &[(10, 7), (30, 1)]),
+                doc(3, &[(10, 2), (20, 9)]),
+            ],
+        );
+        assert_eq!(idx.term_count(1), 3);
+        assert_eq!(idx.doc_frequency(1, 10), 3);
+        // Docs containing both 10 and 20: 1 (5+3=8) and 3 (2+9=11).
+        assert_eq!(idx.and_query(1, 10, 20, 10), vec![(3, 11), (1, 8)]);
+        assert_eq!(idx.and_query(1, 10, 20, 1), vec![(3, 11)]);
+        assert_eq!(idx.and_query(1, 20, 30, 10), vec![]);
+        assert_eq!(idx.and_query(1, 99, 10, 10), vec![]);
+    }
+
+    #[test]
+    fn incremental_batches_merge_posting_lists() {
+        let idx = InvertedIndex::new(1);
+        idx.add_documents(0, &[doc(1, &[(7, 1)])]);
+        idx.add_documents(0, &[doc(2, &[(7, 2)])]);
+        idx.add_documents(0, &[doc(3, &[(7, 3)])]);
+        assert_eq!(idx.doc_frequency(0, 7), 3);
+        assert_eq!(idx.and_query(0, 7, 7, 10).len(), 3);
+        assert_eq!(idx.max_weight_in_range(0, 0, 100), 3);
+    }
+
+    #[test]
+    fn batch_is_atomic_under_concurrent_queries() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let idx = std::sync::Arc::new(InvertedIndex::new(3));
+        // Every doc contains both terms 1 and 2, so the intersection size
+        // must always equal each posting-list length (atomicity witness).
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for pid in 1..3 {
+                let idx = idx.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let df1 = idx.doc_frequency(pid, 1);
+                        let hits = idx.and_query(pid, 1, 2, usize::MAX);
+                        assert!(
+                            hits.len() <= df1 || df1 == 0,
+                            "query saw a partially-applied batch"
+                        );
+                    }
+                });
+            }
+            for batch in 0..30u64 {
+                let docs: Vec<_> = (0..20)
+                    .map(|i| doc(batch * 20 + i, &[(1, i + 1), (2, i + 1)]))
+                    .collect();
+                idx.add_documents(0, &docs);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(idx.doc_frequency(0, 1), 600);
+        assert_eq!(idx.and_query(0, 1, 2, usize::MAX).len(), 600);
+        assert_eq!(idx.database().live_versions(), 1);
+    }
+
+    #[test]
+    fn remove_documents_rewrites_lists() {
+        let idx = InvertedIndex::new(1);
+        idx.add_documents(
+            0,
+            &[
+                doc(1, &[(5, 1), (6, 1)]),
+                doc(2, &[(5, 2)]),
+                doc(3, &[(6, 3)]),
+            ],
+        );
+        idx.remove_documents(0, &[1]);
+        assert_eq!(idx.doc_frequency(0, 5), 1); // doc 2 remains
+        assert_eq!(idx.doc_frequency(0, 6), 1); // doc 3 remains
+        idx.remove_documents(0, &[2, 3]);
+        assert_eq!(idx.term_count(0), 0, "empty terms dropped");
+    }
+
+    #[test]
+    fn intersect_parallel_matches_sequential() {
+        let a: Vec<Posting> = (0..20_000u64).map(|d| (d * 2, d % 100)).collect();
+        let b: Vec<Posting> = (0..20_000u64).map(|d| (d * 3, d % 50)).collect();
+        let got = intersect(&a, &b);
+        // Sequential reference.
+        let bm: std::collections::HashMap<u64, u64> = b.iter().copied().collect();
+        let want: Vec<(u64, u64)> = a
+            .iter()
+            .filter_map(|(d, w)| bm.get(d).map(|w2| (*d, w + w2)))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn posting_list_merge_and_remove() {
+        let a = PostingList::from_sorted(vec![(1, 5), (3, 2), (5, 9)]);
+        let b = PostingList::from_sorted(vec![(2, 1), (3, 7)]);
+        let m = a.merge(&b);
+        assert_eq!(m.postings(), &[(1, 5), (2, 1), (3, 7), (5, 9)]);
+        assert_eq!(m.max_weight(), 9);
+        let r = m.without_docs(&[3, 5]);
+        assert_eq!(r.postings(), &[(1, 5), (2, 1)]);
+        assert_eq!(r.max_weight(), 5);
+    }
+}

@@ -1,0 +1,688 @@
+//! Lock-free chunked slab with atomic reference counts.
+//!
+//! Layout: slots live in up to [`NUM_CHUNKS`] chunks whose sizes double
+//! (`BASE`, `2*BASE`, `4*BASE`, …). Chunks are installed lazily with a
+//! single CAS and are never moved or freed until the arena drops, so a
+//! `&T` handed out by [`Arena::get`] stays valid storage for the arena's
+//! lifetime regardless of concurrent allocation. Freed slots recycle
+//! through a tagged Treiber stack (the tag defeats ABA on the head).
+//!
+//! Per-slot metadata packs into one `AtomicU64`:
+//!
+//! ```text
+//! bit 63      : OCCUPIED
+//! bits 32..63 : generation (bumped on every free; detects stale ids)
+//! bits  0..32 : reference count (occupied) | next free index (free)
+//! ```
+//!
+//! Reference-count updates are single `fetch_add`/`fetch_sub` instructions
+//! on the metadata word — they can never carry into the generation field
+//! because the owner invariant guarantees `1 <= rc < 2^32` whenever an
+//! increment or decrement happens.
+
+use core::sync::atomic::{fence, AtomicU64, Ordering};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+
+use crate::{NodeId, OptNodeId, Tuple};
+
+/// log2 of the first chunk's slot count.
+const BASE_BITS: u32 = 10;
+/// Slot count of chunk 0.
+const BASE: u32 = 1 << BASE_BITS;
+/// Maximum number of chunks; capacity is `BASE * (2^NUM_CHUNKS - 1)` slots,
+/// which exhausts the 32-bit id space.
+const NUM_CHUNKS: usize = 22;
+
+const OCCUPIED: u64 = 1 << 63;
+const GEN_SHIFT: u32 = 32;
+const GEN_MASK: u64 = ((1u64 << 31) - 1) << GEN_SHIFT;
+const LOW_MASK: u64 = (1u64 << 32) - 1;
+
+/// Freelist "empty" marker (also used as a slot's "no next" link).
+const NIL: u32 = u32::MAX;
+
+#[inline]
+fn locate(index: u32) -> (usize, usize) {
+    // Chunk c covers indices [BASE*(2^c - 1), BASE*(2^(c+1) - 1)).
+    let adjusted = (index as u64 + BASE as u64) >> BASE_BITS; // >= 1
+    let chunk = 63 - adjusted.leading_zeros() as u64;
+    let chunk_start = ((1u64 << chunk) - 1) << BASE_BITS;
+    (chunk as usize, (index as u64 - chunk_start) as usize)
+}
+
+#[inline]
+fn chunk_len(chunk: usize) -> usize {
+    (BASE as usize) << chunk
+}
+
+struct Slot<T> {
+    meta: AtomicU64,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot {
+            meta: AtomicU64::new(0),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+}
+
+/// Point-in-time allocation statistics (see [`Arena::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total number of `alloc` calls ever performed.
+    pub allocated_total: u64,
+    /// Total number of slots freed by `collect`.
+    pub freed_total: u64,
+    /// Currently allocated (not yet freed) slots.
+    pub live: u64,
+    /// High-water mark of `live`.
+    pub peak_live: u64,
+}
+
+/// A concurrent slab of reference-counted tuples — the PLM memory of the
+/// paper. See the crate docs for the ownership convention.
+pub struct Arena<T: Tuple> {
+    chunks: [AtomicU64; NUM_CHUNKS], // raw `*mut Slot<T>` stored as u64
+    /// Tagged Treiber head: `(tag << 32) | index`.
+    free_head: AtomicU64,
+    /// Bump pointer for never-used slots.
+    next_fresh: AtomicU64,
+    allocated_total: AtomicU64,
+    freed_total: AtomicU64,
+    peak_live: AtomicU64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+unsafe impl<T: Tuple> Send for Arena<T> {}
+unsafe impl<T: Tuple> Sync for Arena<T> {}
+
+impl<T: Tuple> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Tuple> Arena<T> {
+    /// Create an empty arena. No chunks are allocated until first use.
+    pub fn new() -> Self {
+        Arena {
+            chunks: std::array::from_fn(|_| AtomicU64::new(0)),
+            free_head: AtomicU64::new(NIL as u64),
+            next_fresh: AtomicU64::new(0),
+            allocated_total: AtomicU64::new(0),
+            freed_total: AtomicU64::new(0),
+            peak_live: AtomicU64::new(0),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Maximum number of slots this arena can ever hold.
+    pub const fn capacity() -> u64 {
+        (BASE as u64) * ((1u64 << NUM_CHUNKS) - 1)
+    }
+
+    #[inline]
+    fn chunk_ptr(&self, chunk: usize) -> *mut Slot<T> {
+        self.chunks[chunk].load(Ordering::Acquire) as *mut Slot<T>
+    }
+
+    /// Get (or lazily install) chunk `chunk`.
+    fn ensure_chunk(&self, chunk: usize) -> *mut Slot<T> {
+        let existing = self.chunk_ptr(chunk);
+        if !existing.is_null() {
+            return existing;
+        }
+        // Build a fresh chunk. Slots are zeroed metadata + uninit values.
+        let len = chunk_len(chunk);
+        let mut v: Vec<Slot<T>> = Vec::with_capacity(len);
+        v.resize_with(len, Slot::new);
+        let boxed: Box<[Slot<T>]> = v.into_boxed_slice();
+        let ptr = Box::into_raw(boxed) as *mut Slot<T>;
+        match self.chunks[chunk].compare_exchange(
+            0,
+            ptr as u64,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => ptr,
+            Err(winner) => {
+                // Lost the install race; drop ours (values are uninit, so
+                // rebuilding the box only frees the raw slot storage).
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)));
+                }
+                winner as *mut Slot<T>
+            }
+        }
+    }
+
+    #[inline]
+    fn slot(&self, id: NodeId) -> &Slot<T> {
+        let (chunk, offset) = locate(id.0);
+        let ptr = self.chunk_ptr(chunk);
+        debug_assert!(!ptr.is_null(), "slot in uninstalled chunk: {id:?}");
+        unsafe { &*ptr.add(offset) }
+    }
+
+    fn pop_free(&self) -> Option<NodeId> {
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            let idx = (head & LOW_MASK) as u32;
+            if idx == NIL {
+                return None;
+            }
+            let tag = head >> 32;
+            let next = self.slot(NodeId(idx)).meta.load(Ordering::Acquire) & LOW_MASK;
+            let new_head = ((tag + 1) << 32) | next;
+            if self
+                .free_head
+                .compare_exchange_weak(head, new_head, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(NodeId(idx));
+            }
+        }
+    }
+
+    fn push_free(&self, id: NodeId, gen: u64) {
+        let slot = self.slot(id);
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            let tag = head >> 32;
+            // Keep the bumped generation; link low bits to the old head.
+            slot.meta
+                .store((gen << GEN_SHIFT) | (head & LOW_MASK), Ordering::Release);
+            let new_head = ((tag + 1) << 32) | id.0 as u64;
+            if self
+                .free_head
+                .compare_exchange_weak(head, new_head, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Allocate a tuple with reference count 1 (owned by the caller).
+    ///
+    /// Ownership convention: any `NodeId` children inside `value` are
+    /// *transferred* to the new tuple — the caller gives up its owned
+    /// reference to each child and must **not** `collect` them. To keep an
+    /// independent reference to a child, call [`Arena::inc`] first.
+    pub fn alloc(&self, value: T) -> NodeId {
+        let id = match self.pop_free() {
+            Some(id) => id,
+            None => {
+                let fresh = self.next_fresh.fetch_add(1, Ordering::Relaxed);
+                assert!(fresh < Self::capacity(), "arena capacity exhausted");
+                let id = NodeId(fresh as u32);
+                let (chunk, _) = locate(id.0);
+                self.ensure_chunk(chunk);
+                id
+            }
+        };
+        let slot = self.slot(id);
+        let gen = (slot.meta.load(Ordering::Acquire) & GEN_MASK) >> GEN_SHIFT;
+        unsafe {
+            (*slot.value.get()).write(value);
+        }
+        // Publish: value write happens-before any Acquire load of the meta.
+        slot.meta
+            .store(OCCUPIED | (gen << GEN_SHIFT) | 1, Ordering::Release);
+        let alloc = self.allocated_total.fetch_add(1, Ordering::Relaxed) + 1;
+        let live = alloc.saturating_sub(self.freed_total.load(Ordering::Relaxed));
+        self.peak_live.fetch_max(live, Ordering::Relaxed);
+        id
+    }
+
+    /// Read a tuple. Panics if the slot has been freed and not reused (a
+    /// deterministic catch for dangling ids); see the crate-level safety
+    /// contract for the reuse caveat.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> &T {
+        let slot = self.slot(id);
+        let meta = slot.meta.load(Ordering::Acquire);
+        assert!(meta & OCCUPIED != 0, "access to freed slot {id:?}");
+        unsafe { (*slot.value.get()).assume_init_ref() }
+    }
+
+    /// Read a tuple without the occupancy check.
+    ///
+    /// # Safety
+    /// The caller must guarantee the slot is occupied, i.e. it holds (or a
+    /// live version transitively holds) an owned reference to `id`.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, id: NodeId) -> &T {
+        let slot = self.slot(id);
+        unsafe { (*slot.value.get()).assume_init_ref() }
+    }
+
+    /// Mutably access a tuple in place.
+    ///
+    /// # Safety
+    /// The caller must own the *only* reference (`rc == 1` and the caller
+    /// owns it), so no concurrent reader can observe the node — this is the
+    /// PAM-style in-place-update fast path used by `mvcc-ftree` during
+    /// write transactions.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn get_mut_unchecked(&self, id: NodeId) -> &mut T {
+        let slot = self.slot(id);
+        debug_assert_eq!(self.rc(id), 1, "in-place mutation of shared node");
+        unsafe { (*slot.value.get()).assume_init_mut() }
+    }
+
+    /// Current reference count of an occupied slot (diagnostics/tests).
+    #[inline]
+    pub fn rc(&self, id: NodeId) -> u32 {
+        let meta = self.slot(id).meta.load(Ordering::Acquire);
+        debug_assert!(meta & OCCUPIED != 0, "rc of freed slot {id:?}");
+        (meta & LOW_MASK) as u32
+    }
+
+    /// Whether the slot is currently occupied.
+    #[inline]
+    pub fn is_occupied(&self, id: NodeId) -> bool {
+        self.slot(id).meta.load(Ordering::Acquire) & OCCUPIED != 0
+    }
+
+    /// Add one owner to `id` (sharing a child between two parents, or
+    /// retaining a version root). Mirrors `Arc::clone`'s relaxed increment:
+    /// the caller already owns a reference, so the node cannot be freed
+    /// concurrently.
+    #[inline]
+    pub fn inc(&self, id: NodeId) {
+        let old = self.slot(id).meta.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(old & OCCUPIED != 0, "inc of freed slot {id:?}");
+        debug_assert!(old & LOW_MASK >= 1, "inc resurrecting dead slot {id:?}");
+    }
+
+    /// Convenience: `inc` on a non-nil optional id.
+    #[inline]
+    pub fn inc_opt(&self, id: OptNodeId) {
+        if let Some(id) = id.get() {
+            self.inc(id);
+        }
+    }
+
+    /// Algorithm 5, iteratively: release one owned reference to `root`;
+    /// if that was the last owner, free the tuple and collect its children.
+    /// Returns the number of tuples freed (the `S` of Theorem 4.2 — total
+    /// work is `O(S + 1)`).
+    pub fn collect(&self, root: NodeId) -> usize {
+        let mut freed = 0usize;
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut cur = Some(root);
+        while let Some(id) = cur.take().or_else(|| stack.pop()) {
+            let slot = self.slot(id);
+            let old = slot.meta.fetch_sub(1, Ordering::Release);
+            debug_assert!(old & OCCUPIED != 0, "collect of freed slot {id:?}");
+            debug_assert!(old & LOW_MASK >= 1, "rc underflow at {id:?}");
+            if old & LOW_MASK == 1 {
+                // Last owner: synchronize with all prior decrements, then
+                // free. (Same fence protocol as `Arc::drop`.)
+                fence(Ordering::Acquire);
+                let gen = ((old & GEN_MASK) >> GEN_SHIFT).wrapping_add(1) & (GEN_MASK >> GEN_SHIFT);
+                unsafe {
+                    let value = (*slot.value.get()).assume_init_mut();
+                    value.for_each_child(&mut |child| stack.push(child));
+                    std::ptr::drop_in_place(value as *mut T);
+                }
+                self.push_free(id, gen);
+                freed += 1;
+            }
+        }
+        if freed > 0 {
+            self.freed_total.fetch_add(freed as u64, Ordering::Relaxed);
+        }
+        freed
+    }
+
+    /// Destructure an exclusively-owned tuple: free the slot and return the
+    /// value by move, *without* touching the children's reference counts
+    /// (their ownership transfers to the caller through the returned value).
+    ///
+    /// This is the fast path of persistent-tree "expose": when a writer
+    /// owns the only reference to a node (`rc == 1`), the node cannot be
+    /// part of any snapshot, so it can be dismantled in place instead of
+    /// path-copied.
+    ///
+    /// Panics if the slot is not occupied with `rc == 1`.
+    pub fn take(&self, id: NodeId) -> T {
+        let slot = self.slot(id);
+        let meta = slot.meta.load(Ordering::Acquire);
+        assert!(meta & OCCUPIED != 0, "take of freed slot {id:?}");
+        assert_eq!(meta & LOW_MASK, 1, "take of shared slot {id:?}");
+        // Exclusive: rc == 1 and the caller owns that reference, so no
+        // other thread can read or modify this slot.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        let gen = ((meta & GEN_MASK) >> GEN_SHIFT).wrapping_add(1) & (GEN_MASK >> GEN_SHIFT);
+        self.push_free(id, gen);
+        self.freed_total.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// [`Arena::collect`] on an optional root; nil is a no-op.
+    #[inline]
+    pub fn collect_opt(&self, root: OptNodeId) -> usize {
+        match root.get() {
+            Some(id) => self.collect(id),
+            None => 0,
+        }
+    }
+
+    /// Number of currently allocated tuples. The *precision* audits compare
+    /// this against the reachable set of the live versions.
+    pub fn live(&self) -> u64 {
+        self.allocated_total
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.freed_total.load(Ordering::Relaxed))
+    }
+
+    /// Total `alloc` calls ever performed.
+    pub fn allocated_total(&self) -> u64 {
+        self.allocated_total.load(Ordering::Relaxed)
+    }
+
+    /// Total tuples ever freed by `collect`.
+    pub fn freed_total(&self) -> u64 {
+        self.freed_total.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the allocation counters.
+    pub fn stats(&self) -> ArenaStats {
+        let allocated_total = self.allocated_total.load(Ordering::Relaxed);
+        let freed_total = self.freed_total.load(Ordering::Relaxed);
+        ArenaStats {
+            allocated_total,
+            freed_total,
+            live: allocated_total.saturating_sub(freed_total),
+            peak_live: self.peak_live.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<T: Tuple> Drop for Arena<T> {
+    fn drop(&mut self) {
+        // Drop any still-occupied values, then free the chunk storage.
+        let fresh = self
+            .next_fresh
+            .load(Ordering::Acquire)
+            .min(Self::capacity());
+        for raw in 0..fresh as u32 {
+            let id = NodeId(raw);
+            let (chunk, offset) = locate(raw);
+            let ptr = self.chunk_ptr(chunk);
+            if ptr.is_null() {
+                continue;
+            }
+            let slot = unsafe { &*ptr.add(offset) };
+            if slot.meta.load(Ordering::Acquire) & OCCUPIED != 0 {
+                unsafe {
+                    std::ptr::drop_in_place((*slot.value.get()).assume_init_mut() as *mut T);
+                }
+            }
+            let _ = id;
+        }
+        for chunk in 0..NUM_CHUNKS {
+            let ptr = self.chunk_ptr(chunk);
+            if !ptr.is_null() {
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        ptr,
+                        chunk_len(chunk),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Leaf;
+    use std::sync::Arc;
+
+    /// A binary tuple with two optional children — the canonical PLM shape.
+    struct Pair {
+        left: OptNodeId,
+        right: OptNodeId,
+        #[allow(dead_code)]
+        payload: u64,
+    }
+
+    impl Tuple for Pair {
+        fn for_each_child(&self, f: &mut dyn FnMut(NodeId)) {
+            if let Some(l) = self.left.get() {
+                f(l);
+            }
+            if let Some(r) = self.right.get() {
+                f(r);
+            }
+        }
+    }
+
+    fn leaf(arena: &Arena<Pair>, payload: u64) -> NodeId {
+        arena.alloc(Pair {
+            left: OptNodeId::NONE,
+            right: OptNodeId::NONE,
+            payload,
+        })
+    }
+
+    #[test]
+    fn locate_math() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(BASE - 1), (0, (BASE - 1) as usize));
+        assert_eq!(locate(BASE), (1, 0));
+        assert_eq!(locate(3 * BASE - 1), (1, (2 * BASE - 1) as usize));
+        assert_eq!(locate(3 * BASE), (2, 0));
+        // Every index in the first few chunks maps to a unique slot.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8 * BASE {
+            assert!(seen.insert(locate(i)), "duplicate slot for index {i}");
+        }
+    }
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let arena: Arena<Leaf<u64>> = Arena::new();
+        let a = arena.alloc(Leaf(41));
+        let b = arena.alloc(Leaf(42));
+        assert_eq!(arena.get(a).0, 41);
+        assert_eq!(arena.get(b).0, 42);
+        assert_eq!(arena.rc(a), 1);
+        assert_eq!(arena.live(), 2);
+    }
+
+    #[test]
+    fn collect_frees_chain() {
+        let arena: Arena<Pair> = Arena::new();
+        // c <- b <- a (a is root)
+        let c = leaf(&arena, 3);
+        let b = arena.alloc(Pair {
+            left: OptNodeId::some(c),
+            right: OptNodeId::NONE,
+            payload: 2,
+        });
+        let a = arena.alloc(Pair {
+            left: OptNodeId::some(b),
+            right: OptNodeId::NONE,
+            payload: 1,
+        });
+        assert_eq!(arena.live(), 3);
+        let freed = arena.collect(a);
+        assert_eq!(freed, 3);
+        assert_eq!(arena.live(), 0);
+        assert!(!arena.is_occupied(a));
+    }
+
+    #[test]
+    fn shared_child_survives_one_parent() {
+        let arena: Arena<Pair> = Arena::new();
+        let shared = leaf(&arena, 9);
+        arena.inc(shared); // second parent's reference
+        let p1 = arena.alloc(Pair {
+            left: OptNodeId::some(shared),
+            right: OptNodeId::NONE,
+            payload: 1,
+        });
+        let p2 = arena.alloc(Pair {
+            left: OptNodeId::some(shared),
+            right: OptNodeId::NONE,
+            payload: 2,
+        });
+        assert_eq!(arena.rc(shared), 2);
+        assert_eq!(arena.collect(p1), 1); // only p1 freed
+        assert!(arena.is_occupied(shared));
+        assert_eq!(arena.rc(shared), 1);
+        assert_eq!(arena.collect(p2), 2); // p2 and shared freed
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn dag_diamond_collects_once() {
+        let arena: Arena<Pair> = Arena::new();
+        let bottom = leaf(&arena, 0);
+        arena.inc(bottom);
+        let l = arena.alloc(Pair {
+            left: OptNodeId::some(bottom),
+            right: OptNodeId::NONE,
+            payload: 1,
+        });
+        let r = arena.alloc(Pair {
+            left: OptNodeId::some(bottom),
+            right: OptNodeId::NONE,
+            payload: 2,
+        });
+        let top = arena.alloc(Pair {
+            left: OptNodeId::some(l),
+            right: OptNodeId::some(r),
+            payload: 3,
+        });
+        assert_eq!(arena.collect(top), 4);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let arena: Arena<Leaf<u64>> = Arena::new();
+        let a = arena.alloc(Leaf(1));
+        let raw = a.index();
+        arena.collect(a);
+        let b = arena.alloc(Leaf(2));
+        assert_eq!(b.index(), raw, "freed slot should be recycled");
+        assert_eq!(arena.get(b).0, 2);
+        assert_eq!(arena.stats().allocated_total, 2);
+        assert_eq!(arena.stats().freed_total, 1);
+        assert_eq!(arena.stats().live, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "access to freed slot")]
+    fn get_after_free_panics() {
+        let arena: Arena<Leaf<u64>> = Arena::new();
+        let a = arena.alloc(Leaf(1));
+        arena.collect(a);
+        let _ = arena.get(a);
+    }
+
+    #[test]
+    fn values_drop_on_free_and_arena_drop() {
+        struct Probe(Arc<std::sync::atomic::AtomicU64>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let arena: Arena<Leaf<Probe>> = Arena::new();
+        let a = arena.alloc(Leaf(Probe(drops.clone())));
+        let _b = arena.alloc(Leaf(Probe(drops.clone())));
+        arena.collect(a);
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        drop(arena); // _b still occupied: dropped with the arena
+        assert_eq!(drops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        let arena: Arena<Pair> = Arena::new();
+        let mut cur = leaf(&arena, 0);
+        for i in 1..200_000u64 {
+            cur = arena.alloc(Pair {
+                left: OptNodeId::some(cur),
+                right: OptNodeId::NONE,
+                payload: i,
+            });
+        }
+        assert_eq!(arena.collect(cur), 200_000);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn peak_live_tracks_high_water() {
+        let arena: Arena<Leaf<u64>> = Arena::new();
+        let ids: Vec<_> = (0..100).map(|i| arena.alloc(Leaf(i))).collect();
+        for id in ids {
+            arena.collect(id);
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.live, 0);
+        assert_eq!(stats.peak_live, 100);
+    }
+
+    #[test]
+    fn concurrent_alloc_collect_stress() {
+        let arena: Arc<Arena<Pair>> = Arc::new(Arena::new());
+        let threads = 4;
+        let per_thread = 2_000;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let arena = &arena;
+                s.spawn(move || {
+                    let mut roots = Vec::new();
+                    for i in 0..per_thread {
+                        let l = leaf(arena, i);
+                        let r = leaf(arena, i + 1);
+                        let p = arena.alloc(Pair {
+                            left: OptNodeId::some(l),
+                            right: OptNodeId::some(r),
+                            payload: t as u64,
+                        });
+                        roots.push(p);
+                        if i % 3 == 0 {
+                            if let Some(old) = roots.pop() {
+                                arena.collect(old);
+                            }
+                        }
+                    }
+                    for r in roots {
+                        arena.collect(r);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.live(), 0, "stress must end with empty arena");
+        assert_eq!(arena.allocated_total(), arena.freed_total());
+    }
+
+    #[test]
+    fn cross_chunk_allocation() {
+        let arena: Arena<Leaf<u32>> = Arena::new();
+        let n = 3 * BASE + 7; // spans three chunks
+        let ids: Vec<_> = (0..n).map(|i| arena.alloc(Leaf(i))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(arena.get(*id).0 as usize, i);
+        }
+        for id in ids {
+            arena.collect(id);
+        }
+        assert_eq!(arena.live(), 0);
+    }
+}

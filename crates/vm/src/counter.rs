@@ -1,0 +1,59 @@
+//! Live-version accounting shared by all VM implementations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts versions created (successful `set`s plus the initial version) and
+/// versions handed back for collection. `uncollected()` is the "number of
+/// live versions" series that Table 2 and Figure 6 report (for imprecise
+/// algorithms it additionally counts retired-but-not-yet-collected
+/// versions, which is exactly the quantity the paper measures).
+#[derive(Debug, Default)]
+pub struct VersionCounter {
+    created: AtomicU64,
+    collected: AtomicU64,
+}
+
+impl VersionCounter {
+    /// Counter starting at one created version (the initial version).
+    pub fn with_initial() -> Self {
+        let c = VersionCounter::default();
+        c.created.fetch_add(1, Ordering::Relaxed);
+        c
+    }
+
+    /// Record a successful `set` (a new version exists).
+    #[inline]
+    pub fn created(&self) {
+        self.created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` versions returned for collection.
+    #[inline]
+    pub fn collected(&self, n: u64) {
+        self.collected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Versions created and not yet returned (includes the current one).
+    #[inline]
+    pub fn uncollected(&self) -> u64 {
+        self.created
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.collected.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let c = VersionCounter::with_initial();
+        assert_eq!(c.uncollected(), 1);
+        c.created();
+        c.created();
+        assert_eq!(c.uncollected(), 3);
+        c.collected(2);
+        assert_eq!(c.uncollected(), 1);
+    }
+}

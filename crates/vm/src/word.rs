@@ -1,0 +1,143 @@
+//! Single-word packings for Algorithm 4.
+//!
+//! The paper's PSWF algorithm CASes three record types — `Version
+//! {timestamp, index}`, `Announcement {version, help}` and `VersionStatus
+//! {version, status}` — each of which must be a single atomic word for the
+//! algorithm's CAS steps to be primitive. We pack all three into a `u64`:
+//!
+//! ```text
+//! bits  0..16 : slot index           (P ≤ 21844, since |S| = 3P+1 < 2^16)
+//! bits 16..61 : timestamp            (45 bits; 2^45 successful sets)
+//! bits 61..63 : status               (usable / pending / frozen)
+//! bit  63     : help flag            (announcements only)
+//! ```
+//!
+//! A *version value* occupies the low 61 bits; announcements add the help
+//! bit; status records add the 2-bit status. The distinguished `EMPTY`
+//! version is `(timestamp = 0, index = 0xFFFF)` — unreachable for real
+//! versions because timestamps start at 1 and indices are `< 3P+1 < 0xFFFF`.
+//!
+//! Uniqueness (why a 45-bit timestamp + index identifies a version): V's
+//! timestamp strictly increases across successful sets (Lemma B.1 — no two
+//! are concurrent, each adds exactly 1), and an aborted candidate's
+//! timestamp `V.ts + 1` strictly exceeds every already-dead version's
+//! timestamp, so candidate words never collide with collectable versions.
+
+/// Number of bits for the slot index.
+pub const IDX_BITS: u32 = 16;
+/// Mask of the index field.
+pub const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+/// Shift of the timestamp field.
+pub const TS_SHIFT: u32 = IDX_BITS;
+/// Number of timestamp bits.
+pub const TS_BITS: u32 = 45;
+/// Mask of the (shifted) timestamp field.
+pub const TS_MASK: u64 = ((1 << TS_BITS) - 1) << TS_SHIFT;
+/// Mask of a full version value (timestamp + index).
+pub const VER_MASK: u64 = TS_MASK | IDX_MASK;
+/// Shift of the status field.
+pub const STATUS_SHIFT: u32 = 61;
+/// Mask of the status field.
+pub const STATUS_MASK: u64 = 0b11 << STATUS_SHIFT;
+/// Help flag (announcement words).
+pub const HELP: u64 = 1 << 63;
+
+/// `VStatus::usable` — no release in progress; the version may be in use.
+pub const USABLE: u64 = 0 << STATUS_SHIFT;
+/// `VStatus::pending` — one releaser is scanning/helping.
+pub const PENDING: u64 = 1 << STATUS_SHIFT;
+/// `VStatus::frozen` — no new process can ever commit this version.
+pub const FROZEN: u64 = 2 << STATUS_SHIFT;
+
+/// The ⟨⊥,⊥⟩ version.
+pub const EMPTY_VER: u64 = IDX_MASK; // ts = 0, index = 0xFFFF
+
+/// An unoccupied status slot: ⟨empty, usable⟩.
+pub const EMPTY_USABLE: u64 = EMPTY_VER | USABLE;
+
+/// An idle announcement: ⟨empty, help = false⟩.
+pub const EMPTY_ANNOUNCE: u64 = EMPTY_VER;
+
+/// Build a version value from a timestamp and slot index.
+#[inline]
+pub fn pack_ver(ts: u64, index: usize) -> u64 {
+    debug_assert!(ts < (1 << TS_BITS), "timestamp overflow");
+    debug_assert!((index as u64) < IDX_MASK, "index overflow");
+    (ts << TS_SHIFT) | index as u64
+}
+
+/// Extract the version value (drop help/status bits).
+#[inline]
+pub fn ver_of(word: u64) -> u64 {
+    word & VER_MASK
+}
+
+/// Extract the timestamp of a version value.
+#[inline]
+pub fn ts_of(word: u64) -> u64 {
+    (word & TS_MASK) >> TS_SHIFT
+}
+
+/// Extract the slot index of a version value.
+#[inline]
+pub fn idx_of(word: u64) -> usize {
+    (word & IDX_MASK) as usize
+}
+
+/// Extract the status bits of a status word.
+#[inline]
+pub fn status_of(word: u64) -> u64 {
+    word & STATUS_MASK
+}
+
+/// Does an announcement word have the help flag raised?
+#[inline]
+pub fn has_help(word: u64) -> bool {
+    word & HELP != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (ts, idx) in [(1u64, 0usize), (2, 13), ((1 << TS_BITS) - 1, 0xFFFE)] {
+            let v = pack_ver(ts, idx);
+            assert_eq!(ts_of(v), ts);
+            assert_eq!(idx_of(v), idx);
+            assert_eq!(ver_of(v), v);
+        }
+    }
+
+    #[test]
+    fn empty_is_distinct_from_real_versions() {
+        // Real versions have ts >= 1 and idx < 0xFFFF.
+        let real = pack_ver(1, 0);
+        assert_ne!(real, EMPTY_VER);
+        assert_eq!(ts_of(EMPTY_VER), 0);
+        assert_eq!(idx_of(EMPTY_VER), 0xFFFF);
+    }
+
+    #[test]
+    fn flags_do_not_clobber_version() {
+        let v = pack_ver(77, 5);
+        assert_eq!(ver_of(v | HELP), v);
+        assert_eq!(ver_of(v | FROZEN), v);
+        assert!(has_help(v | HELP));
+        assert!(!has_help(v));
+        assert_eq!(status_of(v | PENDING), PENDING);
+        assert_eq!(status_of(v | FROZEN), FROZEN);
+        assert_eq!(status_of(v), USABLE);
+    }
+
+    #[test]
+    fn status_values_are_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for s in [USABLE, PENDING, FROZEN] {
+            assert!(set.insert(s));
+        }
+        // HELP bit does not alias status bits.
+        assert_eq!(HELP & STATUS_MASK, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Synthetic document corpus for the inverted-index experiment (Table 3).
+//!
+//! The paper indexes a Wikipedia dump (8.13M documents, 1.6·10⁹ word-doc
+//! pairs); offline we substitute a generator that preserves the properties
+//! the experiment exercises (see DESIGN.md):
+//!
+//! * term frequencies follow a Zipf law → posting-list lengths are heavily
+//!   skewed (a few huge lists, a long tail of tiny ones);
+//! * document lengths are skewed as well (Zipf-ish);
+//! * each (term, document) pair carries a weight used for ranking.
+
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// A document: a set of distinct term ids with weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Document identifier.
+    pub id: u64,
+    /// Distinct `(term, weight)` pairs.
+    pub terms: Vec<(u64, u64)>,
+}
+
+/// Corpus generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Vocabulary size (number of distinct terms).
+    pub vocabulary: u64,
+    /// Zipf skew of term popularity.
+    pub term_theta: f64,
+    /// Minimum distinct terms per document.
+    pub min_terms: usize,
+    /// Maximum distinct terms per document.
+    pub max_terms: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            vocabulary: 50_000,
+            term_theta: 0.8,
+            min_terms: 10,
+            max_terms: 200,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A stream of synthetic documents.
+pub struct Corpus {
+    cfg: CorpusConfig,
+    terms: Zipf,
+    rng: rand::rngs::StdRng,
+    next_id: u64,
+}
+
+impl Corpus {
+    /// Build a corpus generator.
+    pub fn new(cfg: CorpusConfig) -> Self {
+        use rand::SeedableRng;
+        Corpus {
+            terms: Zipf::new(cfg.vocabulary, cfg.term_theta),
+            rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
+            next_id: 0,
+            cfg,
+        }
+    }
+
+    /// Generate the next document.
+    pub fn next_doc(&mut self) -> Document {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Skewed document length: inverse-power-law over the configured
+        // range.
+        let span = (self.cfg.max_terms - self.cfg.min_terms).max(1);
+        let u: f64 = self.rng.gen::<f64>().max(1e-9);
+        let len = self.cfg.min_terms + ((u.powf(2.0)) * span as f64) as usize;
+        let mut terms: Vec<(u64, u64)> = Vec::with_capacity(len);
+        let mut seen = std::collections::HashSet::with_capacity(len * 2);
+        while terms.len() < len {
+            let t = self.terms.sample(&mut self.rng);
+            if seen.insert(t) {
+                // Weight: per-pair relevance in [1, 1000].
+                let w = self.rng.gen_range(1..=1000u64);
+                terms.push((t, w));
+            }
+        }
+        Document { id, terms }
+    }
+
+    /// Generate `n` documents.
+    pub fn take(&mut self, n: usize) -> Vec<Document> {
+        (0..n).map(|_| self.next_doc()).collect()
+    }
+
+    /// Two frequent terms usable as an "and"-query with non-trivial
+    /// intersection (the paper "carefully chooses query terms such that
+    /// the output is reasonably valid").
+    pub fn query_terms(&mut self) -> (u64, u64) {
+        // Popular ranks have the longest posting lists.
+        let a = self.terms.sample(&mut self.rng) % 50;
+        let mut b = self.terms.sample(&mut self.rng) % 50;
+        if b == a {
+            b = (a + 1) % 50;
+        }
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_have_distinct_terms_and_increasing_ids() {
+        let mut c = Corpus::new(CorpusConfig::default());
+        let docs = c.take(50);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(d.id, i as u64);
+            let mut ts: Vec<u64> = d.terms.iter().map(|(t, _)| *t).collect();
+            let n = ts.len();
+            ts.sort_unstable();
+            ts.dedup();
+            assert_eq!(ts.len(), n, "duplicate terms in doc {i}");
+            assert!(n >= 10);
+        }
+    }
+
+    #[test]
+    fn term_popularity_is_skewed() {
+        let mut c = Corpus::new(CorpusConfig {
+            vocabulary: 1000,
+            ..CorpusConfig::default()
+        });
+        let mut counts = std::collections::HashMap::<u64, u32>::new();
+        for d in c.take(300) {
+            for (t, _) in d.terms {
+                *counts.entry(t).or_default() += 1;
+            }
+        }
+        let hot = counts.get(&0).copied().unwrap_or(0);
+        let cold = counts.get(&900).copied().unwrap_or(0);
+        assert!(
+            hot > cold,
+            "term 0 should dominate term 900 ({hot} vs {cold})"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Corpus::new(CorpusConfig::default()).take(5);
+        let b = Corpus::new(CorpusConfig::default()).take(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_terms_distinct() {
+        let mut c = Corpus::new(CorpusConfig::default());
+        for _ in 0..100 {
+            let (a, b) = c.query_terms();
+            assert_ne!(a, b);
+        }
+    }
+}

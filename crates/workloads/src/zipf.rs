@@ -1,0 +1,166 @@
+//! Zipfian distribution over `0..n` — the skewed access pattern YCSB uses
+//! "to mimic real-world access patterns" (§7.2).
+//!
+//! Implementation follows Gray et al., "Quickly Generating Billion-Record
+//! Synthetic Databases" (the algorithm YCSB itself uses): constant-time
+//! sampling after an O(n) zeta precomputation.
+
+use rand::Rng;
+
+/// Zipfian sampler over `0..n` with skew `theta` (0 < theta < 1; YCSB
+/// default 0.99). Item 0 is the most popular.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Precompute the sampler for `n` items with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1);
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// YCSB's default skew.
+    pub fn ycsb(n: u64) -> Self {
+        Self::new(n, 0.99)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for the sizes we use; the generators are constructed
+        // once per run.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `0..n` (0 = hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Zipfian sampler whose ranks are scattered over the key space with a
+/// Fibonacci-hash scramble, so hot keys are not adjacent (YCSB's
+/// "scrambled zipfian").
+#[derive(Debug, Clone)]
+pub struct ScrambledZipf {
+    inner: Zipf,
+}
+
+impl ScrambledZipf {
+    /// Sampler over `0..n` with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        ScrambledZipf {
+            inner: Zipf::new(n, theta),
+        }
+    }
+
+    /// YCSB's default skew.
+    pub fn ycsb(n: u64) -> Self {
+        ScrambledZipf {
+            inner: Zipf::ycsb(n),
+        }
+    }
+
+    /// Draw a key in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let rank = self.inner.sample(rng);
+        // Splitmix-style scramble, folded back into range.
+        let mut x = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 31;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x % self.inner.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [1u64, 2, 10, 1000] {
+            let z = Zipf::ycsb(n);
+            for _ in 0..1000 {
+                assert!(z.sample(&mut rng) < n);
+            }
+            let s = ScrambledZipf::ycsb(n);
+            for _ in 0..1000 {
+                assert!(s.sample(&mut rng) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_small_ranks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let z = Zipf::new(100_000, 0.99);
+        let trials = 50_000;
+        let hot = (0..trials)
+            .filter(|_| z.sample(&mut rng) < 100) // top 0.1% of keys
+            .count();
+        // Under θ=0.99 the head carries a large fraction; uniform would
+        // give ~50 hits.
+        assert!(hot > trials / 10, "only {hot}/{trials} hits in hot set");
+    }
+
+    #[test]
+    fn rank_frequencies_decrease() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let z = Zipf::new(1000, 0.9);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts[0] > 10 * counts[500].max(1));
+    }
+
+    #[test]
+    fn scramble_spreads_hot_keys() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let s = ScrambledZipf::new(1_000_000, 0.99);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(s.sample(&mut rng));
+        }
+        // Hot keys must not cluster at the low end of the space.
+        let low = seen.iter().filter(|k| **k < 1000).count();
+        assert!(
+            low < seen.len() / 4,
+            "{low} of {} keys clustered",
+            seen.len()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Bank-ledger demo: long-running *auditor* transactions scan thousands of
+//! accounts while tellers commit transfers at full speed.
+//!
+//! This is the scenario where the paper's design dominates: under RCU the
+//! slow auditors would block every transfer (writers wait for readers);
+//! under epoch reclamation they would pin unbounded garbage. With PSWF the
+//! auditors are delay-free, the writer keeps its O(P) delay, and each old
+//! version is collected the moment its last auditor finishes.
+//!
+//! ```sh
+//! cargo run --release --example bank_audit
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use multiversion::prelude::*;
+
+const ACCOUNTS: u64 = 50_000;
+const TOTAL: u64 = ACCOUNTS * 100;
+
+fn main() {
+    let auditors = 3usize;
+    let db: Arc<Database<SumU64Map>> = Arc::new(Database::new(auditors + 1));
+
+    db.write(0, |f, base| {
+        let init: Vec<(u64, u64)> = (0..ACCOUNTS).map(|k| (k, 100)).collect();
+        (f.multi_insert(base, init, |_o, v| *v), ())
+    });
+    println!("ledger: {ACCOUNTS} accounts x 100 = {TOTAL}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let transfers = Arc::new(AtomicU64::new(0));
+    let audits = Arc::new(AtomicU64::new(0));
+    let max_versions = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Auditors: full O(n) scans — deliberately *slow* readers.
+        for a in 0..auditors {
+            let db = db.clone();
+            let stop = stop.clone();
+            let audits = audits.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let (sum, count) = db.read(a + 1, |snap| {
+                        let mut sum = 0u64;
+                        let mut count = 0u64;
+                        snap.for_each(|_, v| {
+                            sum += v;
+                            count += 1;
+                        });
+                        (sum, count)
+                    });
+                    assert_eq!(count, ACCOUNTS, "auditor {a} saw a partial ledger");
+                    assert_eq!(sum, TOTAL, "auditor {a} caught money leaking!");
+                    audits.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Teller: random transfers, never blocked by the auditors.
+        let mut rng_state = 0x243F6A8885A308D3u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
+        while std::time::Instant::now() < deadline {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            let from = rng_state % ACCOUNTS;
+            let to = (rng_state >> 21) % ACCOUNTS;
+            if from == to {
+                continue;
+            }
+            db.write(0, |f, base| {
+                let a = *f.get(base, &from).unwrap();
+                let b = *f.get(base, &to).unwrap();
+                let moved = a.min(10);
+                let t = f.insert(base, from, a - moved);
+                let t = f.insert(t, to, b + moved);
+                (t, ())
+            });
+            transfers.fetch_add(1, Ordering::Relaxed);
+            max_versions.fetch_max(db.live_versions(), Ordering::Relaxed);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let final_total = db.read(1, |s| s.aug_total());
+    println!(
+        "teller committed {} transfers while {} full audits ran",
+        transfers.load(Ordering::Relaxed),
+        audits.load(Ordering::Relaxed)
+    );
+    println!(
+        "max live versions during run: {} (bounded by auditors + writer + 1)",
+        max_versions.load(Ordering::Relaxed)
+    );
+    println!("final total: {final_total} (invariant held)");
+    assert_eq!(final_total, TOTAL);
+    assert_eq!(
+        db.live_versions(),
+        1,
+        "precise GC: only the current version"
+    );
+}

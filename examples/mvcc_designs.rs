@@ -1,0 +1,113 @@
+//! Comparing the two ways to build a multiversion store — the paper's
+//! functional-tree system against the mainstream version-list design —
+//! on the scenario the paper's introduction opens with: an analytical
+//! reader that takes a *long* time over one snapshot while a writer
+//! streams updates.
+//!
+//! Both designs give the reader a consistent snapshot. The difference
+//! this example makes visible:
+//!
+//! * under version lists, every version that commits while the analyst
+//!   is pinned piles up on the chains, and the analyst's own lookups get
+//!   slower the longer it looks (delay ∝ uncollected versions);
+//! * under the paper's system, the analyst's per-lookup cost never
+//!   changes, and the instant it finishes, precise GC reclaims every
+//!   superseded tuple at once.
+//!
+//! ```sh
+//! cargo run --release --example mvcc_designs
+//! ```
+
+use std::time::Instant;
+
+use multiversion::prelude::*;
+use multiversion::vlist::VersionListMap;
+
+const KEYS: u64 = 256;
+const COMMITS_WHILE_PINNED: u64 = 2_000;
+
+fn main() {
+    println!(
+        "== scenario: analyst pins a snapshot; writer commits {COMMITS_WHILE_PINNED} updates ==\n"
+    );
+    version_list_design();
+    println!();
+    paper_design();
+}
+
+fn version_list_design() {
+    let m = VersionListMap::new(2);
+    for k in 0..KEYS {
+        m.insert(k, k);
+    }
+    m.vacuum();
+
+    // Analyst pins a snapshot (pid 1); writer keeps committing.
+    let snap = m.begin_read(1);
+    let fresh_hops = probe_hops(&m, &snap);
+    for i in 0..COMMITS_WHILE_PINNED {
+        m.insert(i % KEYS, i);
+        if i % 64 == 0 {
+            m.vacuum(); // the pinned analyst holds the horizon back
+        }
+    }
+    let stale_hops = probe_hops(&m, &snap);
+    let live = m.stats().live_versions;
+
+    let t0 = Instant::now();
+    let mut sum = 0u64;
+    for k in 0..KEYS {
+        sum += m.get_at(&snap, k).unwrap();
+    }
+    let scan = t0.elapsed();
+    m.end_read(snap);
+    let (_, freed) = m.vacuum();
+
+    println!("version lists (mvcc-vlist):");
+    println!("  analyst lookup cost:  {fresh_hops} hops fresh -> {stale_hops} hops after pile-up");
+    println!("  full scan of the pinned snapshot: {scan:?} (sum {sum})");
+    println!("  versions alive while pinned: {live} (chains must be walked past all of them)");
+    println!("  vacuum after release: freed {freed} versions by re-scanning every chain");
+}
+
+fn probe_hops(m: &VersionListMap<u64>, t: &multiversion::vlist::ReadTicket) -> u64 {
+    (0..8).map(|k| m.get_at_counted(t, k).1).max().unwrap_or(0)
+}
+
+fn paper_design() {
+    let db: Database<SumU64Map> = Database::new(2);
+    db.write(0, |f, base| {
+        let init: Vec<(u64, u64)> = (0..KEYS).map(|k| (k, k)).collect();
+        (f.multi_insert(base, init, |_o, v| *v), ())
+    });
+
+    // Analyst pins a snapshot (pid 1) via a read guard; writer commits.
+    let guard = db.begin_read(1);
+    let t0 = Instant::now();
+    let sum_before: u64 = guard.snapshot().aug_total();
+    let fresh = t0.elapsed();
+
+    for i in 0..COMMITS_WHILE_PINNED {
+        db.write(0, |f, base| (f.insert(base, i % KEYS, i), ()));
+    }
+
+    let live_versions = db.live_versions();
+    let live_tuples = db.forest().arena().live();
+    let t0 = Instant::now();
+    let sum_after: u64 = guard.snapshot().aug_total();
+    let stale = t0.elapsed();
+    assert_eq!(sum_before, sum_after, "snapshot must not move");
+
+    drop(guard); // analyst done -> precise GC reclaims instantly
+    let after_release = db.forest().arena().live();
+
+    println!("functional tree + PSWF (the paper):");
+    println!("  analyst query cost:   {fresh:?} fresh -> {stale:?} after pile-up (same tree walk)");
+    println!("  versions alive while pinned: {live_versions} (snapshot + current, never chains)");
+    println!("  tuples live while pinned: {live_tuples}");
+    println!(
+        "  tuples live after analyst releases: {after_release} \
+         (precise GC, O(freed) work, zero scans)"
+    );
+    assert_eq!(db.live_versions(), 1);
+}

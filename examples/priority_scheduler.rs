@@ -1,0 +1,130 @@
+//! A transactional priority scheduler built on the *generic* transaction
+//! wrapper — showing that the paper's framework is not tied to ordered
+//! maps: any purely functional structure whose versions are arena roots
+//! gets delay-free snapshot readers, atomic commits and precise GC.
+//!
+//! Several submitter threads enqueue jobs into a persistent leftist
+//! min-heap (keyed by deadline); one dispatcher pops the most urgent job
+//! transactionally; monitor threads concurrently take consistent
+//! snapshots of the whole backlog (its size and next deadline) without
+//! ever blocking anyone.
+//!
+//! ```sh
+//! cargo run --release --example priority_scheduler
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use multiversion::fds::{Heap, VersionedCell};
+
+/// (deadline, job id) — ordered by deadline, id breaks ties.
+type Job = (u64, u64);
+
+fn main() {
+    const SUBMITTERS: usize = 2;
+    const JOBS_PER_SUBMITTER: u64 = 2_000;
+    // pids: 0..SUBMITTERS submit, SUBMITTERS dispatches, +1 monitors.
+    let cell = Arc::new(VersionedCell::new(Heap::<Job>::new(), SUBMITTERS + 2));
+    let done_submitting = Arc::new(AtomicBool::new(false));
+    let dispatched = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // --- Submitters: one write transaction per job ------------------
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|w| {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    let mut seed = (w as u64 + 1) * 0x9e3779b97f4a7c15;
+                    for i in 0..JOBS_PER_SUBMITTER {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        let deadline = seed % 1_000_000;
+                        let id = (w as u64) << 32 | i;
+                        cell.write(w, |heap, base| (heap.insert(base, (deadline, id)), ()));
+                    }
+                })
+            })
+            .collect();
+
+        // --- Dispatcher: pop the most urgent job, transactionally -------
+        let d_cell = Arc::clone(&cell);
+        let d_done = Arc::clone(&done_submitting);
+        let d_count = Arc::clone(&dispatched);
+        s.spawn(move || {
+            let mut last_deadline_served = 0u64;
+            let mut out_of_order = 0u64;
+            loop {
+                let job = d_cell.write(SUBMITTERS, |heap, base| heap.pop_min(base));
+                match job {
+                    Some((deadline, _id)) => {
+                        // Urgency inversions can only come from jobs that
+                        // were submitted after we already served a later
+                        // deadline — count them for the report.
+                        if deadline < last_deadline_served {
+                            out_of_order += 1;
+                        }
+                        last_deadline_served = last_deadline_served.max(deadline);
+                        d_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        if d_done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            println!(
+                "dispatcher: served {} jobs ({} arrived after a later deadline was served)",
+                d_count.load(Ordering::Relaxed),
+                out_of_order
+            );
+        });
+
+        // --- Monitor: delay-free snapshots of the whole backlog ---------
+        let m_cell = Arc::clone(&cell);
+        let m_done = Arc::clone(&done_submitting);
+        s.spawn(move || {
+            let mut samples = 0u64;
+            let mut max_backlog = 0usize;
+            while !m_done.load(Ordering::Relaxed) {
+                let (len, next) = m_cell.read(SUBMITTERS + 1, |heap, root| {
+                    (heap.len(root), heap.peek_min(root).copied())
+                });
+                // A consistent snapshot: a non-empty backlog always has a
+                // next deadline.
+                assert_eq!(len == 0, next.is_none(), "torn snapshot");
+                max_backlog = max_backlog.max(len);
+                samples += 1;
+            }
+            println!("monitor: {samples} snapshots, peak backlog {max_backlog}");
+        });
+
+        for h in submitters {
+            h.join().unwrap();
+        }
+        done_submitting.store(true, Ordering::Relaxed);
+    });
+
+    let total = SUBMITTERS as u64 * JOBS_PER_SUBMITTER;
+    let remaining = cell.read(0, |heap, root| heap.len(root));
+    println!(
+        "submitted {total}, dispatched {}, remaining {remaining}",
+        dispatched.load(Ordering::Relaxed)
+    );
+    assert_eq!(dispatched.load(Ordering::Relaxed) + remaining as u64, total);
+    println!(
+        "commits {} / aborts {} (each abort was a concurrent commit)",
+        cell.commits(),
+        cell.aborts()
+    );
+    // Precise GC: only the current version's nodes are live.
+    println!(
+        "arena: {} tuples live of {} allocated",
+        cell.structure().arena().live(),
+        cell.structure().arena().allocated_total()
+    );
+    assert_eq!(cell.live_versions(), 1);
+}

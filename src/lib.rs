@@ -1,0 +1,64 @@
+//! # multiversion — Multiversion Concurrency with Bounded Delay and
+//! Precise Garbage Collection
+//!
+//! A complete Rust implementation of Ben-David, Blelloch, Sun & Wei's
+//! SPAA 2019 system: delay-free snapshot readers, an O(P)-delay single
+//! writer (lock-free multi-writer), and garbage collection that reclaims
+//! every version the instant its last transaction completes.
+//!
+//! This crate is an umbrella re-exporting the workspace's public API:
+//!
+//! * [`plm`] — the reference-counted tuple arena (PLM memory model);
+//! * [`vm`] — the Version Maintenance problem: PSWF (Algorithm 4), PSLF,
+//!   hazard-pointer, epoch and RCU solutions;
+//! * [`ftree`] — persistent augmented balanced trees with join-based
+//!   parallel bulk operations (the PAM equivalent);
+//! * [`core`] — the transactional framework of Figure 1 plus the
+//!   Appendix F batching writer;
+//! * [`fds`] — more functional structures (stack, queue, leftist heap)
+//!   and a structure-agnostic transaction wrapper;
+//! * [`index`] — the §7.2 weighted inverted-index application;
+//! * [`vlist`] — the version-list MVCC baseline the paper argues
+//!   against (per-key chains, scan-based vacuum), for measured contrast;
+//! * [`baselines`] — concurrent comparator structures (Figure 7);
+//! * [`workloads`] — YCSB/Zipfian/corpus generators and the throughput
+//!   harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multiversion::core::Database;
+//! use multiversion::ftree::SumU64Map;
+//!
+//! // A map with a range-sum augmentation, for up to 4 processes.
+//! let db: Database<SumU64Map> = Database::new(4);
+//!
+//! // Write transactions commit new immutable versions.
+//! db.insert(0, 10, 100);
+//! db.insert(0, 20, 200);
+//!
+//! // Read transactions are delay-free snapshot queries.
+//! let sum = db.read(1, |snap| snap.aug_range(&0, &50));
+//! assert_eq!(sum, 300);
+//!
+//! // Precision: in quiescence exactly one version is live.
+//! assert_eq!(db.live_versions(), 1);
+//! ```
+
+pub use mvcc_baselines as baselines;
+pub use mvcc_core as core;
+pub use mvcc_fds as fds;
+pub use mvcc_ftree as ftree;
+pub use mvcc_index as index;
+pub use mvcc_plm as plm;
+pub use mvcc_vlist as vlist;
+pub use mvcc_vm as vm;
+pub use mvcc_workloads as workloads;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use mvcc_core::{BatchWriter, Database, MapOp, Snapshot};
+    pub use mvcc_ftree::{Forest, MaxU64Map, SumU64Map, TreeParams, U64Map};
+    pub use mvcc_index::InvertedIndex;
+    pub use mvcc_vm::{VersionMaintenance, VmKind};
+}

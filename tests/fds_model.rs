@@ -1,0 +1,234 @@
+//! Property-based model checking for the `mvcc-fds` structures.
+//!
+//! Each persistent structure is driven by a random operation sequence
+//! against its obvious sequential model (`Vec`, `VecDeque`,
+//! `BinaryHeap`), with two extra obligations the models do not have:
+//!
+//! * **persistence** — randomly retained snapshots must still equal the
+//!   model state captured at retention time, no matter what happens
+//!   after;
+//! * **precision** — once every snapshot is released, the arena must
+//!   hold exactly the tuples of the final version (Definition 2.1).
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use multiversion::fds::{Heap, Queue, Stack};
+use multiversion::plm::OptNodeId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+    /// Retain the current version as a snapshot.
+    Snap,
+    /// Release the oldest retained snapshot.
+    Unsnap,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u64>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        1 => Just(Op::Snap),
+        1 => Just(Op::Unsnap),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn stack_matches_vec_with_snapshots(ops in prop::collection::vec(op(), 1..120)) {
+        let s: Stack<u64> = Stack::new();
+        let mut cur = s.empty();
+        let mut model: Vec<u64> = Vec::new();
+        // (snapshot root, model state at retention)
+        let mut snaps: VecDeque<(OptNodeId, Vec<u64>)> = VecDeque::new();
+
+        for o in ops {
+            match o {
+                Op::Push(v) => {
+                    cur = s.push(cur, v);
+                    model.push(v);
+                }
+                Op::Pop => {
+                    let (rest, v) = s.pop(cur);
+                    cur = rest;
+                    prop_assert_eq!(v, model.pop());
+                }
+                Op::Snap => {
+                    s.retain(cur);
+                    snaps.push_back((cur, model.clone()));
+                }
+                Op::Unsnap => {
+                    if let Some((root, at)) = snaps.pop_front() {
+                        let mut got = s.to_vec(root);
+                        got.reverse(); // to_vec is top-first
+                        prop_assert_eq!(&got, &at, "snapshot drifted");
+                        s.release(root);
+                    }
+                }
+            }
+            // Live snapshots stay exact mid-run too.
+            if let Some((root, at)) = snaps.front() {
+                prop_assert_eq!(s.len(*root), at.len());
+            }
+        }
+        // Final state matches; then precision once everything releases.
+        let mut got = s.to_vec(cur);
+        got.reverse();
+        prop_assert_eq!(&got, &model);
+        for (root, at) in snaps.drain(..) {
+            let mut g = s.to_vec(root);
+            g.reverse();
+            prop_assert_eq!(&g, &at);
+            s.release(root);
+        }
+        s.release(cur);
+        prop_assert_eq!(s.arena().live(), 0, "precision: all tuples freed");
+    }
+
+    #[test]
+    fn queue_matches_vecdeque_with_snapshots(ops in prop::collection::vec(op(), 1..120)) {
+        let q: Queue<u64> = Queue::new();
+        let mut cur = q.empty();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut snaps: Vec<(OptNodeId, Vec<u64>)> = Vec::new();
+
+        for o in ops {
+            match o {
+                Op::Push(v) => {
+                    cur = q.enqueue(cur, v);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    let (rest, v) = q.dequeue(cur);
+                    cur = rest;
+                    prop_assert_eq!(v, model.pop_front());
+                }
+                Op::Snap => {
+                    q.retain(cur);
+                    snaps.push((cur, model.iter().copied().collect()));
+                }
+                Op::Unsnap => {
+                    if let Some((root, at)) = snaps.pop() {
+                        prop_assert_eq!(q.to_vec(root), at, "snapshot drifted");
+                        q.release(root);
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(cur), model.len());
+        }
+        prop_assert_eq!(q.to_vec(cur), model.iter().copied().collect::<Vec<_>>());
+        for (root, at) in snaps.drain(..) {
+            prop_assert_eq!(q.to_vec(root), at);
+            q.release(root);
+        }
+        q.release(cur);
+        prop_assert_eq!(q.arena().live(), 0, "precision: all tuples freed");
+    }
+
+    #[test]
+    fn heap_matches_binaryheap_with_snapshots(ops in prop::collection::vec(op(), 1..120)) {
+        let h: Heap<u64> = Heap::new();
+        let mut cur = h.empty();
+        let mut model: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+        let mut snaps: Vec<(OptNodeId, usize, Option<u64>)> = Vec::new();
+
+        for o in ops {
+            match o {
+                Op::Push(v) => {
+                    cur = h.insert(cur, v);
+                    model.push(std::cmp::Reverse(v));
+                }
+                Op::Pop => {
+                    let (rest, v) = h.pop_min(cur);
+                    cur = rest;
+                    prop_assert_eq!(v, model.pop().map(|r| r.0));
+                }
+                Op::Snap => {
+                    h.retain(cur);
+                    snaps.push((cur, model.len(), model.peek().map(|r| r.0)));
+                }
+                Op::Unsnap => {
+                    if let Some((root, len, min)) = snaps.pop() {
+                        prop_assert_eq!(h.len(root), len);
+                        prop_assert_eq!(h.peek_min(root).copied(), min);
+                        h.check_invariants(root).map_err(|e| {
+                            TestCaseError::fail(format!("heap invariant: {e}"))
+                        })?;
+                        h.release(root);
+                    }
+                }
+            }
+            prop_assert_eq!(h.peek_min(cur).copied(), model.peek().map(|r| r.0));
+        }
+        // Full drain comes out sorted and matches the model multiset.
+        let mut drained = Vec::new();
+        loop {
+            let (rest, v) = h.pop_min(cur);
+            cur = rest;
+            match v {
+                Some(v) => drained.push(v),
+                None => break,
+            }
+        }
+        let mut expect: Vec<u64> = model.into_iter().map(|r| r.0).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(drained, expect);
+        for (root, _, _) in snaps.drain(..) {
+            h.release(root);
+        }
+        prop_assert_eq!(h.arena().live(), 0, "precision: all tuples freed");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Version-list map against a timestamped reference: every historical
+    /// snapshot (not just the latest) must replay exactly.
+    #[test]
+    fn vlist_snapshots_replay_history(
+        ops in prop::collection::vec((0u64..32, any::<u16>()), 1..100),
+        probe_keys in prop::collection::vec(0u64..32, 4),
+    ) {
+        use multiversion::vlist::VersionListMap;
+        use std::collections::BTreeMap;
+
+        let m = VersionListMap::new(1);
+        // history[i] = model state after i+1 commits
+        let mut history: Vec<BTreeMap<u64, u64>> = Vec::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, v) in &ops {
+            if *v % 5 == 0 {
+                m.remove(*k);
+                model.remove(k);
+            } else {
+                m.insert(*k, *v as u64);
+                model.insert(*k, *v as u64);
+            }
+            history.push(model.clone());
+        }
+        // Probe a few historical timestamps via time-travel tickets —
+        // the map's commit_ts counts 1.. in lockstep with `history`.
+        for (i, snap) in history.iter().enumerate().step_by(7) {
+            let ts = i as u64 + 1;
+            for k in &probe_keys {
+                let t = m.begin_read_at(0, ts);
+                prop_assert_eq!(m.get_at(&t, *k), snap.get(k).copied(),
+                    "key {} at ts {}", k, ts);
+                m.end_read(t);
+            }
+        }
+        // After a vacuum with no readers, only the newest survives and
+        // current reads are unchanged.
+        m.vacuum();
+        let t = m.begin_read(0);
+        for k in 0..32u64 {
+            prop_assert_eq!(m.get_at(&t, k), model.get(&k).copied());
+        }
+        m.end_read(t);
+    }
+}

@@ -1,0 +1,275 @@
+//! Property-based tests: the transactional map, the functional tree's
+//! bulk algebra, and the batching writer are all checked against
+//! `BTreeMap` models over arbitrary operation sequences.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use multiversion::core::{BatchWriter, Database, MapOp};
+use multiversion::ftree::{Forest, SumU64Map, U64Map};
+use multiversion::vm::VmKind;
+
+#[derive(Debug, Clone)]
+enum DbOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    RangeSum(u64, u64),
+    MultiInsert(Vec<(u64, u64)>),
+    MultiRemove(Vec<u64>),
+}
+
+fn db_op() -> impl Strategy<Value = DbOp> {
+    let key = 0u64..64;
+    let val = 0u64..1000;
+    prop_oneof![
+        (key.clone(), val.clone()).prop_map(|(k, v)| DbOp::Insert(k, v)),
+        key.clone().prop_map(DbOp::Remove),
+        key.clone().prop_map(DbOp::Get),
+        (key.clone(), key.clone()).prop_map(|(a, b)| DbOp::RangeSum(a.min(b), a.max(b))),
+        prop::collection::vec((key.clone(), val), 0..20).prop_map(DbOp::MultiInsert),
+        prop::collection::vec(key, 0..20).prop_map(DbOp::MultiRemove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The transactional database behaves exactly like a sequential
+    /// BTreeMap for any op sequence, under every VM algorithm, and ends
+    /// with a spotless arena.
+    #[test]
+    fn database_matches_btreemap(ops in prop::collection::vec(db_op(), 1..80)) {
+        for kind in VmKind::ALL {
+            let db: Database<SumU64Map, _> = Database::with_kind(kind, 2);
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for op in &ops {
+                match op {
+                    DbOp::Insert(k, v) => {
+                        db.insert(0, *k, *v);
+                        model.insert(*k, *v);
+                    }
+                    DbOp::Remove(k) => {
+                        let got = db.remove(0, k);
+                        prop_assert_eq!(got, model.remove(k), "{:?}", kind);
+                    }
+                    DbOp::Get(k) => {
+                        prop_assert_eq!(db.get(1, k), model.get(k).copied(), "{:?}", kind);
+                    }
+                    DbOp::RangeSum(lo, hi) => {
+                        let got = db.read(1, |s| s.aug_range(lo, hi));
+                        let want: u64 = model.range(lo..=hi).map(|(_, v)| *v).sum();
+                        prop_assert_eq!(got, want, "{:?}", kind);
+                    }
+                    DbOp::MultiInsert(batch) => {
+                        let b = batch.clone();
+                        db.write(0, |f, base| (f.multi_insert(base, b.clone(), |_o, v| *v), ()));
+                        for (k, v) in batch {
+                            model.insert(*k, *v);
+                        }
+                    }
+                    DbOp::MultiRemove(keys) => {
+                        let ks = keys.clone();
+                        db.write(0, |f, base| (f.multi_remove(base, ks.clone()), ()));
+                        for k in keys {
+                            model.remove(k);
+                        }
+                    }
+                }
+            }
+            let got = db.read(1, |s| s.to_vec());
+            let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want, "{:?}", kind);
+            // Precise algorithms end with exactly the current footprint.
+            if kind.is_precise() {
+                prop_assert_eq!(db.live_versions(), 1, "{:?}", kind);
+                prop_assert_eq!(
+                    db.forest().arena().live(),
+                    model.len() as u64,
+                    "{:?}",
+                    kind
+                );
+            }
+        }
+    }
+
+    /// Set algebra on the functional tree: union/intersection/difference
+    /// agree with the model, inputs stay intact, and nothing leaks.
+    #[test]
+    fn bulk_set_algebra(
+        a in prop::collection::btree_map(0u64..128, 0u64..100, 0..60),
+        b in prop::collection::btree_map(0u64..128, 0u64..100, 0..60),
+    ) {
+        let f: Forest<U64Map> = Forest::new();
+        let av: Vec<(u64, u64)> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        let bv: Vec<(u64, u64)> = b.iter().map(|(k, v)| (*k, *v)).collect();
+        let ta = f.build_sorted(&av);
+        let tb = f.build_sorted(&bv);
+
+        // union (b wins)
+        f.retain(ta);
+        f.retain(tb);
+        let tu = f.union(ta, tb);
+        let mut mu = a.clone();
+        mu.extend(b.iter().map(|(k, v)| (*k, *v)));
+        prop_assert_eq!(f.to_vec(tu), mu.into_iter().collect::<Vec<_>>());
+
+        // intersection (sum values)
+        f.retain(ta);
+        f.retain(tb);
+        let ti = f.intersection_with(ta, tb, |x, y| x + y);
+        let mi: Vec<(u64, u64)> = a
+            .iter()
+            .filter_map(|(k, v)| b.get(k).map(|w| (*k, v + w)))
+            .collect();
+        prop_assert_eq!(f.to_vec(ti), mi);
+
+        // difference
+        let td = f.difference(ta, tb);
+        let md: Vec<(u64, u64)> = a
+            .iter()
+            .filter(|(k, _)| !b.contains_key(k))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(f.to_vec(td), md);
+
+        f.check_invariants(tu);
+        f.check_invariants(ti);
+        f.check_invariants(td);
+        f.release(tu);
+        f.release(ti);
+        f.release(td);
+        prop_assert_eq!(f.arena().live(), 0);
+    }
+
+    /// Split/join2 round-trips: for any tree and pivot,
+    /// `join2(split(t, k))` equals `t` minus `k`.
+    #[test]
+    fn split_join_roundtrip(
+        entries in prop::collection::btree_map(0u64..256, 0u64..100, 0..80),
+        pivot in 0u64..256,
+    ) {
+        let f: Forest<U64Map> = Forest::new();
+        let v: Vec<(u64, u64)> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        let t = f.build_sorted(&v);
+        let (l, m, r) = f.split(t, &pivot);
+        prop_assert_eq!(m.map(|(k, _)| k), entries.get(&pivot).map(|_| pivot));
+        let joined = f.join2(l, r);
+        let want: Vec<(u64, u64)> = entries
+            .iter()
+            .filter(|(k, _)| **k != pivot)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(f.to_vec(joined), want);
+        f.check_invariants(joined);
+        f.release(joined);
+        prop_assert_eq!(f.arena().live(), 0);
+    }
+
+    /// The batching writer applies any submission pattern equivalently to
+    /// a sequential last-writer-wins replay.
+    #[test]
+    fn batch_writer_matches_replay(
+        batches in prop::collection::vec(
+            prop::collection::vec((0u64..32, 0u64..100, prop::bool::ANY), 0..12),
+            1..8
+        ),
+    ) {
+        let db: Database<U64Map> = Database::new(1);
+        let bw: BatchWriter<U64Map> = BatchWriter::new(1, 256);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for batch in &batches {
+            for (k, v, is_insert) in batch {
+                if *is_insert {
+                    bw.submit(0, MapOp::Insert(*k, *v)).unwrap();
+                    model.insert(*k, *v);
+                } else {
+                    bw.submit(0, MapOp::Remove(*k)).unwrap();
+                    model.remove(k);
+                }
+            }
+            bw.combine(&db, 0);
+        }
+        let got = db.read(0, |s| s.to_vec());
+        prop_assert_eq!(got, model.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(db.live_versions(), 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Rank/range operations agree with the BTreeMap model: split_rank
+    /// partitions by order statistics, range_tree/remove_range use
+    /// inclusive bounds, symmetric_difference is the set XOR — and every
+    /// path leaves a spotless arena.
+    #[test]
+    fn range_ops_match_model(
+        entries in prop::collection::btree_map(0u64..200, 0u64..100, 0..70),
+        i in 0usize..80,
+        bounds in (0u64..200, 0u64..200),
+        other in prop::collection::btree_map(0u64..200, 0u64..100, 0..70),
+    ) {
+        let f: Forest<U64Map> = Forest::new();
+        let ev: Vec<(u64, u64)> = entries.iter().map(|(k, v)| (*k, *v)).collect();
+        let (lo, hi) = (bounds.0.min(bounds.1), bounds.0.max(bounds.1));
+
+        // split_rank
+        let t = f.build_sorted(&ev);
+        let (a, b) = f.split_rank(t, i);
+        let cut = i.min(ev.len());
+        prop_assert_eq!(f.to_vec(a), ev[..cut].to_vec());
+        prop_assert_eq!(f.to_vec(b), ev[cut..].to_vec());
+        f.release(a);
+        f.release(b);
+        prop_assert_eq!(f.arena().live(), 0);
+
+        // range_tree (inclusive)
+        let t = f.build_sorted(&ev);
+        let sub = f.range_tree(t, &lo, &hi);
+        let msub: Vec<(u64, u64)> = entries
+            .range(lo..=hi)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(f.to_vec(sub), msub);
+        f.release(sub);
+        prop_assert_eq!(f.arena().live(), 0);
+
+        // remove_range (inclusive)
+        let t = f.build_sorted(&ev);
+        let t = f.remove_range(t, &lo, &hi);
+        let mrem: Vec<(u64, u64)> = entries
+            .iter()
+            .filter(|(k, _)| **k < lo || **k > hi)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(f.to_vec(t), mrem);
+        f.check_invariants(t);
+        f.release(t);
+        prop_assert_eq!(f.arena().live(), 0);
+
+        // symmetric_difference
+        let ov: Vec<(u64, u64)> = other.iter().map(|(k, v)| (*k, *v)).collect();
+        let ta = f.build_sorted(&ev);
+        let tb = f.build_sorted(&ov);
+        let ts = f.symmetric_difference(ta, tb);
+        let msym: Vec<(u64, u64)> = entries
+            .iter()
+            .filter(|(k, _)| !other.contains_key(k))
+            .map(|(k, v)| (*k, *v))
+            .chain(
+                other
+                    .iter()
+                    .filter(|(k, _)| !entries.contains_key(k))
+                    .map(|(k, v)| (*k, *v)),
+            )
+            .collect::<std::collections::BTreeMap<u64, u64>>()
+            .into_iter()
+            .collect();
+        prop_assert_eq!(f.to_vec(ts), msym);
+        f.check_invariants(ts);
+        f.release(ts);
+        prop_assert_eq!(f.arena().live(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based model checking of PSWF/PSLF against a direct
+//! implementation of the Version Maintenance **sequential specification**
+//! (§3 / Appendix A).
+//!
+//! When operations never overlap, a linearizable object must agree with
+//! its sequential specification *exactly* — including which `set`s
+//! succeed and precisely which release returns each dead version. Random
+//! multi-process interleavings (sequentially executed) drive both the
+//! real algorithm and the model through thousands of schedules,
+//! exercising slot claiming/recycling, the usable→pending→frozen status
+//! protocol, and abort paths that unit tests hit only pointwise.
+
+use multiversion::vm::{PslfVm, PswfVm, VersionMaintenance};
+use proptest::prelude::*;
+
+/// Reference implementation of the sequential specification.
+struct SpecVm {
+    processes: usize,
+    current: u64,
+    /// Per process: the version acquired and not yet released.
+    acquired: Vec<Option<u64>>,
+    /// Versions already handed back (sanity: never twice).
+    collected: Vec<u64>,
+}
+
+impl SpecVm {
+    fn new(processes: usize, initial: u64) -> Self {
+        SpecVm {
+            processes,
+            current: initial,
+            acquired: vec![None; processes],
+            collected: Vec::new(),
+        }
+    }
+
+    fn acquire(&mut self, k: usize) -> u64 {
+        assert!(self.acquired[k].is_none());
+        self.acquired[k] = Some(self.current);
+        self.current
+    }
+
+    /// Sequential `set` must succeed iff the current version is still the
+    /// one `k` acquired (no successful set intervened).
+    fn set(&mut self, k: usize, data: u64) -> bool {
+        if self.acquired[k] == Some(self.current) {
+            self.current = data;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Precise release: returns the released version iff this process was
+    /// its last holder and it is no longer current.
+    fn release(&mut self, k: usize) -> Vec<u64> {
+        let v = self.acquired[k].take().expect("release without acquire");
+        let still_held = (0..self.processes).any(|q| self.acquired[q] == Some(v));
+        if v != self.current && !still_held {
+            self.collected.push(v);
+            vec![v]
+        } else {
+            vec![]
+        }
+    }
+
+    fn live_versions(&self) -> u64 {
+        let mut live: Vec<u64> = self
+            .acquired
+            .iter()
+            .flatten()
+            .copied()
+            .chain(std::iter::once(self.current))
+            .collect();
+        live.sort_unstable();
+        live.dedup();
+        live.len() as u64
+    }
+}
+
+/// One scheduled step: which process moves, and whether it tries a `set`
+/// before its release (when it is that process's turn to choose).
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    pid: usize,
+    wants_set: bool,
+}
+
+fn steps(processes: usize) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0..processes, any::<bool>()).prop_map(|(pid, wants_set)| Step { pid, wants_set }),
+        1..400,
+    )
+}
+
+/// Drive `vm` and the model through the same schedule, asserting
+/// agreement at every step. Each process cycles acquire → (set)? →
+/// release, taking one phase per scheduled step.
+fn check_against_spec(vm: &impl VersionMaintenance, processes: usize, schedule: &[Step]) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Phase {
+        Idle,
+        Holding { will_set: bool, has_set: bool },
+    }
+    let mut spec = SpecVm::new(processes, 0);
+    let mut phase = vec![Phase::Idle; processes];
+    let mut next_token = 1u64;
+    let mut out = Vec::new();
+
+    for step in schedule {
+        let k = step.pid;
+        match phase[k] {
+            Phase::Idle => {
+                let got = vm.acquire(k);
+                let want = spec.acquire(k);
+                assert_eq!(got, want, "acquire({k}) diverged from spec");
+                phase[k] = Phase::Holding {
+                    will_set: step.wants_set,
+                    has_set: false,
+                };
+            }
+            Phase::Holding {
+                will_set: true,
+                has_set: false,
+            } => {
+                let tok = next_token;
+                next_token += 1;
+                let got = vm.set(k, tok);
+                let want = spec.set(k, tok);
+                assert_eq!(got, want, "set({k}, {tok}) success diverged from spec");
+                phase[k] = Phase::Holding {
+                    will_set: true,
+                    has_set: true,
+                };
+            }
+            Phase::Holding { .. } => {
+                out.clear();
+                vm.release(k, &mut out);
+                let want = spec.release(k);
+                assert_eq!(out, want, "release({k}) returned wrong versions");
+                phase[k] = Phase::Idle;
+            }
+        }
+        assert_eq!(vm.current(), spec.current, "current version diverged");
+    }
+
+    // Drain: finish every open transaction, still in lockstep.
+    for (k, ph) in phase.iter().enumerate() {
+        if let Phase::Holding { .. } = ph {
+            out.clear();
+            vm.release(k, &mut out);
+            let want = spec.release(k);
+            assert_eq!(out, want, "drain release({k}) diverged");
+        }
+    }
+    assert_eq!(
+        vm.uncollected_versions(),
+        spec.live_versions(),
+        "quiescent live-version count diverged"
+    );
+    // Precision invariant of the spec itself: no token collected twice.
+    let mut c = spec.collected.clone();
+    c.sort_unstable();
+    c.dedup();
+    assert_eq!(c.len(), spec.collected.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pswf_matches_sequential_spec(schedule in steps(4)) {
+        check_against_spec(&PswfVm::new(4, 0), 4, &schedule);
+    }
+
+    #[test]
+    fn pslf_matches_sequential_spec(schedule in steps(4)) {
+        check_against_spec(&PslfVm::new(4, 0), 4, &schedule);
+    }
+
+    #[test]
+    fn pswf_two_processes_tight(schedule in steps(2)) {
+        check_against_spec(&PswfVm::new(2, 0), 2, &schedule);
+    }
+
+    #[test]
+    fn pswf_many_processes(schedule in steps(8)) {
+        check_against_spec(&PswfVm::new(8, 0), 8, &schedule);
+    }
+}
