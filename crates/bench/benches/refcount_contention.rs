@@ -1,22 +1,34 @@
-//! Criterion microbenchmark for §4's reference-count contention remark:
-//! fetch-and-add counters vs a dynamic non-zero indicator (SNZI, [2]).
+//! Contention microbenchmarks for the allocator and refcount hot paths.
 //!
-//! The workload is the hot pattern of the garbage collector's counts:
-//! every thread repeatedly "arrives" (a parent starts sharing a tuple)
-//! and "departs" (a collect drops one owner), and the only question ever
-//! asked is *is the count zero?* With a single fetch-and-add word all
-//! P threads serialize on one cache line; with a SNZI each thread's
+//! **Arena alloc/free sweep** — the de-serialization the sharded arena
+//! buys. Each thread runs alloc/free churn (a 64-node working set,
+//! mimicking a writer's path-copy-then-collect cycle) at thread counts
+//! {1, 2, 4, 8} under three allocator configurations:
+//!
+//! * `single_shard` — `Arena::with_shards(1)`: the classic one-freelist
+//!   allocator every thread serializes on (the pre-sharding baseline);
+//! * `pinned` — sharded arena, each thread pinned to its own shard:
+//!   the fast path, zero cross-thread traffic;
+//! * `stealing` — sharded arena where each thread frees into an odd
+//!   shard no thread allocates from, so every thread's own freelist
+//!   stays permanently dry and (once the first fresh block drains)
+//!   every allocation exercises the sibling-steal scan.
+//!
+//! Results are printed and written to `BENCH_arena.json` in the repo
+//! root so successive PRs accumulate a perf trajectory.
+//!
+//! **SNZI vs fetch-and-add** — §4's reference-count contention remark:
+//! every thread repeatedly "arrives" and "departs" and the only question
+//! ever asked is *is the count zero?* With a single fetch-and-add word
+//! all P threads serialize on one cache line; with a SNZI each thread's
 //! traffic stays on its own leaf and only 0↔nonzero transitions climb.
-//!
-//! Expected shape: at 1 thread the plain counter wins (it is one
-//! instruction); as threads grow the SNZI's per-op cost stays near-flat
-//! while the fetch-and-add line degrades.
 
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mvcc_plm::Snzi;
+use criterion::{BenchmarkId, Criterion, Throughput};
+use mvcc_plm::{Arena, Leaf, NodeId, Snzi};
 
 const OPS_PER_THREAD: u64 = 10_000;
 
@@ -84,12 +96,158 @@ fn bench_counters(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
+// ---------------------------------------------------------------------
+// Arena alloc/free sweep
+// ---------------------------------------------------------------------
+
+const ARENA_PAIRS_PER_THREAD: u64 = 100_000;
+const WORKING_SET: usize = 64;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    SingleShard,
+    Pinned,
+    Stealing,
+}
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::SingleShard => "single_shard",
+            Variant::Pinned => "pinned",
+            Variant::Stealing => "stealing",
+        }
+    }
+}
+
+/// Run `threads` workers of alloc/free churn; returns pairs/second.
+fn arena_churn(variant: Variant, threads: usize) -> f64 {
+    let arena: Arc<Arena<Leaf<u64>>> = Arc::new(match variant {
+        Variant::SingleShard => Arena::with_shards(1),
+        _ => Arena::with_shards(2 * threads.max(1)),
+    });
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let elapsed = std::thread::scope(|s| {
+        for t in 0..threads {
+            let arena = Arc::clone(&arena);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let alloc_ctx = arena.ctx_for(2 * t);
+                // Stealing: free into an odd shard. Threads only ever
+                // allocate from even shards, so no freelist a thread owns
+                // is ever replenished — once the first fresh block
+                // drains, every allocation runs the sibling-steal scan
+                // to recover the slots parked on the odd shards.
+                let free_ctx = match variant {
+                    Variant::Stealing => arena.ctx_for(2 * t + 1),
+                    _ => alloc_ctx,
+                };
+                let mut held: Vec<NodeId> = Vec::with_capacity(WORKING_SET);
+                barrier.wait();
+                for i in 0..ARENA_PAIRS_PER_THREAD {
+                    held.push(arena.alloc_in(alloc_ctx, Leaf(i)));
+                    if held.len() == WORKING_SET {
+                        for id in held.drain(..) {
+                            arena.collect_in(free_ctx, id);
+                        }
+                    }
+                }
+                for id in held {
+                    arena.collect_in(free_ctx, id);
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        barrier.wait();
+        start.elapsed()
+    });
+    assert_eq!(arena.live(), 0, "churn must end empty");
+    (threads as u64 * ARENA_PAIRS_PER_THREAD) as f64 / elapsed.as_secs_f64()
+}
+
+fn bench_arena_sweep() -> String {
+    let thread_counts = [1usize, 2, 4, 8];
+    let variants = [Variant::SingleShard, Variant::Pinned, Variant::Stealing];
+    let mut rates: Vec<(Variant, Vec<(usize, f64)>)> = Vec::new();
+    println!("arena_alloc_free sweep ({ARENA_PAIRS_PER_THREAD} pairs/thread, working set {WORKING_SET}):");
+    for variant in variants {
+        let mut per_threads = Vec::new();
+        for &threads in &thread_counts {
+            let rate = arena_churn(variant, threads);
+            println!(
+                "bench  arena_alloc_free/{}/{threads:<2} {rate:>14.0} pairs/s",
+                variant.name()
+            );
+            per_threads.push((threads, rate));
+        }
+        rates.push((variant, per_threads));
+    }
+
+    // Hand-rolled JSON (no serde in the shim set).
+    let mut json = String::from("{\n  \"bench\": \"arena_alloc_free\",\n");
+    json.push_str(&format!(
+        "  \"pairs_per_thread\": {ARENA_PAIRS_PER_THREAD},\n  \"working_set\": {WORKING_SET},\n"
+    ));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str("  \"variants\": {\n");
+    for (vi, (variant, per_threads)) in rates.iter().enumerate() {
+        json.push_str(&format!("    \"{}\": {{", variant.name()));
+        for (ti, (threads, rate)) in per_threads.iter().enumerate() {
+            if ti > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!("\"{threads}\": {rate:.0}"));
+        }
+        json.push('}');
+        json.push_str(if vi + 1 < rates.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
+    let rate_of = |v: Variant, t: usize| {
+        rates
+            .iter()
+            .find(|(var, _)| *var == v)
+            .and_then(|(_, r)| r.iter().find(|(th, _)| *th == t))
+            .map_or(0.0, |(_, r)| *r)
+    };
+    let baseline8 = rate_of(Variant::SingleShard, 8);
+    let pinned8 = rate_of(Variant::Pinned, 8);
+    json.push_str(&format!(
+        "  \"speedup_pinned_vs_single_shard_8t\": {:.3},\n",
+        if baseline8 > 0.0 {
+            pinned8 / baseline8
+        } else {
+            0.0
+        }
+    ));
+    let baseline1 = rate_of(Variant::SingleShard, 1);
+    let pinned1 = rate_of(Variant::Pinned, 1);
+    json.push_str(&format!(
+        "  \"ratio_pinned_vs_single_shard_1t\": {:.3}\n}}\n",
+        if baseline1 > 0.0 {
+            pinned1 / baseline1
+        } else {
+            0.0
+        }
+    ));
+    json
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_millis(800))
         .warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_counters
+    bench_counters(&mut criterion);
+
+    let json = bench_arena_sweep();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_arena.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
 }
-criterion_main!(benches);

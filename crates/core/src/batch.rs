@@ -185,6 +185,11 @@ impl<P: TreeParams> BatchWriter<P> {
     /// single combiner the transaction commits on the first attempt
     /// (single-writer, O(P) delay).
     pub fn combine<M: VersionMaintenance>(&self, db: &Database<P, M>, pid: usize) -> usize {
+        // Pin the combiner to one arena shard for the whole batch: every
+        // node the parallel bulk build allocates, and every tuple the
+        // displaced version's collection frees, goes through a single
+        // freelist instead of contending with the producers' shards.
+        let _shard_pin = db.forest().arena().pin(db.alloc_ctx(pid));
         // Drain phase: take a snapshot of each queue's current contents.
         let mut drained: Vec<(usize, Vec<MapOp<P>>)> = Vec::with_capacity(self.buffers.len());
         let mut total = 0usize;

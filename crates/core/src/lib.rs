@@ -35,7 +35,7 @@ pub mod batch;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mvcc_ftree::{Forest, OptNodeId, Root, TreeParams};
+use mvcc_ftree::{AllocCtx, Forest, OptNodeId, Root, TreeParams};
 use mvcc_vm::{PswfVm, VersionMaintenance, VmKind};
 
 pub use batch::{BatchWriter, MapOp, SubmitError};
@@ -141,6 +141,15 @@ impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
         self.vmo.uncollected_versions()
     }
 
+    /// The arena allocation context for process `pid` — one shard per
+    /// process id, stable across threads. Use with
+    /// [`Database::write_in`] (or [`mvcc_ftree::Forest::with_ctx`]) to
+    /// keep a logical writer's path-copying and collection on one
+    /// allocator shard even when a thread pool migrates it.
+    pub fn alloc_ctx(&self, pid: usize) -> AllocCtx {
+        self.forest.ctx_for(pid)
+    }
+
     /// Release tokens returned by the VM and precisely collect their trees.
     fn collect_released(&self, released: &mut Vec<u64>) {
         for tok in released.drain(..) {
@@ -192,6 +201,19 @@ impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
                 None => continue,
             }
         }
+    }
+
+    /// [`Database::write`] with allocation pinned to an explicit arena
+    /// shard: the user code's path copies, the commit bookkeeping and
+    /// the precise collection of displaced versions all route through
+    /// `ctx`'s freelist.
+    pub fn write_in<R>(
+        &self,
+        pid: usize,
+        ctx: AllocCtx,
+        f: impl FnMut(&Forest<P>, Root) -> (Root, R),
+    ) -> R {
+        self.forest.with_ctx(ctx, || self.write(pid, f))
     }
 
     /// Run a write transaction without retrying. Returns `Err(Aborted)` if

@@ -14,7 +14,7 @@
 use crate::forest::Forest;
 use crate::node::Root;
 use crate::params::TreeParams;
-use mvcc_plm::OptNodeId;
+use mvcc_plm::{AllocCtx, OptNodeId};
 
 /// Below this many total entries, recursion stays sequential.
 const PAR_CUTOFF: usize = 2048;
@@ -210,6 +210,42 @@ impl<P: TreeParams> Forest<P> {
         keys.sort();
         keys.dedup();
         self.remove_sorted(t, &keys)
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit-context variants
+    // ------------------------------------------------------------------
+    //
+    // The bulk operations are exactly where a batching writer allocates
+    // in anger; these variants pin the calling thread to one arena shard
+    // for the whole operation (workers spawned by `rayon::join` that run
+    // on other threads fall back to their own affine shards, which is
+    // the desired behaviour — one shard per allocating thread).
+
+    /// [`Forest::union`] through an explicit allocation context.
+    pub fn union_in(&self, ctx: AllocCtx, a: Root, b: Root) -> Root {
+        self.with_ctx(ctx, || self.union(a, b))
+    }
+
+    /// [`Forest::build_sorted`] through an explicit allocation context.
+    pub fn build_sorted_in(&self, ctx: AllocCtx, items: &[(P::K, P::V)]) -> Root {
+        self.with_ctx(ctx, || self.build_sorted(items))
+    }
+
+    /// [`Forest::multi_insert`] through an explicit allocation context.
+    pub fn multi_insert_in(
+        &self,
+        ctx: AllocCtx,
+        t: Root,
+        batch: Vec<(P::K, P::V)>,
+        combine: impl Fn(&P::V, &P::V) -> P::V + Sync,
+    ) -> Root {
+        self.with_ctx(ctx, || self.multi_insert(t, batch, combine))
+    }
+
+    /// [`Forest::multi_remove`] through an explicit allocation context.
+    pub fn multi_remove_in(&self, ctx: AllocCtx, t: Root, keys: Vec<P::K>) -> Root {
+        self.with_ctx(ctx, || self.multi_remove(t, keys))
     }
 
     fn remove_sorted(&self, t: Root, keys: &[P::K]) -> Root {

@@ -1,7 +1,7 @@
 //! The `Forest`: an arena of persistent trees plus the join-based core
 //! (`join`, `split`, `insert`, `remove`) every other operation is built on.
 
-use mvcc_plm::{Arena, NodeId, OptNodeId};
+use mvcc_plm::{AllocCtx, Arena, NodeId, OptNodeId};
 
 use crate::node::{Node, Root};
 use crate::params::TreeParams;
@@ -33,6 +33,49 @@ impl<P: TreeParams> Forest<P> {
     /// The underlying arena (statistics, advanced use).
     pub fn arena(&self) -> &Arena<Node<P>> {
         &self.arena
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation contexts (sharded arena)
+    // ------------------------------------------------------------------
+    //
+    // Node allocation goes through the calling thread's arena shard by
+    // default; a writer that batches many updates (or a harness driving
+    // one logical process across threads) can pin one shard over a whole
+    // operation so every path-copied node and every collected slot stays
+    // on a single freelist.
+
+    /// The calling thread's allocation context.
+    pub fn alloc_ctx(&self) -> AllocCtx {
+        self.arena.ctx()
+    }
+
+    /// A deterministic context (e.g. one per process or producer id).
+    pub fn ctx_for(&self, seed: usize) -> AllocCtx {
+        self.arena.ctx_for(seed)
+    }
+
+    /// Run `f` with all allocation and collection on this thread routed
+    /// through `ctx`'s shard — no parameter threading through recursive
+    /// tree code required.
+    pub fn with_ctx<R>(&self, ctx: AllocCtx, f: impl FnOnce() -> R) -> R {
+        self.arena.with_ctx(ctx, f)
+    }
+
+    /// [`Forest::insert`] through an explicit allocation context.
+    pub fn insert_in(&self, ctx: AllocCtx, t: Root, key: P::K, value: P::V) -> Root {
+        self.with_ctx(ctx, || self.insert(t, key, value))
+    }
+
+    /// [`Forest::remove`] through an explicit allocation context.
+    pub fn remove_in(&self, ctx: AllocCtx, t: Root, key: &P::K) -> (Root, Option<P::V>) {
+        self.with_ctx(ctx, || self.remove(t, key))
+    }
+
+    /// [`Forest::release`] through an explicit allocation context: the
+    /// freed tuples land on `ctx`'s shard freelist.
+    pub fn release_in(&self, ctx: AllocCtx, root: Root) -> usize {
+        self.with_ctx(ctx, || self.release(root))
     }
 
     /// The empty map.
@@ -513,6 +556,28 @@ mod tests {
         assert_eq!(f.aug_total(t), expected);
         f.check_invariants(t);
         f.release(t);
+    }
+
+    #[test]
+    fn ctx_variants_match_default_paths() {
+        let f: Forest<U64Map> = Forest::new();
+        let ctx = f.ctx_for(1);
+        let mut t = f.empty();
+        for k in [5u64, 3, 8, 1, 9] {
+            t = f.insert_in(ctx, t, k, k * 10);
+        }
+        f.check_invariants(t);
+        assert_eq!(f.get(t, &8), Some(&80));
+        let (t2, removed) = f.remove_in(ctx, t, &8);
+        assert_eq!(removed, Some(80));
+        f.check_invariants(t2);
+        let batch: Vec<(u64, u64)> = (100..150u64).map(|k| (k, k)).collect();
+        let t3 = f.multi_insert_in(ctx, t2, batch, |_o, n| *n);
+        assert_eq!(f.size(t3), 54);
+        let t4 = f.multi_remove_in(ctx, t3, (100..150u64).collect());
+        assert_eq!(f.size(t4), 4);
+        f.release_in(ctx, t4);
+        assert_eq!(f.arena().live(), 0);
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub use iter::{Iter, RangeIter};
 pub use node::{Node, Root};
 pub use params::{CountAug, MaxU64Map, SumU64Map, TreeParams, U64Map};
 
-pub use mvcc_plm::{Arena, NodeId, OptNodeId};
+pub use mvcc_plm::{AllocCtx, Arena, NodeId, OptNodeId};

@@ -1,13 +1,49 @@
-//! Lock-free chunked slab with atomic reference counts.
+//! Sharded lock-free chunked slab with atomic reference counts.
 //!
-//! Layout: slots live in up to [`NUM_CHUNKS`] chunks whose sizes double
-//! (`BASE`, `2*BASE`, `4*BASE`, …). Chunks are installed lazily with a
-//! single CAS and are never moved or freed until the arena drops, so a
-//! `&T` handed out by [`Arena::get`] stays valid storage for the arena's
-//! lifetime regardless of concurrent allocation. Freed slots recycle
-//! through a tagged Treiber stack (the tag defeats ABA on the head).
+//! ## Slot storage
 //!
-//! Per-slot metadata packs into one `AtomicU64`:
+//! Slots live in up to [`NUM_CHUNKS`] chunks whose sizes double (`BASE`,
+//! `2*BASE`, `4*BASE`, …). Chunks are installed lazily with a single CAS
+//! and are never moved or freed until the arena drops, so a `&T` handed
+//! out by [`Arena::get`] stays valid storage for the arena's lifetime
+//! regardless of concurrent allocation. A [`NodeId`] is a stable 4-byte
+//! index into this (global, shard-agnostic) id space.
+//!
+//! ## Sharded allocation
+//!
+//! Every transactional write path-copies O(log n) tree nodes and precise
+//! GC frees them one by one, so allocator throughput bounds system
+//! throughput. A single freelist head serializes every thread in the
+//! process on one cache line; this arena therefore splits the allocator
+//! into `S` independent **shards** (a power of two, default ≈ 2× the
+//! core count), each with
+//!
+//! * its own tagged Treiber freelist head (the tag defeats ABA), and
+//! * its own **fresh window** — a block of never-used ids carved from
+//!   the global bump cursor [`FRESH_BLOCK`] ids at a time, so the global
+//!   cursor is touched once per block instead of once per allocation.
+//!
+//! An allocation site picks a shard through an [`AllocCtx`]:
+//! thread-affine by default (each thread is assigned a shard round-robin
+//! on first use), or pinned explicitly — [`Arena::pin`] installs a
+//! thread-local override so a whole batch (e.g. the flat-combining
+//! writer, or a bulk tree operation) allocates and frees through one
+//! shard without threading a parameter through every recursive call.
+//! Allocation order per shard: own freelist → own fresh window → steal
+//! a recycled slot from a sibling shard → carve a new fresh block. Slots
+//! may migrate between shards over their lifetime (freed into whichever
+//! shard collected them); ids, generations and metadata are global so
+//! this is invisible to readers.
+//!
+//! [`Arena::collect`] additionally *buffers* frees: freed slots are
+//! linked into a private chain and spliced onto the shard freelist with
+//! one CAS per [`FREE_BUF`] tuples, so collecting a large version does
+//! not CAS a shared head once per tuple.
+//!
+//! ## Per-slot metadata
+//!
+//! Packs into one `AtomicU64` (unchanged by sharding — `NodeId`
+//! stability and the precise-GC accounting hold exactly as before):
 //!
 //! ```text
 //! bit 63      : OCCUPIED
@@ -15,14 +51,16 @@
 //! bits  0..32 : reference count (occupied) | next free index (free)
 //! ```
 //!
-//! Reference-count updates are single `fetch_add`/`fetch_sub` instructions
-//! on the metadata word — they can never carry into the generation field
-//! because the owner invariant guarantees `1 <= rc < 2^32` whenever an
-//! increment or decrement happens.
+//! Reference-count updates are single `fetch_add`/`fetch_sub`
+//! instructions on the metadata word — they can never carry into the
+//! generation field because the owner invariant guarantees
+//! `1 <= rc < 2^32` whenever an increment or decrement happens.
 
-use core::sync::atomic::{fence, AtomicU64, Ordering};
-use std::cell::UnsafeCell;
+use core::sync::atomic::{fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
+
+use crossbeam::utils::CachePadded;
 
 use crate::{NodeId, OptNodeId, Tuple};
 
@@ -41,6 +79,18 @@ const LOW_MASK: u64 = (1u64 << 32) - 1;
 
 /// Freelist "empty" marker (also used as a slot's "no next" link).
 const NIL: u32 = u32::MAX;
+
+/// Ids carved from the global fresh cursor per shard refill. Must divide
+/// `BASE` so a block never straddles a chunk boundary (chunk starts are
+/// multiples of `BASE`), letting the refill install the chunk once.
+const FRESH_BLOCK: u64 = 256;
+const _: () = assert!((BASE as u64).is_multiple_of(FRESH_BLOCK));
+
+/// Upper bound on the shard count (id space and stats stay tiny).
+const MAX_SHARDS: usize = 64;
+
+/// Buffered frees per freelist splice in [`Arena::collect`].
+const FREE_BUF: usize = 64;
 
 #[inline]
 fn locate(index: u32) -> (usize, usize) {
@@ -70,6 +120,95 @@ impl<T> Slot<T> {
     }
 }
 
+/// One allocator shard. The whole struct is cache-padded where it is
+/// stored so shards never false-share.
+struct Shard {
+    /// Tagged Treiber head: `(tag << 32) | index`.
+    free_head: AtomicU64,
+    /// Fresh window `(end << 32) | cursor`: ids `[cursor, end)` are
+    /// reserved for this shard and have never been used.
+    fresh: AtomicU64,
+    /// Serializes window refills (rare: once per [`FRESH_BLOCK`] fresh
+    /// allocations) so a lost install race cannot leak a carved block.
+    refill_lock: AtomicBool,
+    allocated: AtomicU64,
+    freed: AtomicU64,
+    /// May transiently dip negative when frees land on a different shard
+    /// than the matching allocs.
+    live: AtomicI64,
+    peak_live: AtomicI64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            free_head: AtomicU64::new(NIL as u64),
+            fresh: AtomicU64::new(0), // cursor == end == 0: empty
+            refill_lock: AtomicBool::new(false),
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+            live: AtomicI64::new(0),
+            peak_live: AtomicI64::new(0),
+        }
+    }
+}
+
+/// A shard selection for allocation and collection — cheap to copy,
+/// valid for any arena (the index is taken modulo the shard count).
+///
+/// Obtain one with [`Arena::ctx`] (thread-affine), [`Arena::ctx_for`]
+/// (deterministic, e.g. per producer id), and apply it either per call
+/// ([`Arena::alloc_in`], [`Arena::collect_in`]) or scoped over a whole
+/// batch with [`Arena::pin`] / [`Arena::with_ctx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocCtx {
+    shard: u32,
+}
+
+impl AllocCtx {
+    /// The raw shard index this context routes to (diagnostics).
+    pub fn shard_index(self) -> usize {
+        self.shard as usize
+    }
+}
+
+/// Round-robin source for thread-affine shard assignment.
+static NEXT_THREAD_SEED: AtomicU32 = AtomicU32::new(0);
+
+const NO_PIN: u32 = u32::MAX;
+
+/// Keep a raw round-robin counter value out of the `NO_PIN` sentinel
+/// while preserving consecutiveness (so consecutive threads land on
+/// consecutive shards under any power-of-two mask).
+#[inline]
+fn sanitize_seed(raw: u32) -> u32 {
+    raw % NO_PIN
+}
+
+thread_local! {
+    /// This thread's affine shard seed (assigned on first allocation).
+    static THREAD_SEED: Cell<u32> = const { Cell::new(NO_PIN) };
+    /// Explicit override installed by [`Arena::pin`]: `(arena key,
+    /// seed)`. Keyed per arena so pinning one arena never reroutes a
+    /// different arena the same thread touches inside the scope.
+    static PINNED_SEED: Cell<(usize, u32)> = const { Cell::new((0, NO_PIN)) };
+}
+
+/// RAII guard for [`Arena::pin`]: restores the previous pin (if any) on
+/// drop. Not `Send` — the pin is a property of the current thread. The
+/// borrow keeps the pinned arena alive (its identity keys the pin).
+pub struct PinGuard<'a> {
+    prev: (usize, u32),
+    _arena: std::marker::PhantomData<&'a ()>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        PINNED_SEED.with(|p| p.set(self.prev));
+    }
+}
+
 /// Point-in-time allocation statistics (see [`Arena::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArenaStats {
@@ -79,21 +218,26 @@ pub struct ArenaStats {
     pub freed_total: u64,
     /// Currently allocated (not yet freed) slots.
     pub live: u64,
-    /// High-water mark of `live`.
+    /// Sum of the per-shard high-water marks of `allocs − frees` as
+    /// observed by each shard. Exact when each shard's frees balance its
+    /// allocs (the affine/pinned pattern, and any single-threaded use);
+    /// when frees deliberately migrate to other shards the alloc-side
+    /// shards' marks never come down, so this inflates toward
+    /// `allocated_total` and is only a (possibly vacuous) upper bound.
     pub peak_live: u64,
+    /// Number of allocator shards.
+    pub shards: u64,
 }
 
 /// A concurrent slab of reference-counted tuples — the PLM memory of the
-/// paper. See the crate docs for the ownership convention.
+/// paper. See the crate docs for the ownership convention and the module
+/// docs for the sharded allocator layout.
 pub struct Arena<T: Tuple> {
     chunks: [AtomicU64; NUM_CHUNKS], // raw `*mut Slot<T>` stored as u64
-    /// Tagged Treiber head: `(tag << 32) | index`.
-    free_head: AtomicU64,
-    /// Bump pointer for never-used slots.
-    next_fresh: AtomicU64,
-    allocated_total: AtomicU64,
-    freed_total: AtomicU64,
-    peak_live: AtomicU64,
+    shards: Box<[CachePadded<Shard>]>,
+    shard_mask: u32,
+    /// Global bump cursor; carved [`FRESH_BLOCK`] ids at a time.
+    next_fresh: CachePadded<AtomicU64>,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -106,24 +250,120 @@ impl<T: Tuple> Default for Arena<T> {
     }
 }
 
+fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (2 * cores).next_power_of_two().clamp(1, MAX_SHARDS)
+}
+
 impl<T: Tuple> Arena<T> {
-    /// Create an empty arena. No chunks are allocated until first use.
+    /// Create an empty arena with the default shard count (≈ 2× cores,
+    /// rounded to a power of two). No chunks are allocated until first
+    /// use.
     pub fn new() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+
+    /// Create an empty arena with an explicit shard count (rounded up to
+    /// a power of two, clamped to `1..=64`). `with_shards(1)` reproduces
+    /// the classic single-freelist allocator, which benchmarks use as
+    /// their contention baseline.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.next_power_of_two().clamp(1, MAX_SHARDS);
         Arena {
             chunks: std::array::from_fn(|_| AtomicU64::new(0)),
-            free_head: AtomicU64::new(NIL as u64),
-            next_fresh: AtomicU64::new(0),
-            allocated_total: AtomicU64::new(0),
-            freed_total: AtomicU64::new(0),
-            peak_live: AtomicU64::new(0),
+            shards: (0..shards)
+                .map(|_| CachePadded::new(Shard::new()))
+                .collect(),
+            shard_mask: shards as u32 - 1,
+            next_fresh: CachePadded::new(AtomicU64::new(0)),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Number of allocator shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Maximum number of slots this arena can ever hold.
     pub const fn capacity() -> u64 {
         (BASE as u64) * ((1u64 << NUM_CHUNKS) - 1)
     }
+
+    // ------------------------------------------------------------------
+    // Allocation contexts
+    // ------------------------------------------------------------------
+
+    /// The calling thread's allocation context: the pinned shard if a
+    /// [`Arena::pin`] guard is live, otherwise the thread's affine shard
+    /// (assigned round-robin on first use).
+    pub fn ctx(&self) -> AllocCtx {
+        let (pin_key, pinned) = PINNED_SEED.with(|p| p.get());
+        let seed = if pinned != NO_PIN && pin_key == self.pin_key() {
+            pinned
+        } else {
+            THREAD_SEED.with(|s| {
+                let mut v = s.get();
+                if v == NO_PIN {
+                    v = sanitize_seed(NEXT_THREAD_SEED.fetch_add(1, Ordering::Relaxed));
+                    s.set(v);
+                }
+                v
+            })
+        };
+        AllocCtx {
+            shard: seed & self.shard_mask,
+        }
+    }
+
+    /// A deterministic context: `seed` is mapped onto a shard. Useful to
+    /// give each producer/process id its own shard regardless of which
+    /// thread runs it.
+    pub fn ctx_for(&self, seed: usize) -> AllocCtx {
+        AllocCtx {
+            shard: (seed as u32) & self.shard_mask,
+        }
+    }
+
+    /// The thread-local pin key identifying *this* arena: pins are
+    /// per-arena, so a pinned batch on one arena leaves every other
+    /// arena's shard routing untouched.
+    #[inline]
+    fn pin_key(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Pin the calling thread to `ctx`'s shard **for this arena** until
+    /// the returned guard drops. Every `alloc`/`collect` on this thread
+    /// (from any call depth — no parameter threading) routes through
+    /// that shard, which is how a batch writer keeps a whole batch on
+    /// one freelist. Other arenas touched inside the scope keep their
+    /// own affinity. Only the innermost live pin is honoured (they
+    /// restore stack-wise), so nest pins for different arenas rather
+    /// than interleaving them.
+    pub fn pin(&self, ctx: AllocCtx) -> PinGuard<'_> {
+        let prev = PINNED_SEED.with(|p| p.replace((self.pin_key(), ctx.shard)));
+        PinGuard {
+            prev,
+            _arena: std::marker::PhantomData,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Run `f` with the thread pinned to `ctx`'s shard.
+    pub fn with_ctx<R>(&self, ctx: AllocCtx, f: impl FnOnce() -> R) -> R {
+        let _guard = self.pin(ctx);
+        f()
+    }
+
+    #[inline]
+    fn shard(&self, ctx: AllocCtx) -> &Shard {
+        &self.shards[(ctx.shard & self.shard_mask) as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Chunk management
+    // ------------------------------------------------------------------
 
     #[inline]
     fn chunk_ptr(&self, chunk: usize) -> *mut Slot<T> {
@@ -168,9 +408,13 @@ impl<T: Tuple> Arena<T> {
         unsafe { &*ptr.add(offset) }
     }
 
-    fn pop_free(&self) -> Option<NodeId> {
+    // ------------------------------------------------------------------
+    // Per-shard freelist + fresh window
+    // ------------------------------------------------------------------
+
+    fn pop_free(&self, shard: &Shard) -> Option<NodeId> {
         loop {
-            let head = self.free_head.load(Ordering::Acquire);
+            let head = shard.free_head.load(Ordering::Acquire);
             let idx = (head & LOW_MASK) as u32;
             if idx == NIL {
                 return None;
@@ -178,7 +422,7 @@ impl<T: Tuple> Arena<T> {
             let tag = head >> 32;
             let next = self.slot(NodeId(idx)).meta.load(Ordering::Acquire) & LOW_MASK;
             let new_head = ((tag + 1) << 32) | next;
-            if self
+            if shard
                 .free_head
                 .compare_exchange_weak(head, new_head, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
@@ -188,16 +432,30 @@ impl<T: Tuple> Arena<T> {
         }
     }
 
-    fn push_free(&self, id: NodeId, gen: u64) {
-        let slot = self.slot(id);
+    /// Splice a privately linked chain of freed slots onto the shard
+    /// freelist with a single CAS. `entries` are `(index, bumped
+    /// generation)` pairs; none of them is reachable by any other thread
+    /// until the CAS publishes the first one.
+    fn push_free_chain(&self, shard: &Shard, entries: &[(u32, u64)]) {
+        debug_assert!(!entries.is_empty());
+        for w in entries.windows(2) {
+            let (idx, gen) = w[0];
+            self.slot(NodeId(idx))
+                .meta
+                .store((gen << GEN_SHIFT) | w[1].0 as u64, Ordering::Release);
+        }
+        let (first, _) = entries[0];
+        let (last, last_gen) = entries[entries.len() - 1];
+        let last_slot = self.slot(NodeId(last));
         loop {
-            let head = self.free_head.load(Ordering::Acquire);
+            let head = shard.free_head.load(Ordering::Acquire);
             let tag = head >> 32;
-            // Keep the bumped generation; link low bits to the old head.
-            slot.meta
-                .store((gen << GEN_SHIFT) | (head & LOW_MASK), Ordering::Release);
-            let new_head = ((tag + 1) << 32) | id.0 as u64;
-            if self
+            last_slot.meta.store(
+                (last_gen << GEN_SHIFT) | (head & LOW_MASK),
+                Ordering::Release,
+            );
+            let new_head = ((tag + 1) << 32) | first as u64;
+            if shard
                 .free_head
                 .compare_exchange_weak(head, new_head, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
@@ -207,23 +465,106 @@ impl<T: Tuple> Arena<T> {
         }
     }
 
-    /// Allocate a tuple with reference count 1 (owned by the caller).
+    /// Take one id from the shard's fresh window, if non-empty.
+    fn pop_fresh(&self, shard: &Shard) -> Option<NodeId> {
+        let mut cur = shard.fresh.load(Ordering::Acquire);
+        loop {
+            let cursor = cur & LOW_MASK;
+            let end = cur >> 32;
+            if cursor >= end {
+                return None;
+            }
+            match shard.fresh.compare_exchange_weak(
+                cur,
+                (end << 32) | (cursor + 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(NodeId(cursor as u32)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Steal a recycled slot from any sibling shard's freelist.
+    fn steal(&self, ctx: AllocCtx) -> Option<NodeId> {
+        let own = (ctx.shard & self.shard_mask) as usize;
+        let n = self.shards.len();
+        for i in 1..n {
+            let sibling = &self.shards[(own + i) & self.shard_mask as usize];
+            if let Some(id) = self.pop_free(sibling) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Carve a new fresh block from the global cursor into the shard's
+    /// window and return its first id. The per-shard refill lock makes
+    /// the carve-and-install atomic so a lost race cannot leak a block;
+    /// refills happen once per `FRESH_BLOCK` fresh allocations.
+    fn refill_fresh(&self, shard: &Shard) -> NodeId {
+        loop {
+            if let Some(id) = self.pop_fresh(shard) {
+                return id;
+            }
+            if shard
+                .refill_lock
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Re-check: a refill may have landed while we raced.
+                if let Some(id) = self.pop_fresh(shard) {
+                    shard.refill_lock.store(false, Ordering::Release);
+                    return id;
+                }
+                let start = self.next_fresh.fetch_add(FRESH_BLOCK, Ordering::Relaxed);
+                assert!(start < Self::capacity(), "arena capacity exhausted");
+                let end = (start + FRESH_BLOCK).min(Self::capacity());
+                // A block never straddles a chunk boundary (FRESH_BLOCK
+                // divides BASE), so installing the first id's chunk
+                // covers the whole window.
+                let (chunk, _) = locate(start as u32);
+                self.ensure_chunk(chunk);
+                // Poppers only CAS a non-empty window, so a plain store
+                // cannot clobber a concurrent hand-out.
+                shard
+                    .fresh
+                    .store((end << 32) | (start + 1), Ordering::Release);
+                shard.refill_lock.store(false, Ordering::Release);
+                return NodeId(start as u32);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Alloc / read / refcount
+    // ------------------------------------------------------------------
+
+    /// Allocate a tuple with reference count 1 (owned by the caller),
+    /// through the calling thread's context (see [`Arena::ctx`]).
     ///
     /// Ownership convention: any `NodeId` children inside `value` are
     /// *transferred* to the new tuple — the caller gives up its owned
     /// reference to each child and must **not** `collect` them. To keep an
     /// independent reference to a child, call [`Arena::inc`] first.
     pub fn alloc(&self, value: T) -> NodeId {
-        let id = match self.pop_free() {
+        self.alloc_in(self.ctx(), value)
+    }
+
+    /// [`Arena::alloc`] through an explicit shard context.
+    pub fn alloc_in(&self, ctx: AllocCtx, value: T) -> NodeId {
+        let shard = self.shard(ctx);
+        let id = match self.pop_free(shard) {
             Some(id) => id,
-            None => {
-                let fresh = self.next_fresh.fetch_add(1, Ordering::Relaxed);
-                assert!(fresh < Self::capacity(), "arena capacity exhausted");
-                let id = NodeId(fresh as u32);
-                let (chunk, _) = locate(id.0);
-                self.ensure_chunk(chunk);
-                id
-            }
+            None => match self.pop_fresh(shard) {
+                Some(id) => id,
+                None => match self.steal(ctx) {
+                    Some(id) => id,
+                    None => self.refill_fresh(shard),
+                },
+            },
         };
         let slot = self.slot(id);
         let gen = (slot.meta.load(Ordering::Acquire) & GEN_MASK) >> GEN_SHIFT;
@@ -233,9 +574,9 @@ impl<T: Tuple> Arena<T> {
         // Publish: value write happens-before any Acquire load of the meta.
         slot.meta
             .store(OCCUPIED | (gen << GEN_SHIFT) | 1, Ordering::Release);
-        let alloc = self.allocated_total.fetch_add(1, Ordering::Relaxed) + 1;
-        let live = alloc.saturating_sub(self.freed_total.load(Ordering::Relaxed));
-        self.peak_live.fetch_max(live, Ordering::Relaxed);
+        shard.allocated.fetch_add(1, Ordering::Relaxed);
+        let live = shard.live.fetch_add(1, Ordering::Relaxed) + 1;
+        shard.peak_live.fetch_max(live, Ordering::Relaxed);
         id
     }
 
@@ -290,6 +631,14 @@ impl<T: Tuple> Arena<T> {
         self.slot(id).meta.load(Ordering::Acquire) & OCCUPIED != 0
     }
 
+    /// The slot's current generation tag (bumped on every free). Lets
+    /// tests and audits prove that a reused id is distinguishable from
+    /// its previous incarnation.
+    #[inline]
+    pub fn generation(&self, id: NodeId) -> u32 {
+        ((self.slot(id).meta.load(Ordering::Acquire) & GEN_MASK) >> GEN_SHIFT) as u32
+    }
+
     /// Add one owner to `id` (sharing a child between two parents, or
     /// retaining a version root). Mirrors `Arc::clone`'s relaxed increment:
     /// the caller already owns a reference, so the node cannot be freed
@@ -309,13 +658,27 @@ impl<T: Tuple> Arena<T> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Collection
+    // ------------------------------------------------------------------
+
     /// Algorithm 5, iteratively: release one owned reference to `root`;
     /// if that was the last owner, free the tuple and collect its children.
     /// Returns the number of tuples freed (the `S` of Theorem 4.2 — total
-    /// work is `O(S + 1)`).
+    /// work is `O(S + 1)`). Freed slots go to the calling thread's shard.
     pub fn collect(&self, root: NodeId) -> usize {
+        self.collect_in(self.ctx(), root)
+    }
+
+    /// [`Arena::collect`] through an explicit shard context. Frees are
+    /// buffered and spliced onto the shard freelist [`FREE_BUF`] at a
+    /// time, so a large precise collection performs `O(S / FREE_BUF)`
+    /// head CASes instead of `O(S)`.
+    pub fn collect_in(&self, ctx: AllocCtx, root: NodeId) -> usize {
+        let shard = self.shard(ctx);
         let mut freed = 0usize;
         let mut stack: Vec<NodeId> = Vec::new();
+        let mut buf: Vec<(u32, u64)> = Vec::with_capacity(FREE_BUF);
         let mut cur = Some(root);
         while let Some(id) = cur.take().or_else(|| stack.pop()) {
             let slot = self.slot(id);
@@ -327,17 +690,34 @@ impl<T: Tuple> Arena<T> {
                 // free. (Same fence protocol as `Arc::drop`.)
                 fence(Ordering::Acquire);
                 let gen = ((old & GEN_MASK) >> GEN_SHIFT).wrapping_add(1) & (GEN_MASK >> GEN_SHIFT);
+                // Clear OCCUPIED (with the bumped generation) *before*
+                // running the destructor: if `drop` panics and unwinds
+                // past the buffered flush below, the slot — and any
+                // buffered predecessors — read as free, so `Arena::drop`
+                // cannot double-drop them (they leak off-freelist, which
+                // is safe). No other thread can observe this store: the
+                // slot is off every freelist and rc has reached zero.
+                slot.meta
+                    .store((gen << GEN_SHIFT) | NIL as u64, Ordering::Relaxed);
                 unsafe {
                     let value = (*slot.value.get()).assume_init_mut();
                     value.for_each_child(&mut |child| stack.push(child));
                     std::ptr::drop_in_place(value as *mut T);
                 }
-                self.push_free(id, gen);
+                buf.push((id.0, gen));
+                if buf.len() == FREE_BUF {
+                    self.push_free_chain(shard, &buf);
+                    buf.clear();
+                }
                 freed += 1;
             }
         }
+        if !buf.is_empty() {
+            self.push_free_chain(shard, &buf);
+        }
         if freed > 0 {
-            self.freed_total.fetch_add(freed as u64, Ordering::Relaxed);
+            shard.freed.fetch_add(freed as u64, Ordering::Relaxed);
+            shard.live.fetch_sub(freed as i64, Ordering::Relaxed);
         }
         freed
     }
@@ -353,6 +733,7 @@ impl<T: Tuple> Arena<T> {
     ///
     /// Panics if the slot is not occupied with `rc == 1`.
     pub fn take(&self, id: NodeId) -> T {
+        let shard = self.shard(self.ctx());
         let slot = self.slot(id);
         let meta = slot.meta.load(Ordering::Acquire);
         assert!(meta & OCCUPIED != 0, "take of freed slot {id:?}");
@@ -361,8 +742,9 @@ impl<T: Tuple> Arena<T> {
         // other thread can read or modify this slot.
         let value = unsafe { (*slot.value.get()).assume_init_read() };
         let gen = ((meta & GEN_MASK) >> GEN_SHIFT).wrapping_add(1) & (GEN_MASK >> GEN_SHIFT);
-        self.push_free(id, gen);
-        self.freed_total.fetch_add(1, Ordering::Relaxed);
+        self.push_free_chain(shard, &[(id.0, gen)]);
+        shard.freed.fetch_add(1, Ordering::Relaxed);
+        shard.live.fetch_sub(1, Ordering::Relaxed);
         value
     }
 
@@ -375,33 +757,47 @@ impl<T: Tuple> Arena<T> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
     /// Number of currently allocated tuples. The *precision* audits compare
     /// this against the reachable set of the live versions.
     pub fn live(&self) -> u64 {
-        self.allocated_total
-            .load(Ordering::Relaxed)
-            .saturating_sub(self.freed_total.load(Ordering::Relaxed))
+        self.allocated_total().saturating_sub(self.freed_total())
     }
 
     /// Total `alloc` calls ever performed.
     pub fn allocated_total(&self) -> u64 {
-        self.allocated_total.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.allocated.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total tuples ever freed by `collect`.
     pub fn freed_total(&self) -> u64 {
-        self.freed_total.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.freed.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Snapshot of the allocation counters.
+    /// Snapshot of the allocation counters, rolled up across shards.
     pub fn stats(&self) -> ArenaStats {
-        let allocated_total = self.allocated_total.load(Ordering::Relaxed);
-        let freed_total = self.freed_total.load(Ordering::Relaxed);
+        let allocated_total = self.allocated_total();
+        let freed_total = self.freed_total();
+        let peak: i64 = self
+            .shards
+            .iter()
+            .map(|s| s.peak_live.load(Ordering::Relaxed).max(0))
+            .sum();
         ArenaStats {
             allocated_total,
             freed_total,
             live: allocated_total.saturating_sub(freed_total),
-            peak_live: self.peak_live.load(Ordering::Relaxed),
+            peak_live: peak as u64,
+            shards: self.shards.len() as u64,
         }
     }
 }
@@ -409,12 +805,13 @@ impl<T: Tuple> Arena<T> {
 impl<T: Tuple> Drop for Arena<T> {
     fn drop(&mut self) {
         // Drop any still-occupied values, then free the chunk storage.
+        // `next_fresh` bounds every id ever handed out (ids beyond the
+        // shard cursors inside carved blocks have zeroed metadata).
         let fresh = self
             .next_fresh
             .load(Ordering::Acquire)
             .min(Self::capacity());
         for raw in 0..fresh as u32 {
-            let id = NodeId(raw);
             let (chunk, offset) = locate(raw);
             let ptr = self.chunk_ptr(chunk);
             if ptr.is_null() {
@@ -426,7 +823,6 @@ impl<T: Tuple> Drop for Arena<T> {
                     std::ptr::drop_in_place((*slot.value.get()).assume_init_mut() as *mut T);
                 }
             }
-            let _ = id;
         }
         for chunk in 0..NUM_CHUNKS {
             let ptr = self.chunk_ptr(chunk);
@@ -584,6 +980,17 @@ mod tests {
     }
 
     #[test]
+    fn generation_bumps_on_reuse() {
+        let arena: Arena<Leaf<u64>> = Arena::new();
+        let a = arena.alloc(Leaf(1));
+        let gen0 = arena.generation(a);
+        arena.collect(a);
+        let b = arena.alloc(Leaf(2));
+        assert_eq!(b.index(), a.index());
+        assert_eq!(arena.generation(b), gen0 + 1, "free must bump the tag");
+    }
+
+    #[test]
     #[should_panic(expected = "access to freed slot")]
     fn get_after_free_panics() {
         let arena: Arena<Leaf<u64>> = Arena::new();
@@ -680,6 +1087,200 @@ mod tests {
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(arena.get(*id).0 as usize, i);
         }
+        for id in ids {
+            arena.collect(id);
+        }
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn thread_seed_sanitizer_preserves_consecutiveness() {
+        // Regression: masking with `NO_PIN - 1` cleared bit 0, making
+        // every thread-affine seed even — odd shards were unreachable by
+        // default-path allocation and thread pairs shared a shard.
+        assert_eq!(sanitize_seed(0), 0);
+        assert_eq!(sanitize_seed(1), 1, "odd seeds must survive");
+        assert_eq!(sanitize_seed(NO_PIN), 0, "sentinel must be remapped");
+        for raw in 0..16u32 {
+            assert_eq!(
+                sanitize_seed(raw) & 1,
+                raw & 1,
+                "parity (lowest shard bit) must be preserved"
+            );
+            assert_ne!(sanitize_seed(raw), NO_PIN);
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_classic_behaviour() {
+        let arena: Arena<Leaf<u64>> = Arena::with_shards(1);
+        assert_eq!(arena.shards(), 1);
+        let a = arena.alloc(Leaf(1));
+        arena.collect(a);
+        let b = arena.alloc(Leaf(2));
+        assert_eq!(a.index(), b.index());
+        arena.collect(b);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn distinct_ctxs_use_distinct_shards() {
+        let arena: Arena<Leaf<u64>> = Arena::with_shards(4);
+        assert_eq!(arena.shards(), 4);
+        let c0 = arena.ctx_for(0);
+        let c1 = arena.ctx_for(1);
+        assert_ne!(c0.shard_index(), c1.shard_index());
+        // Ids allocated through different contexts come from different
+        // fresh blocks.
+        let a = arena.alloc_in(c0, Leaf(0));
+        let b = arena.alloc_in(c1, Leaf(1));
+        assert_ne!(
+            a.index() / FRESH_BLOCK as u32,
+            b.index() / FRESH_BLOCK as u32
+        );
+        arena.collect_in(c0, a);
+        arena.collect_in(c1, b);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn stealing_recycles_sibling_free_slots() {
+        let arena: Arena<Leaf<u64>> = Arena::with_shards(2);
+        let c0 = arena.ctx_for(0);
+        let c1 = arena.ctx_for(1);
+        // Free a slot into shard 1's freelist.
+        let a = arena.alloc_in(c1, Leaf(7));
+        arena.collect_in(c1, a);
+        // Shard 0 has an empty freelist and has never opened a fresh
+        // window, so (steal preceding refill) its very next allocation
+        // should recover `a` from shard 1; the loop tolerates any
+        // ordering as long as the slot comes back eventually.
+        let mut drained = Vec::new();
+        loop {
+            let id = arena.alloc_in(c0, Leaf(0));
+            if id == a {
+                // Got the stolen slot back.
+                break;
+            }
+            drained.push(id);
+            assert!(
+                drained.len() <= 2 * FRESH_BLOCK as usize,
+                "never stole sibling's freed slot"
+            );
+        }
+        for id in drained {
+            arena.collect_in(c0, id);
+        }
+        arena.collect_in(c0, a);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn pin_routes_allocations_to_one_shard() {
+        let arena: Arena<Leaf<u64>> = Arena::with_shards(4);
+        let ctx = arena.ctx_for(3);
+        let ids: Vec<_> = arena.with_ctx(ctx, || (0..10).map(|i| arena.alloc(Leaf(i))).collect());
+        // All ids come from one fresh block — proof they hit one shard.
+        let block = ids[0].index() / FRESH_BLOCK as u32;
+        for id in &ids {
+            assert_eq!(id.index() / FRESH_BLOCK as u32, block);
+        }
+        // The pin is gone after the scope; nested pins restore properly.
+        let g1 = arena.pin(arena.ctx_for(1));
+        let g2 = arena.pin(arena.ctx_for(2));
+        assert_eq!(arena.ctx().shard_index(), 2);
+        drop(g2);
+        assert_eq!(arena.ctx().shard_index(), 1);
+        drop(g1);
+        for id in ids {
+            arena.collect(id);
+        }
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn panicking_value_drop_cannot_double_free() {
+        // A destructor that panics mid-collect unwinds past the
+        // buffered freelist flush. Slots whose values already ran their
+        // destructor must read as free so `Arena::drop` does not run
+        // those destructors again: every value drops exactly once.
+        use std::sync::atomic::AtomicU64 as StdAtomicU64;
+        struct Bomb {
+            next: OptNodeId,
+            drops: Arc<StdAtomicU64>,
+        }
+        impl Tuple for Bomb {
+            fn for_each_child(&self, f: &mut dyn FnMut(NodeId)) {
+                if let Some(n) = self.next.get() {
+                    f(n);
+                }
+            }
+        }
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                let count = self.drops.fetch_add(1, Ordering::Relaxed) + 1;
+                if count == 3 && !std::thread::panicking() {
+                    panic!("boom on drop #3");
+                }
+            }
+        }
+        let drops = Arc::new(StdAtomicU64::new(0));
+        let arena: Arena<Bomb> = Arena::with_shards(1);
+        let n = 8u64;
+        let mut cur = OptNodeId::NONE;
+        for _ in 0..n {
+            cur = OptNodeId::some(arena.alloc(Bomb {
+                next: cur,
+                drops: drops.clone(),
+            }));
+        }
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            arena.collect(cur.unwrap());
+        }));
+        assert!(unwound.is_err(), "the armed destructor must have fired");
+        drop(arena);
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            n,
+            "every value must drop exactly once (no double drop, no skip)"
+        );
+    }
+
+    #[test]
+    fn pin_is_scoped_to_one_arena() {
+        // Pinning arena A must not reroute allocation on arena B inside
+        // the same scope: B falls back to its own (affine) routing.
+        let a: Arena<Leaf<u64>> = Arena::with_shards(4);
+        let b: Arena<Leaf<u64>> = Arena::with_shards(4);
+        let affine_b = b.ctx().shard_index();
+        let pinned = (affine_b + 1) % 4; // a shard B would not pick
+        let _guard = a.pin(a.ctx_for(pinned));
+        assert_eq!(a.ctx().shard_index(), pinned, "pin applies to A");
+        assert_eq!(b.ctx().shard_index(), affine_b, "pin must not leak to B");
+    }
+
+    #[test]
+    fn buffered_collect_crosses_flush_boundary() {
+        // A chain longer than FREE_BUF exercises the chain-splice path
+        // more than once, including the final partial flush.
+        let arena: Arena<Pair> = Arena::new();
+        let n = 3 * FREE_BUF + 17;
+        let mut cur = leaf(&arena, 0);
+        for i in 1..n as u64 {
+            cur = arena.alloc(Pair {
+                left: OptNodeId::some(cur),
+                right: OptNodeId::NONE,
+                payload: i,
+            });
+        }
+        assert_eq!(arena.collect(cur), n);
+        assert_eq!(arena.live(), 0);
+        // Every freed slot is reachable again through the freelist: the
+        // next n allocations recycle without growing the arena.
+        let before = arena.stats().allocated_total;
+        let ids: Vec<_> = (0..n as u64).map(|i| leaf(&arena, i)).collect();
+        assert_eq!(arena.stats().allocated_total, before + n as u64);
+        assert_eq!(arena.live(), n as u64);
         for id in ids {
             arena.collect(id);
         }

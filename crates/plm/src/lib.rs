@@ -16,7 +16,11 @@
 //!   Slots are addressed by 4-byte [`NodeId`]s (so tree links cost 4 bytes),
 //!   chunks of doubling size are installed with a single CAS and never
 //!   moved (so reads are wait-free and never invalidated), and freed slots
-//!   recycle through a tagged Treiber stack.
+//!   recycle through **sharded** tagged Treiber stacks: allocation and
+//!   collection route through a per-thread (or explicitly pinned, see
+//!   [`AllocCtx`]) shard so concurrent writers do not serialize on one
+//!   freelist head, stealing from sibling shards only when their own runs
+//!   dry.
 //! * Per-slot atomic reference counts with an *ownership* convention:
 //!   `rc` equals the number of owners (parent tuples + external handles).
 //!   [`Arena::alloc`] returns a node owned by the caller (`rc == 1`);
@@ -66,7 +70,7 @@ mod arena;
 mod id;
 mod snzi;
 
-pub use arena::{Arena, ArenaStats};
+pub use arena::{AllocCtx, Arena, ArenaStats, PinGuard};
 pub use id::{NodeId, OptNodeId};
 pub use snzi::Snzi;
 

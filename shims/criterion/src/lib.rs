@@ -1,0 +1,308 @@
+//! In-tree shim for the `criterion` API surface this workspace's benches
+//! use. Measurement is deliberately simple: each benchmark runs for up to
+//! `sample_size` samples or `measurement_time`, whichever bound hits
+//! first, after a single warm-up run, and the mean wall-clock time per
+//! iteration is printed as
+//!
+//! ```text
+//! bench  <group>/<id>  <mean>  [<throughput> elem/s]
+//! ```
+//!
+//! No statistics, plots, or baselines — swap in the real crate when the
+//! registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost (ignored by the shim: every
+/// batch is one input).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(800),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Builder: number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Builder: measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Builder: warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.cfg, "", &id.into().id, None, f);
+    }
+
+    /// No-op (the real crate prints its summary here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing configuration and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Measurement budget within this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget within this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.cfg, &self.name, &id.into().id, self.throughput, f);
+    }
+
+    /// Run a parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.cfg, &self.name, &id.id, self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Close the group (no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    cfg: &Config,
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        cfg: *cfg,
+    };
+    f(&mut b);
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.iters == 0 {
+        println!("bench  {full:<48} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("bench  {full:<48} {}", fmt_ns(per_iter));
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = count as f64 / (per_iter / 1e9);
+        line.push_str(&format!("   {rate:.3e} {unit}"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.1} µs/iter", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.1} ms/iter", ns / 1e6)
+    } else {
+        format!("{:8.2}  s/iter", ns / 1e9)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    cfg: Config,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: a single run (bounded by nothing — benches here are
+        // short; the real crate runs for warm_up_time).
+        black_box(routine());
+        let deadline = Instant::now() + self.cfg.measurement_time;
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.cfg.measurement_time;
+        for _ in 0..self.cfg.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Define a benchmark group function, mirroring the real macro's two
+/// forms (with and without an explicit `config`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

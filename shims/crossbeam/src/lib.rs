@@ -1,0 +1,105 @@
+//! In-tree shim for the `crossbeam` API surface this workspace uses:
+//! `queue::ArrayQueue` and `utils::CachePadded`. The queue is a bounded
+//! MPMC queue implemented with a mutex-protected ring — correct under
+//! arbitrary concurrency, though not lock-free like the real crate.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Bounded multi-producer multi-consumer queue.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Create a queue holding at most `cap` elements.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be positive");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+            }
+        }
+
+        /// Push; hands the element back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut g = self.inner.lock().unwrap();
+            if g.len() == self.cap {
+                return Err(value);
+            }
+            g.push_back(value);
+            Ok(())
+        }
+
+        /// Pop the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// Current length (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        /// True if empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Maximum capacity.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+}
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so neighbouring values never
+    /// share a cache line (two lines to defeat adjacent-line prefetch).
+    #[derive(Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap a value.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwrap.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.value.fmt(f)
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}

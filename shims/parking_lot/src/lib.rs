@@ -1,0 +1,354 @@
+//! In-tree shim for the `parking_lot` API surface this workspace uses:
+//! `Mutex`, `RwLock` (including the `arc_lock` owned guards). Locks are
+//! word-sized spin locks that yield to the scheduler while contended —
+//! no poisoning, same guard types and method names as the real crate.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+const WRITER: u32 = 1 << 31;
+
+/// Marker type standing in for `parking_lot::RawRwLock` in guard types.
+pub struct RawRwLock(());
+
+#[inline]
+fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// A mutual exclusion primitive (no poisoning).
+pub struct Mutex<T: ?Sized> {
+    state: AtomicU32,
+    value: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Create an unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            state: AtomicU32::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, spinning/yielding until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let mut spins = 0;
+        while self
+            .state
+            .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff(&mut spins);
+        }
+        MutexGuard { lock: self }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| MutexGuard { lock: self })
+    }
+
+    /// Exclusive access through a unique reference (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.value.get() }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.store(0, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// A reader-writer lock (no poisoning, writer-preferring is not
+/// guaranteed — acquisition order is a CAS race like a spin lock).
+pub struct RwLock<T: ?Sized> {
+    state: AtomicU32, // WRITER bit | reader count
+    value: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Create an unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            state: AtomicU32::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn acquire_shared(&self) {
+        let mut spins = 0;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & WRITER == 0
+                && self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    fn acquire_exclusive(&self) {
+        let mut spins = 0;
+        while self
+            .state
+            .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff(&mut spins);
+        }
+    }
+
+    fn release_shared(&self) {
+        self.state.fetch_sub(1, Ordering::Release);
+    }
+
+    fn release_exclusive(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.acquire_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.acquire_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Exclusive access through a unique reference (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.value.get() }
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Shared access with an owned, `Arc`-backed guard (the `arc_lock`
+    /// feature of the real crate).
+    pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<RawRwLock, T> {
+        self.acquire_shared();
+        ArcRwLockReadGuard {
+            lock: Arc::clone(self),
+            _raw: PhantomData,
+        }
+    }
+
+    /// Exclusive access with an owned, `Arc`-backed guard.
+    pub fn write_arc(self: &Arc<Self>) -> ArcRwLockWriteGuard<RawRwLock, T> {
+        self.acquire_exclusive();
+        ArcRwLockWriteGuard {
+            lock: Arc::clone(self),
+            _raw: PhantomData,
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// RAII shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_shared();
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_exclusive();
+    }
+}
+
+/// Owned shared guard: keeps the `Arc<RwLock<T>>` alive while held.
+pub struct ArcRwLockReadGuard<R, T> {
+    lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<R, T> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.release_shared();
+    }
+}
+
+/// Owned exclusive guard: keeps the `Arc<RwLock<T>>` alive while held.
+pub struct ArcRwLockWriteGuard<R, T> {
+    lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<R, T> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<R, T> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.release_exclusive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert!(m.try_lock().is_some());
+        let g = m.lock();
+        // Second lock attempt must fail while held.
+        assert!(m.try_lock().is_none());
+        drop(g);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writer_excludes() {
+        let l = Arc::new(RwLock::new(1));
+        let r1 = l.read();
+        let r2 = l.read_arc();
+        assert_eq!(*r1 + *r2, 2);
+        drop(r1);
+        drop(r2);
+        let mut w = l.write_arc();
+        *w = 7;
+        drop(w);
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn contended_mutex_counts_correctly() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 40_000);
+    }
+}

@@ -1,0 +1,19 @@
+//! In-tree shim for the `rayon` API surface this workspace uses.
+//!
+//! The build environment has no registry access, so fork-join calls
+//! execute sequentially: `join(a, b)` runs `a` then `b` on the calling
+//! thread. This preserves every correctness property the tree code
+//! relies on (same-thread execution also keeps arena allocation-context
+//! pins, which are thread-local, in effect across both halves). Swap in
+//! the real crate for multi-core span benefits.
+
+/// Run both closures and return their results. Sequential: `a` first.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
