@@ -1,6 +1,9 @@
-//! Criterion validation of delay-freedom (Theorem 5.4): a lookup inside a
-//! read transaction costs (almost) the same as a raw tree lookup, and the
-//! overhead does not grow with the configured process count.
+//! Criterion validation of delay-freedom (Theorem 5.4) and of the
+//! session redesign: a lookup inside a read transaction costs (almost)
+//! the same as a raw tree lookup, the overhead does not grow with the
+//! configured process count, and the `Session` path — reusable release
+//! buffer, local counters, pinned shard — is no slower than the legacy
+//! raw-pid path it replaces.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvcc_core::Database;
@@ -25,26 +28,80 @@ fn bench_raw_vs_txn(c: &mut Criterion) {
 
     for p in [1usize, 16, 128] {
         let db: Database<U64Map> = Database::new(p);
-        db.write(0, |f, base| {
-            (f.multi_insert(base, items.clone(), |_o, v| *v), ())
-        });
-        g.bench_with_input(BenchmarkId::new("txn_get_P", p), &p, |b, _| {
+        let mut session = db.session().unwrap();
+        session.write(|txn| txn.multi_insert(items.clone(), |_o, v| *v));
+        // Legacy raw-pid path (the deprecated shims; thread-local buffer).
+        #[allow(deprecated)]
+        g.bench_with_input(BenchmarkId::new("txn_get_pid_P", p), &p, |b, _| {
             b.iter(|| {
                 k = (k * 2654435761) % N;
                 std::hint::black_box(db.read(0, |s| s.get(&k).copied()))
             })
         });
-        // Amortized: one transaction covering 100 lookups (the paper's nq).
-        g.bench_with_input(BenchmarkId::new("txn_get_batch100_P", p), &p, |b, _| {
+        // Session path (owned buffer, local counters, pinned shard).
+        g.bench_with_input(BenchmarkId::new("txn_get_session_P", p), &p, |b, _| {
             b.iter(|| {
-                db.read(0, |s| {
-                    let mut acc = 0u64;
-                    for i in 0..100u64 {
-                        let key = (k.wrapping_add(i) * 2654435761) % N;
-                        acc = acc.wrapping_add(s.get(&key).copied().unwrap_or(0));
-                    }
-                    std::hint::black_box(acc)
+                k = (k * 2654435761) % N;
+                std::hint::black_box(session.read(|s| s.get(&k).copied()))
+            })
+        });
+        // Amortized: one transaction covering 100 lookups (the paper's nq).
+        g.bench_with_input(
+            BenchmarkId::new("txn_get_session_batch100_P", p),
+            &p,
+            |b, _| {
+                b.iter(|| {
+                    session.read(|s| {
+                        let mut acc = 0u64;
+                        for i in 0..100u64 {
+                            let key = (k.wrapping_add(i) * 2654435761) % N;
+                            acc = acc.wrapping_add(s.get(&key).copied().unwrap_or(0));
+                        }
+                        std::hint::black_box(acc)
+                    })
                 })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_write_paths(c: &mut Criterion) {
+    // Single-writer insert/overwrite commits: legacy pid path (global
+    // atomics + fresh Vec history was the seed; now thread-local buffer)
+    // vs session path (owned buffer + local counters). The acceptance
+    // bar for the redesign is session <= pid.
+    let mut g = c.benchmark_group("write_overhead");
+    {
+        let db: Database<U64Map> = Database::new(8);
+        let mut k = 0u64;
+        #[allow(deprecated)]
+        g.bench_function("insert_pid", |b| {
+            b.iter(|| {
+                k = (k + 1) % 1024;
+                db.insert(0, k, k);
+            })
+        });
+    }
+    {
+        let db: Database<U64Map> = Database::new(8);
+        let mut session = db.session().unwrap();
+        let mut k = 0u64;
+        g.bench_function("insert_session", |b| {
+            b.iter(|| {
+                k = (k + 1) % 1024;
+                session.insert(k, k);
+            })
+        });
+    }
+    {
+        let db: Database<U64Map> = Database::new(8);
+        let mut session = db.session().unwrap();
+        let mut k = 0u64;
+        g.bench_function("insert_write_txn", |b| {
+            b.iter(|| {
+                k = (k + 1) % 1024;
+                session.write(|txn| txn.insert(k, k));
             })
         });
     }
@@ -57,6 +114,6 @@ criterion_group! {
         .sample_size(20)
         .measurement_time(std::time::Duration::from_millis(800))
         .warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_raw_vs_txn
+    targets = bench_raw_vs_txn, bench_write_paths
 }
 criterion_main!(benches);

@@ -72,6 +72,7 @@ fn run(producers: usize, target_batch: usize, secs: f64) -> Outcome {
         let combiner_bw = Arc::clone(&bw);
         let combiner_stop = Arc::clone(&stop);
         let combiner = s.spawn(move || {
+            let mut session = combiner_db.session().expect("combiner pid");
             let deadline = Duration::from_millis(50);
             loop {
                 let t0 = Instant::now();
@@ -85,10 +86,10 @@ fn run(producers: usize, target_batch: usize, secs: f64) -> Outcome {
                     }
                     std::thread::yield_now();
                 }
-                combiner_bw.combine(&combiner_db, 0);
+                combiner_bw.combine(&mut session);
                 if combiner_stop.load(Ordering::Relaxed) {
                     // Final drain so no producer hangs in wait_applied.
-                    while combiner_bw.combine(&combiner_db, 0) > 0 {}
+                    while combiner_bw.combine(&mut session) > 0 {}
                     break;
                 }
             }

@@ -127,10 +127,13 @@ fn run_vlist(keys: u64, readers: usize, pin: Duration, secs: f64) -> Point {
 
 fn run_ftree(keys: u64, readers: usize, pin: Duration, secs: f64) -> Point {
     let db: Arc<Database<SumU64Map>> = Arc::new(Database::new(readers + 2));
-    db.write(0, |f, base| {
-        let init: Vec<(u64, u64)> = (0..keys).map(|k| (k, k)).collect();
-        (f.multi_insert(base, init, |_o, v| *v), ())
-    });
+    {
+        let mut s = db.session().expect("fresh pool");
+        s.write(|txn| {
+            let init: Vec<(u64, u64)> = (0..keys).map(|k| (k, k)).collect();
+            txn.multi_insert(init, |_o, v| *v);
+        });
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let reads = Arc::new(AtomicU64::new(0));
     let writes = Arc::new(AtomicU64::new(0));
@@ -143,9 +146,10 @@ fn run_ftree(keys: u64, readers: usize, pin: Duration, secs: f64) -> Point {
             let writes = Arc::clone(&writes);
             let max_live = Arc::clone(&max_live);
             s.spawn(move || {
+                let mut session = db.session().expect("writer pid");
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    db.write(0, |f, base| (f.insert(base, i % keys, i), ()));
+                    session.insert(i % keys, i);
                     i += 1;
                     if i.is_multiple_of(64) {
                         max_live.fetch_max(db.live_versions(), Ordering::Relaxed);
@@ -159,10 +163,11 @@ fn run_ftree(keys: u64, readers: usize, pin: Duration, secs: f64) -> Point {
             let stop = Arc::clone(&stop);
             let reads = Arc::clone(&reads);
             s.spawn(move || {
+                let mut session = db.session().expect("reader pid");
                 let mut n = 0u64;
                 let mut lo = (r as u64 * 37) % (keys - WINDOW);
                 while !stop.load(Ordering::Relaxed) {
-                    let sum = db.read(r + 1, |snap| snap.aug_range(&lo, &(lo + WINDOW - 1)));
+                    let sum = session.read(|snap| snap.aug_range(&lo, &(lo + WINDOW - 1)));
                     std::hint::black_box(sum);
                     lo = (lo + 61) % (keys - WINDOW);
                     n += 1;
@@ -174,8 +179,9 @@ fn run_ftree(keys: u64, readers: usize, pin: Duration, secs: f64) -> Point {
             let db = Arc::clone(&db);
             let stop = Arc::clone(&stop);
             s.spawn(move || {
+                let mut session = db.session().expect("laggard pid");
                 while !stop.load(Ordering::Relaxed) {
-                    let guard = db.begin_read(readers + 1);
+                    let guard = session.begin_read();
                     let deadline = Instant::now() + pin;
                     while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
                         std::hint::black_box(guard.snapshot().get(&0));

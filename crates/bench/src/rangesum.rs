@@ -49,9 +49,10 @@ pub struct RangeSumResult {
 
 fn preload(db: &Database<SumU64Map, Box<dyn mvcc_vm::VersionMaintenance>>, n: u64) {
     let batch: Vec<(u64, u64)> = (0..n).map(|k| (k * 2, k)).collect();
-    db.write(0, |f, base| {
-        (f.multi_insert(base, batch.clone(), |_o, v| *v), ())
-    });
+    // Scoped session: the pid returns to the pool before the workers
+    // lease theirs.
+    let mut s = db.session().expect("fresh database has free pids");
+    s.write(|txn| txn.multi_insert(batch.clone(), |_o, v| *v));
 }
 
 /// Run one configuration and report throughputs plus the version high-water
@@ -72,22 +73,28 @@ fn run_vm(cfg: RangeSumConfig, kind: VmKind) -> RangeSumResult {
     let span = (key_hi / 100).max(2);
     let writer_ops = AtomicU64::new(0);
 
+    // One session per worker, parked behind an (uncontended) mutex: the
+    // harness closure is shared across threads but worker `t` is the
+    // only locker of slot `t`.
+    let sessions: Vec<parking_lot::Mutex<mvcc_core::Session<'_, SumU64Map, _>>> = (0..threads)
+        .map(|_| parking_lot::Mutex::new(db.session().expect("one pid per worker")))
+        .collect();
+
     let report = run_for(threads, Duration::from_secs_f64(cfg.secs), |t, iter| {
         let mut rng = SmallRng::seed_from_u64((t as u64) << 32 | (iter & 0xFFFF_FFFF));
+        let mut session = sessions[t].lock();
         if t == 0 {
             // Writer: sample live versions, then commit nu insertions.
             max_versions.fetch_max(db.live_versions(), Ordering::Relaxed);
             let batch: Vec<(u64, u64)> = (0..cfg.nu)
                 .map(|_| (rng.gen_range(0..key_hi), rng.gen_range(0..1000)))
                 .collect();
-            db.write(0, |f, base| {
-                (f.multi_insert(base, batch.clone(), |_o, v| *v), ())
-            });
+            session.write(|txn| txn.multi_insert(batch.clone(), |_o, v| *v));
             writer_ops.fetch_add(cfg.nu as u64, Ordering::Relaxed);
             0 // writer ops tracked separately
         } else {
             // Reader: one transaction of nq range-sum queries.
-            db.read(t, |s| {
+            session.read(|s| {
                 let mut acc = 0u64;
                 for _ in 0..cfg.nq {
                     let lo = rng.gen_range(0..key_hi.saturating_sub(span));

@@ -95,13 +95,12 @@ pub fn measure_read_delay(p: usize, n: u64, lookups_per_txn: usize, txns: u64) -
 
     // Transactional.
     let db: Database<U64Map> = Database::new(p);
-    db.write(0, |f, base| {
-        (f.multi_insert(base, items.clone(), |_o, v| *v), ())
-    });
+    let mut session = db.session().expect("fresh database has free pids");
+    session.write(|txn| txn.multi_insert(items.clone(), |_o, v| *v));
     let t0 = Instant::now();
     let mut acc = 0u64;
     for i in 0..txns {
-        acc = acc.wrapping_add(db.read(0, |s| {
+        acc = acc.wrapping_add(session.read(|s| {
             let mut a = 0u64;
             for j in 0..lookups_per_txn {
                 let k = (i * 2654435761 + j as u64 * 40503) % n;

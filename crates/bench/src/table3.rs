@@ -51,9 +51,10 @@ pub fn run(cfg: Table3Config) -> Table3Row {
     let mut corpus = Corpus::new(CorpusConfig::default());
     let total_pids = cfg.query_threads + 1;
     let idx = InvertedIndex::new(total_pids);
+    let mut writer = idx.session().expect("writer pid");
     let initial = doc_tuples(&mut corpus, cfg.initial_docs);
     for chunk in initial.chunks(512) {
-        idx.add_documents(0, chunk);
+        writer.add_documents(chunk);
     }
 
     // ---- Phase 1: mixed run for `secs` (this defines the work volume) ----
@@ -71,13 +72,14 @@ pub fn run(cfg: Table3Config) -> Table3Row {
             let stop = &stop;
             let queries_done = &queries_done;
             s.spawn(move || {
+                let mut session = idx.session().expect("query pid");
                 let mut local_corpus = Corpus::new(CorpusConfig {
                     seed: query_seed_base + qt as u64,
                     ..CorpusConfig::default()
                 });
                 while !stop.load(Ordering::Relaxed) {
                     let (a, b) = local_corpus.query_terms();
-                    std::hint::black_box(idx.and_query(1 + qt, a, b, 10));
+                    std::hint::black_box(session.and_query(a, b, 10));
                     queries_done.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -86,7 +88,7 @@ pub fn run(cfg: Table3Config) -> Table3Row {
         let deadline = Duration::from_secs_f64(cfg.secs);
         while mixed_start.elapsed() < deadline {
             let batch = doc_tuples(&mut corpus, cfg.batch_docs);
-            idx.add_documents(0, &batch);
+            writer.add_documents(&batch);
             update_batches.push(batch);
             updates_done.fetch_add(1, Ordering::Relaxed);
         }
@@ -98,16 +100,17 @@ pub fn run(cfg: Table3Config) -> Table3Row {
 
     // ---- Phase 2: the same number of updates, alone ----
     let idx_u = InvertedIndex::new(1);
+    let mut writer_u = idx_u.session().expect("solo writer pid");
     let initial2 = {
         let mut c = Corpus::new(CorpusConfig::default());
         doc_tuples(&mut c, cfg.initial_docs)
     };
     for chunk in initial2.chunks(512) {
-        idx_u.add_documents(0, chunk);
+        writer_u.add_documents(chunk);
     }
     let t0 = Instant::now();
     for batch in &update_batches {
-        idx_u.add_documents(0, batch);
+        writer_u.add_documents(batch);
     }
     let tu = t0.elapsed().as_secs_f64();
 
@@ -119,13 +122,14 @@ pub fn run(cfg: Table3Config) -> Table3Row {
         for qt in 0..cfg.query_threads {
             let idx = &idx;
             s.spawn(move || {
+                let mut session = idx.session().expect("query pid");
                 let mut local_corpus = Corpus::new(CorpusConfig {
                     seed: query_seed_base + qt as u64,
                     ..CorpusConfig::default()
                 });
                 for _ in 0..per_thread {
                     let (a, b) = local_corpus.query_terms();
-                    std::hint::black_box(idx.and_query(1 + qt, a, b, 10));
+                    std::hint::black_box(session.and_query(a, b, 10));
                 }
             });
         }

@@ -70,12 +70,13 @@ pub fn run_baseline(
 /// dedicated combining writer (Appendix F). Returns Mop/s over the worker
 /// threads' completed operations.
 pub fn run_ours(mix: Mix, keyspace: u64, threads: usize, secs: f64) -> f64 {
-    // pid 0 = combiner; pids 1..=threads = workers.
+    // One session for the combiner plus one per worker.
     let db: Database<U64Map> = Database::new(threads + 1);
-    let preload: Vec<(u64, u64)> = (0..keyspace).map(|k| (k, k)).collect();
-    db.write(0, |f, base| {
-        (f.multi_insert(base, preload.clone(), |_o, v| *v), ())
-    });
+    {
+        let mut s = db.session().expect("fresh pool");
+        let preload: Vec<(u64, u64)> = (0..keyspace).map(|k| (k, k)).collect();
+        s.write(|txn| txn.multi_insert(preload.clone(), |_o, v| *v));
+    }
 
     let bw: BatchWriter<U64Map> = BatchWriter::new(threads, 4096);
     let stop = AtomicBool::new(false);
@@ -84,31 +85,36 @@ pub fn run_ours(mix: Mix, keyspace: u64, threads: usize, secs: f64) -> f64 {
         // Combiner thread (not counted toward worker throughput, like the
         // paper's single writer applying batches).
         let combiner = s.spawn(|| {
+            let mut session = db.session().expect("combiner pid");
             while !stop.load(Ordering::Relaxed) {
-                if bw.combine(&db, 0) == 0 {
+                if bw.combine(&mut session) == 0 {
                     std::thread::yield_now();
                 }
             }
             // Final drain so every submitted update is applied.
-            while bw.combine(&db, 0) > 0 {}
+            while bw.combine(&mut session) > 0 {}
         });
 
-        let gens: Vec<Mutex<(SmallRng, YcsbGenerator)>> = (0..threads)
+        // Per-worker state: RNG + generator + leased session, each behind
+        // an uncontended mutex (worker `t` is slot `t`'s only locker).
+        type WorkerSlot<'db> = (SmallRng, YcsbGenerator, mvcc_core::Session<'db, U64Map>);
+        let gens: Vec<Mutex<WorkerSlot<'_>>> = (0..threads)
             .map(|t| {
                 Mutex::new((
                     SmallRng::seed_from_u64(0x5eed ^ (t as u64) << 32),
                     YcsbGenerator::new(YcsbConfig::new(mix, keyspace)),
+                    db.session().expect("one pid per worker"),
                 ))
             })
             .collect();
         let report = run_for(threads, Duration::from_secs_f64(secs), |t, _iter| {
             let mut slot = gens[t].lock();
-            let (rng, gen) = &mut *slot;
+            let (rng, gen, session) = &mut *slot;
             let mut done = 0u64;
             for _ in 0..CHUNK {
                 match gen.next_op(rng) {
                     Op::Read(k) => {
-                        std::hint::black_box(db.read(t + 1, |snap| snap.get(&k).copied()));
+                        std::hint::black_box(session.read(|snap| snap.get(&k).copied()));
                     }
                     Op::Update(k, v) => {
                         bw.submit_blocking(t, MapOp::Insert(k, v));

@@ -19,7 +19,7 @@ use crossbeam::queue::ArrayQueue;
 use mvcc_ftree::TreeParams;
 use mvcc_vm::VersionMaintenance;
 
-use crate::Database;
+use crate::Session;
 
 /// One map update, as submitted by a producer.
 #[derive(Clone)]
@@ -97,11 +97,11 @@ struct Buffer<P: TreeParams> {
     applied: AtomicU64,
 }
 
-/// The Appendix F combining writer for a [`Database`].
+/// The Appendix F combining writer for a [`crate::Database`].
 ///
 /// `producers` independent submitters (indexed `0..producers`, each used
 /// by one thread at a time) plus one combiner thread calling
-/// [`BatchWriter::combine`] with a dedicated database process id.
+/// [`BatchWriter::combine`] with its own leased [`Session`].
 pub struct BatchWriter<P: TreeParams> {
     buffers: Vec<Buffer<P>>,
 }
@@ -178,18 +178,20 @@ impl<P: TreeParams> BatchWriter<P> {
     }
 
     /// Drain all buffers and commit the batch as a single write
-    /// transaction on process `pid` of `db`. Returns the number of
+    /// transaction on the combiner's `session`. Returns the number of
     /// operations applied (0 = nothing pending).
     ///
     /// Intended to be called in a loop by one combiner thread; with a
     /// single combiner the transaction commits on the first attempt
     /// (single-writer, O(P) delay).
-    pub fn combine<M: VersionMaintenance>(&self, db: &Database<P, M>, pid: usize) -> usize {
-        // Pin the combiner to one arena shard for the whole batch: every
-        // node the parallel bulk build allocates, and every tuple the
-        // displaced version's collection frees, goes through a single
-        // freelist instead of contending with the producers' shards.
-        let _shard_pin = db.forest().arena().pin(db.alloc_ctx(pid));
+    pub fn combine<M: VersionMaintenance>(&self, session: &mut Session<'_, P, M>) -> usize {
+        // Pin the combiner to the session's arena shard for the whole
+        // batch: every node the parallel bulk build allocates, and every
+        // tuple the displaced version's collection frees, goes through a
+        // single freelist instead of contending with the producers'
+        // shards.
+        let forest = session.database().forest();
+        let _shard_pin = forest.arena().pin(session.alloc_ctx());
         // Drain phase: take a snapshot of each queue's current contents.
         let mut drained: Vec<(usize, Vec<MapOp<P>>)> = Vec::with_capacity(self.buffers.len());
         let mut total = 0usize;
@@ -215,7 +217,10 @@ impl<P: TreeParams> BatchWriter<P> {
         }
 
         // Resolution phase: last-writer-wins per key, respecting each
-        // producer's order and a deterministic producer order.
+        // producer's order and a deterministic producer order. The
+        // resolved batch is built once — the commit closure below only
+        // borrows it, so a retry (another writer slipped a commit in)
+        // re-clones nothing and rebuilds nothing per attempt.
         let mut resolved: std::collections::BTreeMap<P::K, Option<P::V>> =
             std::collections::BTreeMap::new();
         for (_, ops) in &drained {
@@ -240,13 +245,18 @@ impl<P: TreeParams> BatchWriter<P> {
         }
 
         // Apply phase: one atomic version containing the whole batch,
-        // built with the parallel bulk algorithms.
-        db.write(pid, |f, base| {
-            let t = f.build_sorted(&inserts);
-            let t = f.union(base, t);
-            let t = f.multi_remove(t, removes.clone());
+        // built with the parallel bulk algorithms. The sorted insert tree
+        // is also built once, outside the retry loop; each attempt
+        // retains one reference for `union` to consume, so an abort
+        // costs O(1) extra instead of an O(batch) rebuild.
+        let ins_tree = forest.build_sorted(&inserts);
+        session.write_raw(|f, base| {
+            f.retain(ins_tree);
+            let t = f.union(base, ins_tree);
+            let t = f.multi_remove_sorted(t, &removes);
             (t, ())
         });
+        forest.release(ins_tree);
 
         // Publish watermarks: producers can now observe durability.
         for (i, ops) in &drained {
@@ -261,12 +271,14 @@ impl<P: TreeParams> BatchWriter<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Database;
     use mvcc_ftree::U64Map;
     use std::sync::atomic::AtomicBool;
 
     #[test]
     fn combine_applies_batch_atomically() {
         let db: Database<U64Map> = Database::new(1);
+        let mut combiner = db.session().unwrap();
         let bw: BatchWriter<U64Map> = BatchWriter::new(2, 64);
         for k in 0..10u64 {
             bw.submit(0, MapOp::Insert(k, k)).unwrap();
@@ -274,41 +286,51 @@ mod tests {
         for k in 5..15u64 {
             bw.submit(1, MapOp::Insert(k, k + 100)).unwrap();
         }
-        let versions_before = db.stats().commits;
-        let applied = bw.combine(&db, 0);
+        let versions_before = combiner.stats().commits;
+        let applied = bw.combine(&mut combiner);
         assert_eq!(applied, 20);
-        assert_eq!(db.stats().commits, versions_before + 1, "one atomic commit");
+        assert_eq!(
+            combiner.stats().commits,
+            versions_before + 1,
+            "one atomic commit"
+        );
         // Producer 1 (drained later) wins the overlap.
-        assert_eq!(db.get(0, &7), Some(107));
-        assert_eq!(db.get(0, &2), Some(2));
-        assert_eq!(db.len(0), 15);
+        assert_eq!(combiner.get(&7), Some(107));
+        assert_eq!(combiner.get(&2), Some(2));
+        assert_eq!(combiner.len(), 15);
     }
 
     #[test]
     fn removes_and_inserts_resolve_last_writer_wins() {
         let db: Database<U64Map> = Database::new(1);
+        let mut combiner = db.session().unwrap();
         let bw: BatchWriter<U64Map> = BatchWriter::new(1, 64);
-        db.insert(0, 1, 1);
+        combiner.insert(1, 1);
         bw.submit(0, MapOp::Insert(2, 2)).unwrap();
         bw.submit(0, MapOp::Remove(2)).unwrap();
         bw.submit(0, MapOp::Remove(1)).unwrap();
         bw.submit(0, MapOp::Insert(1, 11)).unwrap();
-        bw.combine(&db, 0);
-        assert_eq!(db.get(0, &2), None, "insert-then-remove nets to remove");
-        assert_eq!(db.get(0, &1), Some(11), "remove-then-insert nets to insert");
+        bw.combine(&mut combiner);
+        assert_eq!(combiner.get(&2), None, "insert-then-remove nets to remove");
+        assert_eq!(
+            combiner.get(&1),
+            Some(11),
+            "remove-then-insert nets to insert"
+        );
     }
 
     #[test]
     fn tickets_track_durability() {
         let db: Database<U64Map> = Database::new(1);
+        let mut combiner = db.session().unwrap();
         let bw: BatchWriter<U64Map> = BatchWriter::new(1, 8);
         let t1 = bw.submit(0, MapOp::Insert(1, 1)).unwrap();
         assert!(!bw.is_applied(t1));
-        bw.combine(&db, 0);
+        bw.combine(&mut combiner);
         assert!(bw.is_applied(t1));
         let t2 = bw.submit(0, MapOp::Insert(2, 2)).unwrap();
         assert!(!bw.is_applied(t2));
-        bw.combine(&db, 0);
+        bw.combine(&mut combiner);
         assert!(bw.is_applied(t2));
         bw.wait_applied(t2);
     }
@@ -316,15 +338,91 @@ mod tests {
     #[test]
     fn full_buffer_rejects_then_accepts() {
         let db: Database<U64Map> = Database::new(1);
+        let mut combiner = db.session().unwrap();
         let bw: BatchWriter<U64Map> = BatchWriter::new(1, 2);
         bw.submit(0, MapOp::Insert(1, 1)).unwrap();
         bw.submit(0, MapOp::Insert(2, 2)).unwrap();
         let err = bw.submit(0, MapOp::Insert(3, 3));
         assert_eq!(err, Err(SubmitError(MapOp::Insert(3, 3))));
-        bw.combine(&db, 0);
+        bw.combine(&mut combiner);
         bw.submit(0, MapOp::Insert(3, 3)).unwrap();
-        bw.combine(&db, 0);
-        assert_eq!(db.len(0), 3);
+        bw.combine(&mut combiner);
+        assert_eq!(combiner.len(), 3);
+    }
+
+    /// A VM wrapper whose `set` *pretends* to lose the race for the
+    /// first `fail` calls (the inner VM never sees them — legal, since
+    /// the per-process pattern is `acquire (set)? release`). This drives
+    /// the transaction layer's abort path deterministically.
+    struct FlakySet<M> {
+        inner: M,
+        fail: std::sync::atomic::AtomicU64,
+    }
+
+    impl<M: mvcc_vm::VersionMaintenance> mvcc_vm::VersionMaintenance for FlakySet<M> {
+        fn processes(&self) -> usize {
+            self.inner.processes()
+        }
+        fn acquire(&self, k: usize) -> u64 {
+            self.inner.acquire(k)
+        }
+        fn set(&self, k: usize, data: u64) -> bool {
+            if self
+                .fail
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return false; // simulated lost race; inner VM unchanged
+            }
+            self.inner.set(k, data)
+        }
+        fn release(&self, k: usize, out: &mut Vec<u64>) {
+            self.inner.release(k, out)
+        }
+        fn current(&self) -> u64 {
+            self.inner.current()
+        }
+        fn uncollected_versions(&self) -> u64 {
+            self.inner.uncollected_versions()
+        }
+    }
+
+    #[test]
+    fn combine_reuses_prebuilt_batch_across_retries() {
+        // Force `combine`'s commit closure through two aborts: the
+        // prebuilt sorted insert tree must survive each attempt (one
+        // retain consumed per `union`) and the abort path must collect
+        // the speculative version without touching the shared batch.
+        use mvcc_ftree::OptNodeId;
+        let vm = FlakySet {
+            inner: mvcc_vm::PswfVm::new(1, OptNodeId::NONE.raw() as u64),
+            fail: std::sync::atomic::AtomicU64::new(2),
+        };
+        let db: Database<U64Map, _> = Database::with_vm(vm);
+        let mut combiner = db.session().unwrap();
+        let bw: BatchWriter<U64Map> = BatchWriter::new(1, 64);
+        for k in 0..20u64 {
+            bw.submit(0, MapOp::Insert(k, k * 10)).unwrap();
+        }
+        bw.submit(0, MapOp::Remove(0)).unwrap();
+        let applied = bw.combine(&mut combiner);
+        assert_eq!(applied, 21);
+        assert_eq!(
+            combiner.stats().aborts,
+            2,
+            "both simulated set failures retried"
+        );
+        assert_eq!(combiner.stats().commits, 1, "then exactly one commit");
+        // Content correct after the retries...
+        assert_eq!(combiner.get(&0), None, "remove applied");
+        for k in 1..20u64 {
+            assert_eq!(combiner.get(&k), Some(k * 10));
+        }
+        // ...and no refcount damage: exactly the 19 live entries remain
+        // (a missing retain would free shared nodes mid-retry; an extra
+        // one would leak them here).
+        assert_eq!(db.live_versions(), 1);
+        assert_eq!(db.forest().arena().live(), 19);
     }
 
     #[test]
@@ -348,9 +446,10 @@ mod tests {
             let combiner_bw = bw.clone();
             let combiner_stop = stop.clone();
             s.spawn(move || {
+                let mut combiner = combiner_db.session().unwrap();
                 let mut applied = 0u64;
                 while applied < 3 * per_producer {
-                    applied += combiner_bw.combine(&combiner_db, 0) as u64;
+                    applied += combiner_bw.combine(&mut combiner) as u64;
                     if combiner_stop.load(Ordering::Relaxed) {
                         break;
                     }
@@ -359,7 +458,8 @@ mod tests {
             });
         });
         stop.store(true, Ordering::Relaxed);
-        assert_eq!(db.len(1), 3 * per_producer as usize);
+        let mut reader = db.session().unwrap();
+        assert_eq!(reader.len(), 3 * per_producer as usize);
         // Every version except the current one was collected.
         assert_eq!(db.live_versions(), 1);
     }

@@ -22,7 +22,8 @@
 //! works for *any* of these structures (anything whose versions are
 //! arena roots): delay-free readers, single-writer commits, precise GC —
 //! demonstrating that `Database` is not tree-specific by construction
-//! but only by convenience.
+//! but only by convenience. Like `mvcc-core`, its process ids are handed
+//! out as exclusive [`CellSession`] leases.
 
 //! ## Example
 //!
@@ -31,11 +32,13 @@
 //!
 //! // A transactional stack: PSWF version maintenance + precise GC.
 //! let cell = VersionedCell::new(Stack::<u64>::new(), 2);
-//! cell.write(0, |stack, base| (stack.push(base, 7), ()));
-//! cell.write(0, |stack, base| (stack.push(base, 9), ()));
+//! let mut writer = cell.session().unwrap();
+//! writer.write(|stack, base| (stack.push(base, 7), ()));
+//! writer.write(|stack, base| (stack.push(base, 9), ()));
 //!
-//! // Delay-free snapshot read on another process id.
-//! let top = cell.read(1, |stack, root| stack.peek(root).copied());
+//! // Delay-free snapshot read on another leased process id.
+//! let mut reader = cell.session().unwrap();
+//! let top = reader.read(|stack, root| stack.peek(root).copied());
 //! assert_eq!(top, Some(9));
 //! assert_eq!(cell.live_versions(), 1); // precise GC in quiescence
 //! ```
@@ -48,4 +51,4 @@ mod versioned;
 pub use heap::{Heap, HeapNode};
 pub use queue::{Queue, QueueNode};
 pub use stack::{Stack, StackNode};
-pub use versioned::{Aborted, VersionRoots, VersionedCell};
+pub use versioned::{Aborted, CellSession, VersionRoots, VersionedCell};

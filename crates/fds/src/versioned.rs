@@ -11,10 +11,33 @@
 //! "versions are reference-counted roots", not on the ordered-map
 //! structure the experiments happen to use.
 
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mvcc_plm::{Arena, OptNodeId, Tuple};
-use mvcc_vm::{PswfVm, VersionMaintenance, VmKind};
+use mvcc_vm::{LeaseError, PidPool, PswfVm, VersionMaintenance, VmKind};
+
+thread_local! {
+    /// Reusable release/collect buffer for the deprecated pid-based entry
+    /// points (sessions carry their own). Taken (not borrowed) around
+    /// each transaction so nested legacy transactions on one thread each
+    /// get a buffer instead of a `RefCell` panic.
+    static RELEASE_BUF: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_release_buf<R>(f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+    let mut buf = RELEASE_BUF.with(|b| std::mem::take(&mut *b.borrow_mut()));
+    let result = f(&mut buf);
+    RELEASE_BUF.with(|b| {
+        let mut slot = b.borrow_mut();
+        if slot.capacity() < buf.capacity() {
+            buf.clear();
+            *slot = buf;
+        }
+    });
+    result
+}
 
 /// Error returned by [`VersionedCell::try_write`]: a concurrent writer
 /// committed first; the speculative version has been collected.
@@ -76,6 +99,7 @@ fn decode(token: u64) -> OptNodeId {
 pub struct VersionedCell<S: VersionRoots, M: VersionMaintenance = PswfVm> {
     structure: S,
     vmo: M,
+    pids: PidPool,
     commits: AtomicU64,
     aborts: AtomicU64,
 }
@@ -106,10 +130,23 @@ impl<S: VersionRoots, M: VersionMaintenance> VersionedCell<S, M> {
         );
         VersionedCell {
             structure,
+            pids: PidPool::new(vmo.processes()),
             vmo,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
         }
+    }
+
+    /// Lease a free process id as a [`CellSession`].
+    /// `Err(Exhausted)` when every pid is held.
+    pub fn session(&self) -> Result<CellSession<'_, S, M>, LeaseError> {
+        Ok(CellSession::new(self, self.pids.lease()?))
+    }
+
+    /// Lease the specific process id `pid`. `Err(PidLeased)` if held.
+    pub fn session_for(&self, pid: usize) -> Result<CellSession<'_, S, M>, LeaseError> {
+        self.pids.lease_exact(pid)?;
+        Ok(CellSession::new(self, pid))
     }
 
     /// The wrapped structure (all of its non-transactional API).
@@ -148,47 +185,28 @@ impl<S: VersionRoots, M: VersionMaintenance> VersionedCell<S, M> {
         }
     }
 
-    /// Run a **read-only transaction** on process `pid` (Figure 1, left):
-    /// acquire, run `f` on the immutable snapshot root, then release and
-    /// precisely collect in the cleanup phase.
-    pub fn read<R>(&self, pid: usize, f: impl FnOnce(&S, OptNodeId) -> R) -> R {
+    /// The read-transaction core (Figure 1, left): acquire, run `f` on
+    /// the immutable snapshot root, then release and precisely collect
+    /// through the caller's reusable buffer.
+    fn read_core<R>(
+        &self,
+        pid: usize,
+        released: &mut Vec<u64>,
+        f: impl FnOnce(&S, OptNodeId) -> R,
+    ) -> R {
         let root = decode(self.vmo.acquire(pid));
         let result = f(&self.structure, root);
         // ---- response delivered; cleanup phase ----
-        let mut released = Vec::new();
-        self.vmo.release(pid, &mut released);
-        self.collect_released(&mut released);
+        self.vmo.release(pid, released);
+        self.collect_released(released);
         result
     }
 
-    /// Run a **write transaction** (Figure 1, right), retrying on abort.
-    ///
-    /// `f` receives the structure and an *owned* reference to the
-    /// snapshot root and must return the new version's owned root (built
-    /// by consuming operations / path copying). `f` may run multiple
-    /// times; it must have no side effects beyond arena allocation.
-    pub fn write<R>(&self, pid: usize, mut f: impl FnMut(&S, OptNodeId) -> (OptNodeId, R)) -> R {
-        loop {
-            match self.try_write_inner(pid, &mut f) {
-                Some(r) => return r,
-                None => continue,
-            }
-        }
-    }
-
-    /// One write attempt; `Err(Aborted)` means a concurrent writer
-    /// committed first and the speculative version has been collected.
-    pub fn try_write<R>(
+    /// One write attempt (Figure 1, right) through the caller's buffer.
+    fn try_write_core<R>(
         &self,
         pid: usize,
-        mut f: impl FnMut(&S, OptNodeId) -> (OptNodeId, R),
-    ) -> Result<R, Aborted> {
-        self.try_write_inner(pid, &mut f).ok_or(Aborted)
-    }
-
-    fn try_write_inner<R>(
-        &self,
-        pid: usize,
+        released: &mut Vec<u64>,
         f: &mut impl FnMut(&S, OptNodeId) -> (OptNodeId, R),
     ) -> Option<R> {
         let base = decode(self.vmo.acquire(pid));
@@ -198,9 +216,8 @@ impl<S: VersionRoots, M: VersionMaintenance> VersionedCell<S, M> {
         let (new_root, result) = f(&self.structure, base);
         let ok = self.vmo.set(pid, encode(new_root));
         // ---- response (if ok) delivered; cleanup phase ----
-        let mut released = Vec::new();
-        self.vmo.release(pid, &mut released);
-        self.collect_released(&mut released);
+        self.vmo.release(pid, released);
+        self.collect_released(released);
         if ok {
             self.commits.fetch_add(1, Ordering::Relaxed);
             Some(result)
@@ -210,6 +227,119 @@ impl<S: VersionRoots, M: VersionMaintenance> VersionedCell<S, M> {
             self.aborts.fetch_add(1, Ordering::Relaxed);
             None
         }
+    }
+
+    /// Run a **read-only transaction** on a raw process id.
+    #[deprecated(
+        since = "0.1.0",
+        note = "lease a `CellSession` and use `CellSession::read`"
+    )]
+    pub fn read<R>(&self, pid: usize, f: impl FnOnce(&S, OptNodeId) -> R) -> R {
+        with_release_buf(|buf| self.read_core(pid, buf, f))
+    }
+
+    /// Run a **write transaction** on a raw process id, retrying on
+    /// abort.
+    #[deprecated(
+        since = "0.1.0",
+        note = "lease a `CellSession` and use `CellSession::write`"
+    )]
+    pub fn write<R>(&self, pid: usize, mut f: impl FnMut(&S, OptNodeId) -> (OptNodeId, R)) -> R {
+        loop {
+            let attempt = with_release_buf(|buf| self.try_write_core(pid, buf, &mut f));
+            if let Some(r) = attempt {
+                return r;
+            }
+        }
+    }
+
+    /// One write attempt on a raw process id; `Err(Aborted)` means a
+    /// concurrent writer committed first and the speculative version has
+    /// been collected.
+    #[deprecated(
+        since = "0.1.0",
+        note = "lease a `CellSession` and use `CellSession::try_write`"
+    )]
+    pub fn try_write<R>(
+        &self,
+        pid: usize,
+        mut f: impl FnMut(&S, OptNodeId) -> (OptNodeId, R),
+    ) -> Result<R, Aborted> {
+        with_release_buf(|buf| self.try_write_core(pid, buf, &mut f)).ok_or(Aborted)
+    }
+}
+
+/// An exclusive lease on one process id of a [`VersionedCell`] — the
+/// structure-agnostic sibling of `mvcc-core`'s `Session`. `Send` but
+/// `!Sync`; transaction methods take `&mut self`, so the VM contract
+/// ("one thread, one outstanding transaction per pid") is enforced by
+/// the borrow checker. The pid returns to the pool on drop.
+pub struct CellSession<'c, S: VersionRoots, M: VersionMaintenance = PswfVm> {
+    cell: &'c VersionedCell<S, M>,
+    pid: usize,
+    /// Reused across transactions: `release` appends, `collect` drains.
+    released: Vec<u64>,
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+impl<'c, S: VersionRoots, M: VersionMaintenance> CellSession<'c, S, M> {
+    fn new(cell: &'c VersionedCell<S, M>, pid: usize) -> Self {
+        CellSession {
+            cell,
+            pid,
+            released: Vec::new(),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// The leased process id.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// The cell this session leases from.
+    pub fn cell(&self) -> &'c VersionedCell<S, M> {
+        self.cell
+    }
+
+    /// Run a **read-only transaction** (Figure 1, left).
+    pub fn read<R>(&mut self, f: impl FnOnce(&S, OptNodeId) -> R) -> R {
+        self.cell.read_core(self.pid, &mut self.released, f)
+    }
+
+    /// Run a **write transaction** (Figure 1, right), retrying on abort.
+    ///
+    /// `f` receives the structure and an *owned* reference to the
+    /// snapshot root and must return the new version's owned root (built
+    /// by consuming operations / path copying). `f` may run multiple
+    /// times; it must have no side effects beyond arena allocation.
+    pub fn write<R>(&mut self, mut f: impl FnMut(&S, OptNodeId) -> (OptNodeId, R)) -> R {
+        loop {
+            match self
+                .cell
+                .try_write_core(self.pid, &mut self.released, &mut f)
+            {
+                Some(r) => return r,
+                None => continue,
+            }
+        }
+    }
+
+    /// One write attempt; `Err(Aborted)` means a concurrent writer
+    /// committed first and the speculative version has been collected.
+    pub fn try_write<R>(
+        &mut self,
+        mut f: impl FnMut(&S, OptNodeId) -> (OptNodeId, R),
+    ) -> Result<R, Aborted> {
+        self.cell
+            .try_write_core(self.pid, &mut self.released, &mut f)
+            .ok_or(Aborted)
+    }
+}
+
+impl<S: VersionRoots, M: VersionMaintenance> Drop for CellSession<'_, S, M> {
+    fn drop(&mut self) {
+        self.cell.pids.release(self.pid);
     }
 }
 
@@ -221,8 +351,8 @@ mod tests {
 
     /// A versioned counter: each version is one `Leaf<u64>` tuple, the
     /// arena itself acting as the [`VersionRoots`] structure.
-    fn bump(cell: &VersionedCell<Arena<Leaf<u64>>>, pid: usize) -> u64 {
-        cell.write(pid, |arena, base| {
+    fn bump(session: &mut CellSession<'_, Arena<Leaf<u64>>>) -> u64 {
+        session.write(|arena, base| {
             let old = base.get().map_or(0, |id| arena.get(id).0);
             let fresh = OptNodeId::some(arena.alloc(Leaf(old + 1)));
             // Drop the owned base reference: the new version doesn't
@@ -235,10 +365,12 @@ mod tests {
     #[test]
     fn counter_sequential() {
         let cell = VersionedCell::new(Arena::<Leaf<u64>>::new(), 2);
+        let mut w = cell.session().unwrap();
+        let mut r = cell.session().unwrap();
         for i in 1..=100 {
-            assert_eq!(bump(&cell, 0), i);
+            assert_eq!(bump(&mut w), i);
         }
-        let v = cell.read(1, |arena, root| arena.get(root.unwrap()).0);
+        let v = r.read(|arena, root| arena.get(root.unwrap()).0);
         assert_eq!(v, 100);
         assert_eq!(cell.commits(), 100);
         // Only the current version is live.
@@ -248,16 +380,32 @@ mod tests {
     #[test]
     fn read_sees_snapshot_not_later_writes() {
         let cell = Arc::new(VersionedCell::new(Arena::<Leaf<u64>>::new(), 2));
-        bump(&cell, 0);
-        let observed = cell.read(1, |arena, root| {
+        let mut w = cell.session().unwrap();
+        let mut r = cell.session().unwrap();
+        bump(&mut w);
+        let observed = r.read(|arena, root| {
             let before = arena.get(root.unwrap()).0;
             // A write committed *during* the read must not be visible.
-            bump(&cell, 0);
+            bump(&mut w);
             let after = arena.get(root.unwrap()).0;
             (before, after)
         });
         assert_eq!(observed, (1, 1));
-        assert_eq!(cell.read(1, |a, r| a.get(r.unwrap()).0), 2);
+        assert_eq!(r.read(|a, root| a.get(root.unwrap()).0), 2);
+    }
+
+    #[test]
+    fn session_pool_enforces_the_pid_contract() {
+        let cell = VersionedCell::new(Arena::<Leaf<u64>>::new(), 2);
+        let s0 = cell.session_for(0).unwrap();
+        assert!(matches!(
+            cell.session_for(0),
+            Err(LeaseError::PidLeased { pid: 0 })
+        ));
+        let _s1 = cell.session().unwrap();
+        assert!(matches!(cell.session(), Err(LeaseError::Exhausted { .. })));
+        drop(s0);
+        assert_eq!(cell.session().unwrap().pid(), 0, "dropped pid reusable");
     }
 
     #[test]
@@ -266,16 +414,20 @@ mod tests {
         const PER: u64 = 200;
         let cell = Arc::new(VersionedCell::new(Arena::<Leaf<u64>>::new(), THREADS));
         std::thread::scope(|s| {
-            for pid in 0..THREADS {
+            for _ in 0..THREADS {
                 let cell = Arc::clone(&cell);
                 s.spawn(move || {
+                    let mut session = cell.session().unwrap();
                     for _ in 0..PER {
-                        bump(&cell, pid);
+                        bump(&mut session);
                     }
                 });
             }
         });
-        let v = cell.read(0, |arena, root| arena.get(root.unwrap()).0);
+        let v = cell
+            .session()
+            .unwrap()
+            .read(|arena, root| arena.get(root.unwrap()).0);
         assert_eq!(v, THREADS as u64 * PER);
         assert_eq!(cell.commits(), THREADS as u64 * PER);
         assert_eq!(
@@ -289,15 +441,17 @@ mod tests {
     fn works_with_every_vm_kind() {
         for kind in VmKind::ALL {
             let cell = VersionedCell::with_kind(Arena::<Leaf<u64>>::new(), kind, 3);
+            let mut w = cell.session().unwrap();
+            let mut r = cell.session().unwrap();
             for _ in 0..10 {
-                cell.write(0, |arena, base| {
+                w.write(|arena, base| {
                     let old = base.get().map_or(0, |id| arena.get(id).0);
                     let fresh = OptNodeId::some(arena.alloc(Leaf(old + 1)));
                     arena.collect_opt(base);
                     (fresh, ())
                 });
             }
-            let v = cell.read(1, |arena, root| arena.get(root.unwrap()).0);
+            let v = r.read(|arena, root| arena.get(root.unwrap()).0);
             assert_eq!(v, 10, "kind {:?}", kind);
         }
     }

@@ -212,6 +212,18 @@ impl<P: TreeParams> Forest<P> {
         self.remove_sorted(t, &keys)
     }
 
+    /// [`Forest::multi_remove`] over a **borrowed, strictly-sorted** key
+    /// slice — no per-call clone, so a retrying writer (e.g. the batching
+    /// combiner) can resolve its batch once and reuse it across attempts.
+    /// Consumes `t`.
+    pub fn multi_remove_sorted(&self, t: Root, keys: &[P::K]) -> Root {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "multi_remove_sorted requires strictly increasing keys"
+        );
+        self.remove_sorted(t, keys)
+    }
+
     // ------------------------------------------------------------------
     // Explicit-context variants
     // ------------------------------------------------------------------

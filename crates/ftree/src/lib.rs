@@ -3,9 +3,9 @@
 //! The paper's transactional system (§5) requires all shared state to be a
 //! *purely functional* data structure: updates path-copy, old versions stay
 //! intact, and a version is just a root pointer. This crate is the Rust
-//! equivalent of the PAM library [60] the paper evaluates with: a
+//! equivalent of the PAM library \[60\] the paper evaluates with: a
 //! persistent, augmented, height-balanced ordered map with **join-based**
-//! bulk algorithms ("Just Join for Parallel Ordered Sets" [16]) — `union`,
+//! bulk algorithms ("Just Join for Parallel Ordered Sets" \[16\]) — `union`,
 //! `intersection`, `difference`, `multi_insert`, `split`, `filter` — all of
 //! which parallelize with fork-join (`rayon::join`) above a sequential
 //! cutoff.

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use mvcc_core::Database;
+use mvcc_core::{Database, Session, SessionError};
 use mvcc_ftree::TreeParams;
 use mvcc_vm::{PswfVm, VersionMaintenance};
 
@@ -185,10 +185,44 @@ impl<M: VersionMaintenance> InvertedIndex<M> {
         &self.db
     }
 
-    /// Add a batch of documents in **one atomic write transaction** on
-    /// process `pid`. Each document is `(doc_id, [(term, weight), ...])`.
-    /// Queries see either none or all of the batch.
-    pub fn add_documents(&self, pid: usize, docs: &[(u64, Vec<(u64, u64)>)]) {
+    /// Lease a free process id as an [`IndexSession`] — the handle all
+    /// ingestion and querying runs through.
+    pub fn session(&self) -> Result<IndexSession<'_, M>, SessionError> {
+        Ok(IndexSession {
+            inner: self.db.session()?,
+        })
+    }
+
+    /// Lease the specific process id `pid`.
+    pub fn session_for(&self, pid: usize) -> Result<IndexSession<'_, M>, SessionError> {
+        Ok(IndexSession {
+            inner: self.db.session_for(pid)?,
+        })
+    }
+}
+
+/// An exclusive process-id lease on an [`InvertedIndex`]: one writer or
+/// query thread's handle. `Send + !Sync`, like the underlying
+/// [`Session`].
+pub struct IndexSession<'idx, M: VersionMaintenance = PswfVm> {
+    inner: Session<'idx, IndexParams, M>,
+}
+
+impl<'idx, M: VersionMaintenance> IndexSession<'idx, M> {
+    /// The leased process id.
+    pub fn pid(&self) -> usize {
+        self.inner.pid()
+    }
+
+    /// The underlying database session (stats, advanced use).
+    pub fn database_session(&mut self) -> &mut Session<'idx, IndexParams, M> {
+        &mut self.inner
+    }
+
+    /// Add a batch of documents in **one atomic write transaction**.
+    /// Each document is `(doc_id, [(term, weight), ...])`. Queries see
+    /// either none or all of the batch.
+    pub fn add_documents(&mut self, docs: &[(u64, Vec<(u64, u64)>)]) {
         // Build term -> postings for the batch (T' of §7.2).
         let mut by_term: std::collections::BTreeMap<u64, Vec<Posting>> =
             std::collections::BTreeMap::new();
@@ -208,18 +242,16 @@ impl<M: VersionMaintenance> InvertedIndex<M> {
         // union-with-merge: duplicate terms combine their posting lists
         // (the paper's union "whenever duplicate keys appear, we take a
         // union on their values").
-        self.db.write(pid, |f, base| {
-            let t = f.multi_insert(base, batch.clone(), |old, new| old.merge(new));
-            (t, ())
-        });
+        self.inner
+            .write(|txn| txn.multi_insert(batch.clone(), |old, new| old.merge(new)));
     }
 
     /// Remove a set of documents atomically (posting lists are rewritten;
     /// terms left empty are dropped from the index).
-    pub fn remove_documents(&self, pid: usize, docs: &[u64]) {
+    pub fn remove_documents(&mut self, docs: &[u64]) {
         let mut sorted: Vec<u64> = docs.to_vec();
         sorted.sort_unstable();
-        self.db.write(pid, |f, base| {
+        self.inner.write_raw(|f, base| {
             let filtered = f.filter(base, |_term, pl| {
                 // Keep terms that still have postings after removal...
                 pl.postings()
@@ -243,22 +275,22 @@ impl<M: VersionMaintenance> InvertedIndex<M> {
     }
 
     /// Number of indexed terms.
-    pub fn term_count(&self, pid: usize) -> usize {
-        self.db.read(pid, |s| s.len())
+    pub fn term_count(&mut self) -> usize {
+        self.inner.read(|s| s.len())
     }
 
     /// The largest posting weight anywhere in `term_lo..=term_hi`
     /// (O(log n) via the augmentation).
-    pub fn max_weight_in_range(&self, pid: usize, term_lo: u64, term_hi: u64) -> u64 {
-        self.db.read(pid, |s| s.aug_range(&term_lo, &term_hi))
+    pub fn max_weight_in_range(&mut self, term_lo: u64, term_hi: u64) -> u64 {
+        self.inner.read(|s| s.aug_range(&term_lo, &term_hi))
     }
 
     /// "and"-query (§7.2): top-`k` documents containing both terms, ranked
     /// by combined weight. Runs as one read transaction on a snapshot —
     /// the two posting lists are consistent with each other by
     /// construction.
-    pub fn and_query(&self, pid: usize, term_a: u64, term_b: u64, k: usize) -> Vec<(u64, u64)> {
-        self.db.read(pid, |s| {
+    pub fn and_query(&mut self, term_a: u64, term_b: u64, k: usize) -> Vec<(u64, u64)> {
+        self.inner.read(|s| {
             let (Some(pa), Some(pb)) = (s.get(&term_a), s.get(&term_b)) else {
                 return Vec::new();
             };
@@ -270,8 +302,8 @@ impl<M: VersionMaintenance> InvertedIndex<M> {
     }
 
     /// Posting-list length of a term (0 if absent).
-    pub fn doc_frequency(&self, pid: usize, term: u64) -> usize {
-        self.db.read(pid, |s| s.get(&term).map_or(0, |pl| pl.len()))
+    pub fn doc_frequency(&mut self, term: u64) -> usize {
+        self.inner.read(|s| s.get(&term).map_or(0, |pl| pl.len()))
     }
 }
 
@@ -286,49 +318,51 @@ mod tests {
     #[test]
     fn add_and_query() {
         let idx = InvertedIndex::new(2);
-        idx.add_documents(
-            0,
-            &[
-                doc(1, &[(10, 5), (20, 3)]),
-                doc(2, &[(10, 7), (30, 1)]),
-                doc(3, &[(10, 2), (20, 9)]),
-            ],
-        );
-        assert_eq!(idx.term_count(1), 3);
-        assert_eq!(idx.doc_frequency(1, 10), 3);
+        let mut writer = idx.session().unwrap();
+        let mut reader = idx.session().unwrap();
+        writer.add_documents(&[
+            doc(1, &[(10, 5), (20, 3)]),
+            doc(2, &[(10, 7), (30, 1)]),
+            doc(3, &[(10, 2), (20, 9)]),
+        ]);
+        assert_eq!(reader.term_count(), 3);
+        assert_eq!(reader.doc_frequency(10), 3);
         // Docs containing both 10 and 20: 1 (5+3=8) and 3 (2+9=11).
-        assert_eq!(idx.and_query(1, 10, 20, 10), vec![(3, 11), (1, 8)]);
-        assert_eq!(idx.and_query(1, 10, 20, 1), vec![(3, 11)]);
-        assert_eq!(idx.and_query(1, 20, 30, 10), vec![]);
-        assert_eq!(idx.and_query(1, 99, 10, 10), vec![]);
+        assert_eq!(reader.and_query(10, 20, 10), vec![(3, 11), (1, 8)]);
+        assert_eq!(reader.and_query(10, 20, 1), vec![(3, 11)]);
+        assert_eq!(reader.and_query(20, 30, 10), vec![]);
+        assert_eq!(reader.and_query(99, 10, 10), vec![]);
     }
 
     #[test]
     fn incremental_batches_merge_posting_lists() {
         let idx = InvertedIndex::new(1);
-        idx.add_documents(0, &[doc(1, &[(7, 1)])]);
-        idx.add_documents(0, &[doc(2, &[(7, 2)])]);
-        idx.add_documents(0, &[doc(3, &[(7, 3)])]);
-        assert_eq!(idx.doc_frequency(0, 7), 3);
-        assert_eq!(idx.and_query(0, 7, 7, 10).len(), 3);
-        assert_eq!(idx.max_weight_in_range(0, 0, 100), 3);
+        let mut s = idx.session().unwrap();
+        s.add_documents(&[doc(1, &[(7, 1)])]);
+        s.add_documents(&[doc(2, &[(7, 2)])]);
+        s.add_documents(&[doc(3, &[(7, 3)])]);
+        assert_eq!(s.doc_frequency(7), 3);
+        assert_eq!(s.and_query(7, 7, 10).len(), 3);
+        assert_eq!(s.max_weight_in_range(0, 100), 3);
     }
 
     #[test]
     fn batch_is_atomic_under_concurrent_queries() {
         use std::sync::atomic::{AtomicBool, Ordering};
         let idx = std::sync::Arc::new(InvertedIndex::new(3));
+        let mut writer = idx.session().unwrap();
         // Every doc contains both terms 1 and 2, so the intersection size
         // must always equal each posting-list length (atomicity witness).
         let stop = std::sync::Arc::new(AtomicBool::new(false));
         std::thread::scope(|s| {
-            for pid in 1..3 {
+            for _ in 0..2 {
                 let idx = idx.clone();
                 let stop = stop.clone();
                 s.spawn(move || {
+                    let mut q = idx.session().unwrap();
                     while !stop.load(Ordering::Relaxed) {
-                        let df1 = idx.doc_frequency(pid, 1);
-                        let hits = idx.and_query(pid, 1, 2, usize::MAX);
+                        let df1 = q.doc_frequency(1);
+                        let hits = q.and_query(1, 2, usize::MAX);
                         assert!(
                             hits.len() <= df1 || df1 == 0,
                             "query saw a partially-applied batch"
@@ -340,31 +374,29 @@ mod tests {
                 let docs: Vec<_> = (0..20)
                     .map(|i| doc(batch * 20 + i, &[(1, i + 1), (2, i + 1)]))
                     .collect();
-                idx.add_documents(0, &docs);
+                writer.add_documents(&docs);
             }
             stop.store(true, Ordering::Relaxed);
         });
-        assert_eq!(idx.doc_frequency(0, 1), 600);
-        assert_eq!(idx.and_query(0, 1, 2, usize::MAX).len(), 600);
+        assert_eq!(writer.doc_frequency(1), 600);
+        assert_eq!(writer.and_query(1, 2, usize::MAX).len(), 600);
         assert_eq!(idx.database().live_versions(), 1);
     }
 
     #[test]
     fn remove_documents_rewrites_lists() {
         let idx = InvertedIndex::new(1);
-        idx.add_documents(
-            0,
-            &[
-                doc(1, &[(5, 1), (6, 1)]),
-                doc(2, &[(5, 2)]),
-                doc(3, &[(6, 3)]),
-            ],
-        );
-        idx.remove_documents(0, &[1]);
-        assert_eq!(idx.doc_frequency(0, 5), 1); // doc 2 remains
-        assert_eq!(idx.doc_frequency(0, 6), 1); // doc 3 remains
-        idx.remove_documents(0, &[2, 3]);
-        assert_eq!(idx.term_count(0), 0, "empty terms dropped");
+        let mut s = idx.session().unwrap();
+        s.add_documents(&[
+            doc(1, &[(5, 1), (6, 1)]),
+            doc(2, &[(5, 2)]),
+            doc(3, &[(6, 3)]),
+        ]);
+        s.remove_documents(&[1]);
+        assert_eq!(s.doc_frequency(5), 1); // doc 2 remains
+        assert_eq!(s.doc_frequency(6), 1); // doc 3 remains
+        s.remove_documents(&[2, 3]);
+        assert_eq!(s.term_count(), 0, "empty terms dropped");
     }
 
     #[test]

@@ -671,7 +671,7 @@ impl<T: Tuple> Arena<T> {
     }
 
     /// [`Arena::collect`] through an explicit shard context. Frees are
-    /// buffered and spliced onto the shard freelist [`FREE_BUF`] at a
+    /// buffered and spliced onto the shard freelist `FREE_BUF` at a
     /// time, so a large precise collection performs `O(S / FREE_BUF)`
     /// head CASes instead of `O(S)`.
     pub fn collect_in(&self, ctx: AllocCtx, root: NodeId) -> usize {

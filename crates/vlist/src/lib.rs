@@ -1,6 +1,6 @@
 //! # mvcc-vlist — the version-list multiversion baseline
 //!
-//! The mainstream way to build a multiversion system — used by MVTO [57],
+//! The mainstream way to build a multiversion system — used by MVTO \[57\],
 //! ROMV [50, 62] and most MVCC databases — keeps a **version list per
 //! object**: every record carries a chain of `(timestamp, value)` pairs,
 //! newest first, and a reader with read-timestamp `t` walks the chain to

@@ -17,7 +17,7 @@
 //!   exactly when the releasing process was the last holder.
 //!
 //! Five implementations matching the paper's §3.1, §6 and §7.1 evaluation,
-//! plus one extension ([`IntervalVm`]) from the §6 pointer to IBR [63]:
+//! plus one extension ([`IntervalVm`]) from the §6 pointer to IBR \[63\]:
 //!
 //! | Type | Precise | Progress | acquire | set | release |
 //! |------|---------|----------|---------|-----|---------|
@@ -65,6 +65,7 @@ mod counter;
 mod epoch;
 mod hazard;
 mod interval;
+mod lease;
 mod pswf;
 mod rcu;
 mod util;
@@ -74,6 +75,7 @@ pub use counter::VersionCounter;
 pub use epoch::EpochVm;
 pub use hazard::HazardVm;
 pub use interval::IntervalVm;
+pub use lease::{LeaseError, PidPool};
 pub use pswf::{PslfVm, PswfVm};
 pub use rcu::RcuVm;
 
@@ -173,7 +175,7 @@ pub enum VmKind {
     Epoch,
     /// Read-copy-update based (precise, blocking writer).
     Rcu,
-    /// Interval-based reclamation (imprecise; §6 extension, IBR [63]).
+    /// Interval-based reclamation (imprecise; §6 extension, IBR \[63\]).
     Interval,
 }
 

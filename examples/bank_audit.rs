@@ -22,10 +22,11 @@ const TOTAL: u64 = ACCOUNTS * 100;
 fn main() {
     let auditors = 3usize;
     let db: Arc<Database<SumU64Map>> = Arc::new(Database::new(auditors + 1));
+    let mut teller = db.session().expect("teller pid");
 
-    db.write(0, |f, base| {
+    teller.write(|txn| {
         let init: Vec<(u64, u64)> = (0..ACCOUNTS).map(|k| (k, 100)).collect();
-        (f.multi_insert(base, init, |_o, v| *v), ())
+        txn.multi_insert(init, |_o, v| *v);
     });
     println!("ledger: {ACCOUNTS} accounts x 100 = {TOTAL}");
 
@@ -41,8 +42,9 @@ fn main() {
             let stop = stop.clone();
             let audits = audits.clone();
             s.spawn(move || {
+                let mut session = db.session().expect("auditor pid");
                 while !stop.load(Ordering::Relaxed) {
-                    let (sum, count) = db.read(a + 1, |snap| {
+                    let (sum, count) = session.read(|snap| {
                         let mut sum = 0u64;
                         let mut count = 0u64;
                         snap.for_each(|_, v| {
@@ -70,13 +72,12 @@ fn main() {
             if from == to {
                 continue;
             }
-            db.write(0, |f, base| {
-                let a = *f.get(base, &from).unwrap();
-                let b = *f.get(base, &to).unwrap();
+            teller.write(|txn| {
+                let a = *txn.get(&from).unwrap();
+                let b = *txn.get(&to).unwrap();
                 let moved = a.min(10);
-                let t = f.insert(base, from, a - moved);
-                let t = f.insert(t, to, b + moved);
-                (t, ())
+                txn.insert(from, a - moved);
+                txn.insert(to, b + moved);
             });
             transfers.fetch_add(1, Ordering::Relaxed);
             max_versions.fetch_max(db.live_versions(), Ordering::Relaxed);
@@ -84,7 +85,7 @@ fn main() {
         stop.store(true, Ordering::Relaxed);
     });
 
-    let final_total = db.read(1, |s| s.aug_total());
+    let final_total = teller.read(|s| s.aug_total());
     println!(
         "teller committed {} transfers while {} full audits ran",
         transfers.load(Ordering::Relaxed),

@@ -15,7 +15,8 @@ fn main() {
     let producers = 4usize;
     let per_producer = 50_000u64;
 
-    // pid 0: combiner; pid 1: a reader we use for spot checks.
+    // Two leasable pids: one for the combiner's session, one for a
+    // reader session used for spot checks.
     let db: Arc<Database<U64Map>> = Arc::new(Database::new(2));
     let bw: Arc<BatchWriter<U64Map>> = Arc::new(BatchWriter::new(producers, 8 * 1024));
     let stop = Arc::new(AtomicBool::new(false));
@@ -40,11 +41,14 @@ fn main() {
         let bw2 = bw.clone();
         let stop2 = stop.clone();
         s.spawn(move || {
+            // The combiner holds a session: its pid, arena shard and
+            // release buffer stay pinned for every batch it commits.
+            let mut session = db2.session().expect("combiner pid");
             let mut batches = 0u64;
             let mut applied = 0u64;
             let target = producers as u64 * per_producer;
             while applied < target && !stop2.load(Ordering::Relaxed) {
-                let n = bw2.combine(&db2, 0) as u64;
+                let n = bw2.combine(&mut session) as u64;
                 if n == 0 {
                     std::thread::yield_now();
                 } else {
@@ -70,10 +74,11 @@ fn main() {
         total as f64 / elapsed.as_secs_f64() / 1e6
     );
     assert_eq!(db.stats().aborts, 0);
-    assert_eq!(db.len(1), total as usize);
+    let mut reader = db.session().expect("reader pid");
+    assert_eq!(reader.len(), total as usize);
     // Spot-check values.
     for key in [0u64, per_producer, total - 1] {
-        assert_eq!(db.get(1, &key), Some(key * 3));
+        assert_eq!(reader.get(&key), Some(key * 3));
     }
     println!(
         "versions committed: {}, live now: {}",

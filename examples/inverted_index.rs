@@ -15,6 +15,7 @@ use multiversion::workloads::corpus::{Corpus, CorpusConfig};
 fn main() {
     let query_threads = 3usize;
     let idx = Arc::new(InvertedIndex::new(query_threads + 1));
+    let mut writer = idx.session().expect("writer pid");
 
     // Initial corpus.
     let mut corpus = Corpus::new(CorpusConfig::default());
@@ -24,12 +25,12 @@ fn main() {
         .map(|d| (d.id, d.terms))
         .collect();
     for chunk in initial.chunks(256) {
-        idx.add_documents(0, chunk);
+        writer.add_documents(chunk);
     }
     println!(
         "indexed {} initial docs, {} distinct terms",
         2_000,
-        idx.term_count(0)
+        writer.term_count()
     );
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -41,6 +42,7 @@ fn main() {
             let stop = stop.clone();
             let queries = queries.clone();
             s.spawn(move || {
+                let mut session = idx.session().expect("query pid");
                 let mut qc = Corpus::new(CorpusConfig {
                     seed: 7_000 + q as u64,
                     ..CorpusConfig::default()
@@ -48,7 +50,7 @@ fn main() {
                 let mut best: Option<(u64, u64)> = None;
                 while !stop.load(Ordering::Relaxed) {
                     let (a, b) = qc.query_terms();
-                    let top = idx.and_query(1 + q, a, b, 10);
+                    let top = session.and_query(a, b, 10);
                     if let Some(hit) = top.first() {
                         if best.is_none_or(|b| hit.1 > b.1) {
                             best = Some(*hit);
@@ -69,7 +71,7 @@ fn main() {
                 .into_iter()
                 .map(|d| (d.id, d.terms))
                 .collect();
-            idx.add_documents(0, &docs);
+            writer.add_documents(&docs);
         }
         stop.store(true, Ordering::Relaxed);
     });
@@ -80,8 +82,8 @@ fn main() {
     );
     println!(
         "final: {} terms, hottest term appears in {} docs",
-        idx.term_count(0),
-        idx.doc_frequency(0, 0)
+        writer.term_count(),
+        writer.doc_frequency(0)
     );
     println!(
         "live versions: {} — every superseded index version was collected",

@@ -76,19 +76,21 @@ fn probe_hops(m: &VersionListMap<u64>, t: &multiversion::vlist::ReadTicket) -> u
 
 fn paper_design() {
     let db: Database<SumU64Map> = Database::new(2);
-    db.write(0, |f, base| {
+    let mut writer = db.session().expect("writer pid");
+    let mut analyst = db.session().expect("analyst pid");
+    writer.write(|txn| {
         let init: Vec<(u64, u64)> = (0..KEYS).map(|k| (k, k)).collect();
-        (f.multi_insert(base, init, |_o, v| *v), ())
+        txn.multi_insert(init, |_o, v| *v);
     });
 
-    // Analyst pins a snapshot (pid 1) via a read guard; writer commits.
-    let guard = db.begin_read(1);
+    // Analyst pins a snapshot via a session read guard; writer commits.
+    let guard = analyst.begin_read();
     let t0 = Instant::now();
     let sum_before: u64 = guard.snapshot().aug_total();
     let fresh = t0.elapsed();
 
     for i in 0..COMMITS_WHILE_PINNED {
-        db.write(0, |f, base| (f.insert(base, i % KEYS, i), ()));
+        writer.insert(i % KEYS, i);
     }
 
     let live_versions = db.live_versions();

@@ -24,7 +24,9 @@ type Job = (u64, u64);
 fn main() {
     const SUBMITTERS: usize = 2;
     const JOBS_PER_SUBMITTER: u64 = 2_000;
-    // pids: 0..SUBMITTERS submit, SUBMITTERS dispatches, +1 monitors.
+    // Leasable pids: SUBMITTERS submitters + 1 dispatcher + 1 monitor.
+    // Each thread leases its own `CellSession` — the VM's "one thread per
+    // process id" contract enforced by the pool, not by comments.
     let cell = Arc::new(VersionedCell::new(Heap::<Job>::new(), SUBMITTERS + 2));
     let done_submitting = Arc::new(AtomicBool::new(false));
     let dispatched = Arc::new(AtomicU64::new(0));
@@ -35,6 +37,7 @@ fn main() {
             .map(|w| {
                 let cell = Arc::clone(&cell);
                 s.spawn(move || {
+                    let mut session = cell.session().expect("submitter pid");
                     let mut seed = (w as u64 + 1) * 0x9e3779b97f4a7c15;
                     for i in 0..JOBS_PER_SUBMITTER {
                         seed ^= seed << 13;
@@ -42,7 +45,7 @@ fn main() {
                         seed ^= seed << 17;
                         let deadline = seed % 1_000_000;
                         let id = (w as u64) << 32 | i;
-                        cell.write(w, |heap, base| (heap.insert(base, (deadline, id)), ()));
+                        session.write(|heap, base| (heap.insert(base, (deadline, id)), ()));
                     }
                 })
             })
@@ -53,10 +56,11 @@ fn main() {
         let d_done = Arc::clone(&done_submitting);
         let d_count = Arc::clone(&dispatched);
         s.spawn(move || {
+            let mut session = d_cell.session().expect("dispatcher pid");
             let mut last_deadline_served = 0u64;
             let mut out_of_order = 0u64;
             loop {
-                let job = d_cell.write(SUBMITTERS, |heap, base| heap.pop_min(base));
+                let job = session.write(|heap, base| heap.pop_min(base));
                 match job {
                     Some((deadline, _id)) => {
                         // Urgency inversions can only come from jobs that
@@ -87,12 +91,12 @@ fn main() {
         let m_cell = Arc::clone(&cell);
         let m_done = Arc::clone(&done_submitting);
         s.spawn(move || {
+            let mut session = m_cell.session().expect("monitor pid");
             let mut samples = 0u64;
             let mut max_backlog = 0usize;
             while !m_done.load(Ordering::Relaxed) {
-                let (len, next) = m_cell.read(SUBMITTERS + 1, |heap, root| {
-                    (heap.len(root), heap.peek_min(root).copied())
-                });
+                let (len, next) =
+                    session.read(|heap, root| (heap.len(root), heap.peek_min(root).copied()));
                 // A consistent snapshot: a non-empty backlog always has a
                 // next deadline.
                 assert_eq!(len == 0, next.is_none(), "torn snapshot");
@@ -109,7 +113,9 @@ fn main() {
     });
 
     let total = SUBMITTERS as u64 * JOBS_PER_SUBMITTER;
-    let remaining = cell.read(0, |heap, root| heap.len(root));
+    // All worker sessions have dropped; the pool is full again.
+    let mut auditor = cell.session().expect("workers returned their pids");
+    let remaining = auditor.read(|heap, root| heap.len(root));
     println!(
         "submitted {total}, dispatched {}, remaining {remaining}",
         dispatched.load(Ordering::Relaxed)

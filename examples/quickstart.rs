@@ -1,5 +1,15 @@
 //! Quickstart: a versioned ordered map with delay-free snapshot readers
-//! and one writer, demonstrating the paper's headline guarantees.
+//! and one writer, demonstrating the paper's headline guarantees through
+//! the session API.
+//!
+//! Figure 1's transaction skeletons, as sessions:
+//!
+//! ```text
+//! Read:  let mut s = db.session()?;          // lease process k
+//!        s.read(|snap| user_code(snap))      // acquire; user code; release -> collect
+//! Write: s.write(|txn| user_code(txn))       // acquire; user code; set;
+//!                                            // release -> collect; retry on abort
+//! ```
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -11,56 +21,62 @@ use std::sync::Arc;
 use multiversion::prelude::*;
 
 fn main() {
-    // Process ids 0..4: pid 0 is our writer, 1..4 are readers.
+    // Four process ids: one for our writer, three leased by readers.
+    // Sessions make the VM contract ("each process id used by at most
+    // one thread at a time") a compile-/lease-time guarantee instead of
+    // a doc comment.
     let db: Arc<Database<SumU64Map>> = Arc::new(Database::new(4));
+    let mut writer = db.session().expect("4 pids free");
 
     // --- Write transactions commit whole batches atomically -------------
-    db.write(0, |forest, base| {
+    writer.write(|txn| {
         let accounts: Vec<(u64, u64)> = (0..16).map(|k| (k, 1_000)).collect();
-        (forest.multi_insert(base, accounts, |_old, new| *new), ())
+        txn.multi_insert(accounts, |_old, new| *new);
     });
     println!("seeded 16 accounts with 1000 each (total 16000)");
 
     // --- Readers see consistent snapshots while the writer commits ------
     let stop = Arc::new(AtomicBool::new(false));
     std::thread::scope(|s| {
-        for pid in 1..4 {
+        for r in 0..3 {
             let db = db.clone();
             let stop = stop.clone();
             s.spawn(move || {
+                // Each reader thread leases its own session.
+                let mut session = db.session().expect("one pid per reader");
                 let mut checks = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     // The sum augmentation answers in O(log n); the
                     // invariant holds in *every* snapshot because
                     // transfers commit atomically.
-                    let total = db.read(pid, |snap| snap.aug_total());
-                    assert_eq!(total, 16_000, "reader {pid} saw a torn transfer!");
+                    let total = session.read(|snap| snap.aug_total());
+                    assert_eq!(total, 16_000, "reader {r} saw a torn transfer!");
                     checks += 1;
                 }
-                println!("reader {pid}: {checks} consistent snapshot checks");
+                println!("reader {r}: {checks} consistent snapshot checks");
             });
         }
 
-        // Writer: 10k random transfers between accounts.
+        // Writer: 10k random transfers between accounts, each one atomic
+        // commit through the WriteTxn view.
         for i in 0..10_000u64 {
             let from = i % 16;
             let to = (i * 7 + 3) % 16;
-            db.write(0, |forest, base| {
-                let a = *forest.get(base, &from).unwrap();
-                let b = *forest.get(base, &to).unwrap();
+            writer.write(|txn| {
+                let a = *txn.get(&from).unwrap();
+                let b = *txn.get(&to).unwrap();
                 let moved = a.min(50);
-                let t = forest.insert(base, from, a - moved);
-                let t = forest.insert(t, to, b + moved);
-                (t, ())
+                txn.insert(from, a - moved);
+                txn.insert(to, b + moved);
             });
         }
         stop.store(true, Ordering::Relaxed);
     });
 
     // --- Precise garbage collection --------------------------------------
-    let stats = db.stats();
+    let stats = writer.stats();
     println!(
-        "writer committed {} versions ({} reads ran concurrently)",
+        "writer committed {} versions ({} reads of its own ran alongside)",
         stats.commits, stats.reads
     );
     println!(
@@ -75,5 +91,11 @@ fn main() {
     );
     assert_eq!(db.live_versions(), 1);
     assert_eq!(db.forest().arena().live(), 16);
-    println!("final total: {}", db.read(1, |s| s.aug_total()));
+    println!("final total: {}", writer.read(|s| s.aug_total()));
+
+    // Leases are exclusive: with the writer still live, only 3 pids
+    // remain; dropping it frees the fourth.
+    assert_eq!(db.sessions_leased(), 1);
+    drop(writer);
+    assert_eq!(db.sessions_leased(), 0);
 }

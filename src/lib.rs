@@ -26,6 +26,12 @@
 //!
 //! ## Quickstart
 //!
+//! Transactions run through [`core::Session`] handles: each session
+//! leases one of the database's process ids (the VM problem's "at most
+//! one thread per process id" contract, enforced instead of documented),
+//! pins one allocator shard, and reuses its release buffer across
+//! transactions.
+//!
 //! ```
 //! use multiversion::core::Database;
 //! use multiversion::ftree::SumU64Map;
@@ -34,11 +40,15 @@
 //! let db: Database<SumU64Map> = Database::new(4);
 //!
 //! // Write transactions commit new immutable versions.
-//! db.insert(0, 10, 100);
-//! db.insert(0, 20, 200);
+//! let mut writer = db.session().unwrap();
+//! writer.write(|txn| {
+//!     txn.insert(10, 100);
+//!     txn.insert(20, 200);
+//! });
 //!
 //! // Read transactions are delay-free snapshot queries.
-//! let sum = db.read(1, |snap| snap.aug_range(&0, &50));
+//! let mut reader = db.session().unwrap();
+//! let sum = reader.read(|snap| snap.aug_range(&0, &50));
 //! assert_eq!(sum, 300);
 //!
 //! // Precision: in quiescence exactly one version is live.
@@ -57,8 +67,11 @@ pub use mvcc_workloads as workloads;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
-    pub use mvcc_core::{BatchWriter, Database, MapOp, Snapshot};
+    pub use mvcc_core::{
+        BatchWriter, Database, MapOp, Session, SessionError, SessionReadGuard, Snapshot, WriteTxn,
+    };
+    pub use mvcc_fds::{CellSession, VersionedCell};
     pub use mvcc_ftree::{Forest, MaxU64Map, SumU64Map, TreeParams, U64Map};
-    pub use mvcc_index::InvertedIndex;
+    pub use mvcc_index::{IndexSession, InvertedIndex};
     pub use mvcc_vm::{VersionMaintenance, VmKind};
 }

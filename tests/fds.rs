@@ -1,6 +1,7 @@
 //! Cross-crate integration tests for `mvcc-fds`: the structure-agnostic
 //! transaction wrapper (`VersionedCell`) driving the functional stack,
-//! queue and heap under real concurrency, with precise-GC audits.
+//! queue and heap under real concurrency through leased `CellSession`
+//! handles, with precise-GC audits.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -24,9 +25,10 @@ fn stack_snapshots_are_suffixes_of_later_versions() {
             .map(|w| {
                 let cell = Arc::clone(&cell);
                 s.spawn(move || {
+                    let mut session = cell.session().unwrap();
                     for i in 0..300u64 {
                         let value = (w as u64) << 32 | i;
-                        cell.write(w, |stack, base| (stack.push(base, value), ()));
+                        session.write(|stack, base| (stack.push(base, value), ()));
                     }
                 })
             })
@@ -34,9 +36,10 @@ fn stack_snapshots_are_suffixes_of_later_versions() {
         let cell2 = Arc::clone(&cell);
         let stop2 = Arc::clone(&stop);
         s.spawn(move || {
+            let mut session = cell2.session().unwrap();
             let mut last_len = 0usize;
             while !stop2.load(Ordering::Relaxed) {
-                let (len, no_dups) = cell2.read(2, |stack, root| {
+                let (len, no_dups) = session.read(|stack, root| {
                     let v = stack.to_vec(root);
                     // Each element was pushed exactly once; the vector is
                     // the version's full history, newest first.
@@ -56,7 +59,7 @@ fn stack_snapshots_are_suffixes_of_later_versions() {
         stop.store(true, Ordering::Relaxed);
     });
 
-    let total = cell.read(2, |stack, root| stack.len(root));
+    let total = cell.session().unwrap().read(|stack, root| stack.len(root));
     assert_eq!(total, 600);
     assert_eq!(cell.commits(), 600);
     // Precise GC: only the current version's 600 cells are live.
@@ -74,15 +77,17 @@ fn queue_producer_consumer_all_vm_kinds() {
         std::thread::scope(|s| {
             let cp = Arc::clone(&cell);
             s.spawn(move || {
+                let mut session = cp.session().unwrap();
                 for i in 0..produced {
-                    cp.write(0, |q, base| (q.enqueue(base, i), ()));
+                    session.write(|q, base| (q.enqueue(base, i), ()));
                 }
             });
             let cc = Arc::clone(&cell);
             s.spawn(move || {
+                let mut session = cc.session().unwrap();
                 let mut got = Vec::new();
                 while got.len() < produced as usize {
-                    let v = cc.write(1, |q, base| q.dequeue(base));
+                    let v = session.write(|q, base| q.dequeue(base));
                     if let Some(v) = v {
                         got.push(v);
                     } else {
@@ -94,7 +99,7 @@ fn queue_producer_consumer_all_vm_kinds() {
             });
         });
 
-        let final_len = cell.read(0, |q, root| q.len(root));
+        let final_len = cell.session().unwrap().read(|q, root| q.len(root));
         assert_eq!(final_len, 0, "{kind:?}");
     }
 }
@@ -109,18 +114,20 @@ fn heap_transactional_drain_is_sorted() {
         for w in 0..2usize {
             let cell = Arc::clone(&cell);
             s.spawn(move || {
+                let mut session = cell.session().unwrap();
                 for i in 0..200u64 {
                     // Interleave priorities from the two writers.
                     let prio = i * 2 + w as u64;
-                    cell.write(w, |h, base| (h.insert(base, prio), ()));
+                    session.write(|h, base| (h.insert(base, prio), ()));
                 }
             });
         }
     });
 
+    let mut session = cell.session().unwrap();
     let mut drained = Vec::new();
     loop {
-        let v = cell.write(0, |h, base| h.pop_min(base));
+        let v = session.write(|h, base| h.pop_min(base));
         match v {
             Some(v) => drained.push(v),
             None => break,
@@ -139,16 +146,18 @@ fn heap_transactional_drain_is_sorted() {
 #[test]
 fn queue_pinned_snapshot_with_precise_reclamation() {
     let cell = VersionedCell::new(Queue::<u64>::new(), 2);
+    let mut writer = cell.session().unwrap();
+    let mut reader = cell.session().unwrap();
     for i in 0..50u64 {
-        cell.write(0, |q, base| (q.enqueue(base, i), ()));
+        writer.write(|q, base| (q.enqueue(base, i), ()));
     }
 
     // Pin a snapshot via a read transaction that runs user code slowly:
     // commits happen *inside* the read closure.
-    let seen = cell.read(1, |q, root| {
+    let seen = reader.read(|q, root| {
         let before = q.to_vec(root);
         for i in 50..100u64 {
-            cell.write(0, |q2, base| (q2.enqueue(base, i), ()));
+            writer.write(|q2, base| (q2.enqueue(base, i), ()));
         }
         let after = q.to_vec(root);
         assert_eq!(before, after, "snapshot moved under the reader");
@@ -157,24 +166,27 @@ fn queue_pinned_snapshot_with_precise_reclamation() {
     assert_eq!(seen, 50);
 
     // Reader done: only the current version (100 cells + roots) is live.
-    let current_len = cell.read(1, |q, root| q.len(root));
+    let current_len = reader.read(|q, root| q.len(root));
     assert_eq!(current_len, 100);
     assert_eq!(cell.live_versions(), 1);
 }
 
 /// Mixing two structures in one program: each VersionedCell is an
-/// independent transactional object with its own VM instance.
+/// independent transactional object with its own VM instance and its own
+/// pid pool.
 #[test]
 fn independent_cells_do_not_interfere() {
     let cs = VersionedCell::new(Stack::<u64>::new(), 1);
     let ch = VersionedCell::new(Heap::<u64>::new(), 1);
+    let mut ss = cs.session().unwrap();
+    let mut sh = ch.session().unwrap();
 
     for i in 0..100u64 {
-        cs.write(0, |stack, base| (stack.push(base, i), ()));
-        ch.write(0, |heap, base| (heap.insert(base, 99 - i), ()));
+        ss.write(|stack, base| (stack.push(base, i), ()));
+        sh.write(|heap, base| (heap.insert(base, 99 - i), ()));
     }
-    assert_eq!(cs.read(0, |stack, r| stack.len(r)), 100);
-    assert_eq!(ch.read(0, |heap, r| heap.peek_min(r).copied()), Some(0));
+    assert_eq!(ss.read(|stack, r| stack.len(r)), 100);
+    assert_eq!(sh.read(|heap, r| heap.peek_min(r).copied()), Some(0));
     assert_eq!(cs.commits(), 100);
     assert_eq!(ch.commits(), 100);
     assert_eq!(cs.live_versions(), 1);
@@ -185,13 +197,16 @@ fn independent_cells_do_not_interfere() {
 #[test]
 fn aborted_stack_write_collects_speculation() {
     let cell = VersionedCell::new(Stack::<u64>::new(), 2);
-    cell.write(0, |stack, base| (stack.push(base, 1), ()));
+    let mut winner = cell.session().unwrap();
+    let mut loser = cell.session().unwrap();
+    winner.write(|stack, base| (stack.push(base, 1), ()));
     let live_before = cell.structure().arena().live();
 
     for _ in 0..5 {
-        let r = cell.try_write(1, |stack, base| {
-            // A competing commit on pid 0 inside our user code dooms us.
-            cell.write(0, |s2, b2| {
+        let r = loser.try_write(|stack, base| {
+            // A competing commit from the winner inside our user code
+            // dooms us.
+            winner.write(|s2, b2| {
                 let (rest, _) = s2.pop(b2);
                 (s2.push(rest, 7), ())
             });
@@ -200,7 +215,7 @@ fn aborted_stack_write_collects_speculation() {
         assert!(r.is_err());
     }
     assert_eq!(cell.aborts(), 5);
-    let top = cell.read(0, |stack, root| stack.peek(root).copied());
+    let top = winner.read(|stack, root| stack.peek(root).copied());
     assert_eq!(top, Some(7));
     assert_eq!(
         cell.structure().arena().live(),
@@ -213,13 +228,14 @@ fn aborted_stack_write_collects_speculation() {
 #[test]
 fn empty_version_round_trips() {
     let cell = VersionedCell::new(Queue::<u64>::new(), 1);
+    let mut session = cell.session().unwrap();
     // A write that commits the empty queue again.
-    cell.write(0, |q, base| {
+    session.write(|q, base| {
         let (rest, v) = q.dequeue(base);
         assert!(v.is_none());
         assert_eq!(rest, OptNodeId::NONE);
         (rest, ())
     });
-    assert_eq!(cell.read(0, |q, r| q.len(r)), 0);
+    assert_eq!(session.read(|q, r| q.len(r)), 0);
     assert_eq!(cell.structure().arena().live(), 0);
 }

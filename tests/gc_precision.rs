@@ -15,14 +15,15 @@ use multiversion::vm::VmKind;
 #[test]
 fn quiescent_allocated_equals_reachable() {
     let db: Database<U64Map> = Database::new(2);
+    let mut s = db.session().unwrap();
     // Churn: inserts, removes, overwrites.
     for i in 0..1_000u64 {
-        db.insert(0, i % 128, i);
+        s.insert(i % 128, i);
     }
     for i in 0..64u64 {
-        db.remove(0, &i);
+        s.remove(&i);
     }
-    let entries = db.len(0);
+    let entries = s.len();
     assert_eq!(entries, 64);
     assert_eq!(db.live_versions(), 1);
     assert_eq!(
@@ -37,15 +38,17 @@ fn quiescent_allocated_equals_reachable() {
 #[test]
 fn pinned_snapshots_pin_exactly_their_tuples() {
     let db: Arc<Database<U64Map>> = Arc::new(Database::new(4));
+    let mut writer = db.session().unwrap();
+    let mut reader = db.session().unwrap();
     for i in 0..512u64 {
-        db.insert(0, i, i);
+        writer.insert(i, i);
     }
-    let g1 = db.begin_read(1);
+    let g1 = reader.begin_read();
     // Replace the whole key range: the old version shares nothing.
-    db.write(0, |f, base| {
+    writer.write(|txn| {
         let fresh: Vec<(u64, u64)> = (1000..1512u64).map(|k| (k, k)).collect();
-        let t = f.multi_remove(base, (0..512u64).collect());
-        (f.multi_insert(t, fresh, |_o, v| *v), ())
+        txn.multi_remove((0..512u64).collect());
+        txn.multi_insert(fresh, |_o, v| *v);
     });
     // Old snapshot fully readable (safety).
     for i in (0..512u64).step_by(37) {
@@ -69,8 +72,9 @@ fn concurrent_churn_ends_clean_all_precise_kinds() {
     for kind in [VmKind::Pswf, VmKind::Pslf, VmKind::Rcu] {
         let readers = 3usize;
         let db: Arc<Database<U64Map, _>> = Arc::new(Database::with_kind(kind, readers + 1));
+        let mut writer = db.session().unwrap();
         for i in 0..256u64 {
-            db.insert(0, i, i);
+            writer.insert(i, i);
         }
         let stop = Arc::new(AtomicBool::new(false));
         std::thread::scope(|s| {
@@ -78,10 +82,11 @@ fn concurrent_churn_ends_clean_all_precise_kinds() {
                 let db = db.clone();
                 let stop = stop.clone();
                 s.spawn(move || {
+                    let mut session = db.session().unwrap();
                     let mut x = r as u64 + 1;
                     while !stop.load(Ordering::Relaxed) {
                         x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                        let hold = db.begin_read(r + 1);
+                        let hold = session.begin_read();
                         let k = x % 256;
                         let _ = hold.snapshot().get(&k);
                         if x.is_multiple_of(3) {
@@ -92,7 +97,7 @@ fn concurrent_churn_ends_clean_all_precise_kinds() {
                 });
             }
             for i in 0..600u64 {
-                db.write(0, |f, base| (f.insert(base, i % 256, i), ()));
+                writer.insert(i % 256, i);
             }
             stop.store(true, Ordering::Relaxed);
         });
@@ -111,13 +116,15 @@ fn concurrent_churn_ends_clean_all_precise_kinds() {
 fn imprecise_kinds_are_safe_and_eventually_reclaim() {
     for kind in [VmKind::Hazard, VmKind::Epoch] {
         let db: Arc<Database<U64Map, _>> = Arc::new(Database::with_kind(kind, 2));
+        let mut writer = db.session().unwrap();
+        let mut reader = db.session().unwrap();
         for i in 0..128u64 {
-            db.insert(0, i, i);
+            writer.insert(i, i);
         }
         // Hold a snapshot while writing (safety probe).
-        let g = db.begin_read(1);
+        let g = reader.begin_read();
         for i in 0..200u64 {
-            db.insert(0, i % 128, i + 1000);
+            writer.insert(i % 128, i + 1000);
         }
         for i in (0..128u64).step_by(17) {
             assert_eq!(g.snapshot().get(&i), Some(&i), "{kind:?}: UAF on snapshot");
@@ -126,7 +133,7 @@ fn imprecise_kinds_are_safe_and_eventually_reclaim() {
         // Keep writing: retired lists/epochs must eventually drain to a
         // bounded backlog.
         for i in 0..2_000u64 {
-            db.insert(0, i % 128, i);
+            writer.insert(i % 128, i);
         }
         let uncollected = db.live_versions();
         let bound = match kind {

@@ -1,7 +1,8 @@
 //! Table 3's *dynamic setting* as an integration test: documents are
 //! added and removed by a single writer while query threads run and-
 //! queries concurrently — "the queries will never read a partially
-//! updated document in the database" (§7.2).
+//! updated document in the database" (§7.2). All access runs through
+//! leased `IndexSession` handles.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,20 +27,18 @@ fn document_commits_are_atomic_under_queries() {
             let stop = Arc::clone(&stop);
             let added = Arc::clone(&added);
             s.spawn(move || {
+                let mut writer = idx.session().unwrap();
                 let mut next_doc = 0u64;
                 let mut oldest = 0u64;
                 for round in 0..400u64 {
-                    idx.add_documents(
-                        0,
-                        &[(
-                            next_doc,
-                            vec![(TERM_A, next_doc + 1), (TERM_B, next_doc + 1)],
-                        )],
-                    );
+                    writer.add_documents(&[(
+                        next_doc,
+                        vec![(TERM_A, next_doc + 1), (TERM_B, next_doc + 1)],
+                    )]);
                     next_doc += 1;
                     added.store(next_doc, Ordering::SeqCst);
                     if round % 3 == 2 && oldest + 1 < next_doc {
-                        idx.remove_documents(0, &[oldest]);
+                        writer.remove_documents(&[oldest]);
                         oldest += 1;
                     }
                 }
@@ -49,13 +48,14 @@ fn document_commits_are_atomic_under_queries() {
         // Queriers: and-queries must only return docs whose weights match
         // in both lists (weight = doc id + 1 for both terms), and the
         // result set must never be "half a document".
-        for pid in 1..4 {
+        for q in 1..4 {
             let idx = Arc::clone(&idx);
             let stop = Arc::clone(&stop);
             s.spawn(move || {
+                let mut session = idx.session().unwrap();
                 let mut largest_seen = 0u64;
                 while !stop.load(Ordering::SeqCst) {
-                    let hits = idx.and_query(pid, TERM_A, TERM_B, 10);
+                    let hits = session.and_query(TERM_A, TERM_B, 10);
                     for (doc, weight) in &hits {
                         // and_query ranks by *combined* weight; both terms
                         // carry doc+1, so any torn (half-committed) doc
@@ -63,7 +63,7 @@ fn document_commits_are_atomic_under_queries() {
                         assert_eq!(
                             *weight,
                             2 * (doc + 1),
-                            "querier {pid}: torn weight for doc {doc}"
+                            "querier {q}: torn weight for doc {doc}"
                         );
                     }
                     // Top-k by weight: results sorted descending.
@@ -71,10 +71,10 @@ fn document_commits_are_atomic_under_queries() {
                         assert!(w[0].1 >= w[1].1, "top-k not sorted: {hits:?}");
                     }
                     if let Some((doc, _)) = hits.first() {
-                        // Monotone snapshots per process id.
+                        // Monotone snapshots per leased process id.
                         assert!(
                             *doc + 1 >= largest_seen,
-                            "querier {pid} went back in time: {largest_seen} -> {doc}"
+                            "querier {q} went back in time: {largest_seen} -> {doc}"
                         );
                         largest_seen = doc + 1;
                     }
@@ -86,9 +86,10 @@ fn document_commits_are_atomic_under_queries() {
     // Quiescence: the index is precise — one live version.
     assert_eq!(idx.database().live_versions(), 1);
     let total = added.load(Ordering::SeqCst);
-    let df = idx.doc_frequency(0, TERM_A);
+    let mut audit = idx.session().unwrap();
+    let df = audit.doc_frequency(TERM_A);
     assert!(df > 0 && df <= total as usize);
-    assert_eq!(df, idx.doc_frequency(0, TERM_B));
+    assert_eq!(df, audit.doc_frequency(TERM_B));
 }
 
 /// Removing every document leaves an index that answers empty, with all
@@ -96,17 +97,18 @@ fn document_commits_are_atomic_under_queries() {
 #[test]
 fn full_teardown_reclaims_everything() {
     let idx: InvertedIndex = InvertedIndex::new(2);
+    let mut s = idx.session().unwrap();
     let docs: Vec<(u64, Vec<(u64, u64)>)> = (0..50)
         .map(|d| (d, vec![(d % 7, d + 1), (d % 11, d + 2)]))
         .collect();
-    idx.add_documents(0, &docs);
-    assert!(idx.term_count(0) > 0);
+    s.add_documents(&docs);
+    assert!(s.term_count() > 0);
 
     let ids: Vec<u64> = (0..50).collect();
-    idx.remove_documents(0, &ids);
-    assert_eq!(idx.term_count(0), 0, "empty posting lists must be dropped");
+    s.remove_documents(&ids);
+    assert_eq!(s.term_count(), 0, "empty posting lists must be dropped");
     for t in 0..12 {
-        assert_eq!(idx.doc_frequency(0, t), 0);
+        assert_eq!(s.doc_frequency(t), 0);
     }
     assert_eq!(idx.database().live_versions(), 1);
     assert_eq!(
@@ -121,21 +123,22 @@ fn full_teardown_reclaims_everything() {
 #[test]
 fn posting_lists_merge_across_batches() {
     let idx: InvertedIndex = InvertedIndex::new(2);
+    let mut s = idx.session().unwrap();
     // Three batches touch the same term with different docs.
-    idx.add_documents(0, &[(10, vec![(5, 100)])]);
-    idx.add_documents(0, &[(20, vec![(5, 300)])]);
-    idx.add_documents(0, &[(15, vec![(5, 200)])]);
+    s.add_documents(&[(10, vec![(5, 100)])]);
+    s.add_documents(&[(20, vec![(5, 300)])]);
+    s.add_documents(&[(15, vec![(5, 200)])]);
 
-    assert_eq!(idx.doc_frequency(0, 5), 3);
-    assert_eq!(idx.max_weight_in_range(0, 5, 5), 300);
+    assert_eq!(s.doc_frequency(5), 3);
+    assert_eq!(s.max_weight_in_range(5, 5), 300);
 
     // Self-intersection returns every posting with doubled weight.
-    let hits = idx.and_query(0, 5, 5, 10);
+    let hits = s.and_query(5, 5, 10);
     assert_eq!(hits.len(), 3);
     assert_eq!(hits[0], (20, 600), "top hit by combined weight");
 
     // Updating an existing (term, doc) pair overrides the weight.
-    idx.add_documents(0, &[(10, vec![(5, 999)])]);
-    assert_eq!(idx.doc_frequency(0, 5), 3, "no duplicate posting");
-    assert_eq!(idx.max_weight_in_range(0, 5, 5), 999);
+    s.add_documents(&[(10, vec![(5, 999)])]);
+    assert_eq!(s.doc_frequency(5), 3, "no duplicate posting");
+    assert_eq!(s.max_weight_in_range(5, 5), 999);
 }

@@ -38,47 +38,50 @@ proptest! {
 
     /// The transactional database behaves exactly like a sequential
     /// BTreeMap for any op sequence, under every VM algorithm, and ends
-    /// with a spotless arena.
+    /// with a spotless arena. Writes run through one leased session,
+    /// reads through another.
     #[test]
     fn database_matches_btreemap(ops in prop::collection::vec(db_op(), 1..80)) {
         for kind in VmKind::ALL {
             let db: Database<SumU64Map, _> = Database::with_kind(kind, 2);
+            let mut writer = db.session().unwrap();
+            let mut reader = db.session().unwrap();
             let mut model: BTreeMap<u64, u64> = BTreeMap::new();
             for op in &ops {
                 match op {
                     DbOp::Insert(k, v) => {
-                        db.insert(0, *k, *v);
+                        writer.insert(*k, *v);
                         model.insert(*k, *v);
                     }
                     DbOp::Remove(k) => {
-                        let got = db.remove(0, k);
+                        let got = writer.remove(k);
                         prop_assert_eq!(got, model.remove(k), "{:?}", kind);
                     }
                     DbOp::Get(k) => {
-                        prop_assert_eq!(db.get(1, k), model.get(k).copied(), "{:?}", kind);
+                        prop_assert_eq!(reader.get(k), model.get(k).copied(), "{:?}", kind);
                     }
                     DbOp::RangeSum(lo, hi) => {
-                        let got = db.read(1, |s| s.aug_range(lo, hi));
+                        let got = reader.read(|s| s.aug_range(lo, hi));
                         let want: u64 = model.range(lo..=hi).map(|(_, v)| *v).sum();
                         prop_assert_eq!(got, want, "{:?}", kind);
                     }
                     DbOp::MultiInsert(batch) => {
                         let b = batch.clone();
-                        db.write(0, |f, base| (f.multi_insert(base, b.clone(), |_o, v| *v), ()));
+                        writer.write(|txn| txn.multi_insert(b.clone(), |_o, v| *v));
                         for (k, v) in batch {
                             model.insert(*k, *v);
                         }
                     }
                     DbOp::MultiRemove(keys) => {
                         let ks = keys.clone();
-                        db.write(0, |f, base| (f.multi_remove(base, ks.clone()), ()));
+                        writer.write(|txn| txn.multi_remove(ks.clone()));
                         for k in keys {
                             model.remove(k);
                         }
                     }
                 }
             }
-            let got = db.read(1, |s| s.to_vec());
+            let got = reader.read(|s| s.to_vec());
             let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
             prop_assert_eq!(got, want, "{:?}", kind);
             // Precise algorithms end with exactly the current footprint.
@@ -177,6 +180,7 @@ proptest! {
         ),
     ) {
         let db: Database<U64Map> = Database::new(1);
+        let mut combiner = db.session().unwrap();
         let bw: BatchWriter<U64Map> = BatchWriter::new(1, 256);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         for batch in &batches {
@@ -189,9 +193,9 @@ proptest! {
                     model.remove(k);
                 }
             }
-            bw.combine(&db, 0);
+            bw.combine(&mut combiner);
         }
-        let got = db.read(0, |s| s.to_vec());
+        let got = combiner.read(|s| s.to_vec());
         prop_assert_eq!(got, model.into_iter().collect::<Vec<_>>());
         prop_assert_eq!(db.live_versions(), 1);
     }

@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: the full transactional stack (arena +
-//! VM + functional tree) under concurrency, for every VM algorithm.
+//! VM + functional tree) under concurrency, for every VM algorithm,
+//! driven through leased sessions.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,21 +16,23 @@ fn constant_sum_invariant_all_vm_kinds() {
     for kind in VmKind::ALL {
         let readers = 3usize;
         let db: Arc<Database<SumU64Map, _>> = Arc::new(Database::with_kind(kind, readers + 1));
-        db.write(0, |f, base| {
+        let mut writer = db.session().unwrap();
+        writer.write(|txn| {
             let init: Vec<(u64, u64)> = (0..32).map(|k| (k, 500)).collect();
-            (f.multi_insert(base, init, |_o, v| *v), ())
+            txn.multi_insert(init, |_o, v| *v);
         });
         let expected = 32 * 500u64;
         std::thread::scope(|s| {
             for r in 0..readers {
                 let db = db.clone();
                 s.spawn(move || {
+                    let mut session = db.session().unwrap();
                     // A fixed read count (rather than a stop flag) keeps the
                     // check meaningful even when the scheduler runs the
                     // writer to completion first.
                     for _ in 0..400 {
-                        let total = db.read(r + 1, |snap| snap.aug_total());
-                        assert_eq!(total, expected, "{kind:?}: torn snapshot");
+                        let total = session.read(|snap| snap.aug_total());
+                        assert_eq!(total, expected, "{kind:?}: torn snapshot (reader {r})");
                     }
                 });
             }
@@ -39,17 +42,16 @@ fn constant_sum_invariant_all_vm_kinds() {
                 if from == to {
                     continue;
                 }
-                db.write(0, |f, base| {
-                    let a = *f.get(base, &from).unwrap();
-                    let b = *f.get(base, &to).unwrap();
+                writer.write(|txn| {
+                    let a = *txn.get(&from).unwrap();
+                    let b = *txn.get(&to).unwrap();
                     let m = a.min(25);
-                    let t = f.insert(base, from, a - m);
-                    let t = f.insert(t, to, b + m);
-                    (t, ())
+                    txn.insert(from, a - m);
+                    txn.insert(to, b + m);
                 });
             }
         });
-        assert_eq!(db.read(0, |s| s.aug_total()), expected, "{kind:?}");
+        assert_eq!(writer.read(|s| s.aug_total()), expected, "{kind:?}");
     }
 }
 
@@ -64,21 +66,24 @@ fn multi_writer_lock_free_progress() {
         for w in 0..writers {
             let db = db.clone();
             s.spawn(move || {
+                let mut session = db.session().unwrap();
                 for i in 0..per_writer {
                     let key = (w as u64) << 32 | i;
                     // write() retries on abort — lock-free guarantee says
                     // this terminates.
-                    db.write(w, |f, base| (f.insert(base, key, i), ()));
+                    session.insert(key, i);
                 }
             });
         }
     });
+    // Every session dropped: local counters are flushed.
     let stats = db.stats();
     assert_eq!(stats.commits, writers as u64 * per_writer);
+    let mut check = db.session().unwrap();
     for w in 0..writers {
         for i in 0..per_writer {
             let key = (w as u64) << 32 | i;
-            assert_eq!(db.get(0, &key), Some(i), "lost write {w}/{i}");
+            assert_eq!(check.get(&key), Some(i), "lost write {w}/{i}");
         }
     }
     assert_eq!(db.live_versions(), 1);
@@ -90,15 +95,17 @@ fn multi_writer_lock_free_progress() {
 #[test]
 fn stalled_reader_does_not_block_pswf_writer() {
     let db: Arc<Database<U64Map>> = Arc::new(Database::new(3));
-    db.insert(0, 1, 1);
+    let mut writer = db.session().unwrap();
+    let mut reader = db.session().unwrap();
+    writer.insert(1, 1);
 
-    let guard = db.begin_read(1); // reader parks on this version
+    let guard = reader.begin_read(); // reader parks on this version
     let before = guard.snapshot().len();
 
     // Writer commits 500 more transactions, unimpeded.
     let t0 = std::time::Instant::now();
     for i in 0..500u64 {
-        db.insert(0, 100 + i, i);
+        writer.insert(100 + i, i);
     }
     assert!(
         t0.elapsed() < std::time::Duration::from_secs(10),
@@ -124,7 +131,8 @@ fn per_process_monotone_snapshots() {
     for kind in VmKind::ALL {
         let readers = 2usize;
         let db: Arc<Database<U64Map, _>> = Arc::new(Database::with_kind(kind, readers + 1));
-        db.insert(0, 0, 0);
+        let mut writer = db.session().unwrap();
+        writer.insert(0, 0);
         let stop = Arc::new(AtomicBool::new(false));
         let committed = Arc::new(AtomicU64::new(0));
         std::thread::scope(|s| {
@@ -133,9 +141,10 @@ fn per_process_monotone_snapshots() {
                 let stop = stop.clone();
                 let committed = committed.clone();
                 s.spawn(move || {
+                    let mut session = db.session().unwrap();
                     let mut last = 0u64;
                     while !stop.load(Ordering::Relaxed) {
-                        let seen = db.read(r + 1, |snap| *snap.get(&0).unwrap());
+                        let seen = session.read(|snap| *snap.get(&0).unwrap());
                         assert!(
                             seen >= last,
                             "{kind:?}: reader {r} went back in time {last} -> {seen}"
@@ -148,7 +157,7 @@ fn per_process_monotone_snapshots() {
                 });
             }
             for i in 1..=300u64 {
-                db.write(0, |f, base| (f.insert(base, 0, i), ()));
+                writer.insert(0, i);
                 committed.store(i, Ordering::Relaxed);
             }
             stop.store(true, Ordering::Relaxed);
@@ -161,17 +170,20 @@ fn per_process_monotone_snapshots() {
 #[test]
 fn aborted_writes_leave_no_trace() {
     let db: Database<U64Map> = Database::new(2);
-    db.insert(0, 1, 1);
+    let mut rival = db.session().unwrap();
+    let mut loser = db.session().unwrap();
+    rival.insert(1, 1);
     let live_before = db.forest().arena().live();
     for _ in 0..10 {
-        let r = db.try_write(1, |f, base| {
-            db.insert(0, 1, db.get(0, &1).unwrap() + 1); // competing commit
-            (f.insert(base, 999, 999), ())
+        let r = loser.try_write(|txn| {
+            let bumped = rival.get(&1).unwrap() + 1;
+            rival.insert(1, bumped); // competing commit
+            txn.insert(999, 999);
         });
         assert!(r.is_err());
     }
-    assert_eq!(db.get(0, &999), None);
-    assert_eq!(db.stats().aborts, 10);
+    assert_eq!(rival.get(&999), None);
+    assert_eq!(loser.stats().aborts, 10);
     // 10 competing inserts overwrote key 1 in place: the tree still has
     // exactly one entry for it plus key 1's original; no speculative
     // garbage survives.
