@@ -1,0 +1,135 @@
+//! Session-pool oversubscription benchmark: acquire-wait tail latency
+//! when client threads outnumber process ids 4×.
+//!
+//! Two configurations, both closed-loop (each client re-acquires as soon
+//! as its previous lease drops) plus one open-loop pass:
+//!
+//! * `single_pool` — one database with `P` pids, `4P` clients hammering
+//!   `SessionPool::acquire`: the pure queueing cost of oversubscription;
+//! * `router_NxP` — the same client count spread by key over an `N`-shard
+//!   `Router` (aggregate capacity `N×P`): what sharding buys back;
+//! * `single_pool_open` — the single pool again under paced (open-loop)
+//!   arrivals, where waits compound instead of self-throttling.
+//!
+//! Results print per configuration and land in `BENCH_oversub.json` at
+//! the repo root so successive PRs accumulate the perf trajectory
+//! (companion to `BENCH_arena.json`).
+//!
+//! ```sh
+//! MVCC_PIDS=4 MVCC_SHARDS=4 MVCC_ACQUIRES=200 \
+//!     cargo run --release -p mvcc-bench --bin oversub
+//! ```
+
+use std::time::Duration;
+
+use mvcc_bench::env_u64;
+use mvcc_core::{Database, Router};
+use mvcc_ftree::U64Map;
+use mvcc_workloads::oversub::{run_oversubscribed, LatencySummary, OversubReport};
+
+/// Per-lease work: a handful of transactions, enough that leases have
+/// a measurable hold time without dominating the run.
+const TXNS_PER_LEASE: usize = 8;
+
+fn report_json(name: &str, r: &OversubReport, out: &mut String) {
+    let w: &LatencySummary = &r.wait;
+    out.push_str(&format!(
+        "    \"{name}\": {{\"clients\": {}, \"acquires\": {}, \"elapsed_ms\": {}, \
+         \"wait_ns\": {{\"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
+        r.clients,
+        r.acquires,
+        r.elapsed.as_millis(),
+        w.mean_ns,
+        w.p50_ns,
+        w.p90_ns,
+        w.p99_ns,
+        w.max_ns,
+    ));
+}
+
+fn main() {
+    let pids = env_u64("MVCC_PIDS", 4) as usize;
+    let shards = env_u64("MVCC_SHARDS", 4) as usize;
+    let acquires = env_u64("MVCC_ACQUIRES", 200) as usize;
+    let clients = 4 * pids;
+
+    println!(
+        "oversubscription: {clients} clients over P = {pids} pids (4x), {acquires} acquires/client"
+    );
+
+    // --- single pool, closed loop ---------------------------------------
+    let db: Database<U64Map> = Database::new(pids);
+    let pool = db.pool();
+    let single = run_oversubscribed(
+        clients,
+        acquires,
+        None,
+        |_c| pool.acquire(),
+        |s, c, i| {
+            for t in 0..TXNS_PER_LEASE {
+                let k = (c * acquires + i + t) as u64;
+                s.insert(k, k);
+                s.remove(&k);
+            }
+        },
+    );
+    assert_eq!(db.sessions_leased(), 0, "all pids returned");
+    println!("  single_pool      wait {}", single.wait);
+
+    // --- router, closed loop --------------------------------------------
+    let router: Router<U64Map> = Router::new(shards, pids);
+    let routed = run_oversubscribed(
+        clients,
+        acquires,
+        None,
+        |c| router.session(&c),
+        |s, c, i| {
+            for t in 0..TXNS_PER_LEASE {
+                let k = (c * acquires + i + t) as u64;
+                s.insert(k, k);
+                s.remove(&k);
+            }
+        },
+    );
+    assert_eq!(router.sessions_leased(), 0, "all shard pids returned");
+    println!("  router_{shards}x{pids}       wait {}", routed.wait);
+
+    // --- single pool, open loop -----------------------------------------
+    let db_open: Database<U64Map> = Database::new(pids);
+    let pool_open = db_open.pool();
+    let open = run_oversubscribed(
+        clients,
+        acquires,
+        Some(Duration::from_micros(200)),
+        |_c| pool_open.acquire(),
+        |s, c, i| {
+            for t in 0..TXNS_PER_LEASE {
+                let k = (c * acquires + i + t) as u64;
+                s.insert(k, k);
+                s.remove(&k);
+            }
+        },
+    );
+    println!("  single_pool_open wait {}", open.wait);
+
+    let mut json = String::from("{\n  \"bench\": \"session_pool_oversubscription\",\n");
+    json.push_str(&format!(
+        "  \"pids\": {pids},\n  \"shards\": {shards},\n  \"clients\": {clients},\n  \
+         \"acquires_per_client\": {acquires},\n  \"txns_per_lease\": {TXNS_PER_LEASE},\n  \
+         \"host_threads\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    json.push_str("  \"configs\": {\n");
+    report_json("single_pool", &single, &mut json);
+    json.push_str(",\n");
+    report_json(&format!("router_{shards}x{pids}"), &routed, &mut json);
+    json.push_str(",\n");
+    report_json("single_pool_open", &open, &mut json);
+    json.push_str("\n  }\n}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oversub.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

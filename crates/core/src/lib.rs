@@ -59,6 +59,40 @@
 //! Bulk operations keep the raw closure form ([`Session::write_raw`])
 //! where user code consumes and returns owned roots directly.
 //!
+//! ## Session pools and the shard router — beyond `P` sessions
+//!
+//! `Database::session()` fails with `Err(Exhausted)` once all `P` pids
+//! are leased. The [`pool`] module decouples logical sessions from that
+//! physical bound:
+//!
+//! * [`Database::pool`] returns a [`SessionPool`] whose
+//!   [`acquire`](SessionPool::acquire) parks the caller on a FIFO wait
+//!   queue until a pid frees (a dropping session wakes exactly the front
+//!   waiter through the pid pool's release hook); `acquire_timeout`
+//!   bounds the wait.
+//! * [`Router`] shards keys over `N` independent databases by seeded
+//!   hash, for `N×P` aggregate capacity — `router.session(&tenant)`
+//!   leases (waiting, per shard) on the shard that tenant always maps to.
+//!
+//! ```
+//! use mvcc_core::{Database, Router};
+//! use mvcc_core::ftree::U64Map;
+//!
+//! let db: Database<U64Map> = Database::new(1);
+//! std::thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let pool = db.pool();
+//!         // Four logical sessions share one pid: acquire() waits its
+//!         // turn instead of erroring.
+//!         s.spawn(move || pool.acquire().insert(t, t));
+//!     }
+//! });
+//!
+//! let router: Router<U64Map> = Router::new(8, 2); // 8 shards × 2 pids
+//! router.session(&"tenant-7").insert(1, 1);
+//! assert_eq!(router.capacity(), 16);
+//! ```
+//!
 //! [`Database`] is generic over the [`VersionMaintenance`] algorithm, so
 //! the §7.1 experiments can swap PSWF / PSLF / HP / EP / RCU under an
 //! identical transaction layer. [`batch`] adds the Appendix F
@@ -71,10 +105,12 @@
 //! cannot protect callers from pid aliasing the way sessions do.
 
 pub mod batch;
+pub mod pool;
 mod session;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mvcc_ftree::{AllocCtx, Forest, OptNodeId, Root, TreeParams};
 use mvcc_vm::{PidPool, PswfVm, VersionMaintenance, VmKind};
@@ -85,6 +121,7 @@ pub use mvcc_vm as vm;
 /// Error returned by [`Database::session`] / [`Database::session_for`]:
 /// the pool is exhausted or the requested pid is already leased.
 pub use mvcc_vm::LeaseError as SessionError;
+pub use pool::{AcquireTimeout, Router, SessionPool};
 pub use session::{Session, SessionReadGuard, WriteTxn};
 
 #[inline]
@@ -140,6 +177,9 @@ pub struct Database<P: TreeParams, M: VersionMaintenance = PswfVm> {
     forest: Forest<P>,
     vmo: M,
     pids: PidPool,
+    /// FIFO wait queue for `pool().acquire()`; `Arc` because the pid
+    /// pool's release hook (a `'static` closure) holds the other ref.
+    pub(crate) waiters: Arc<pool::WaitQueue>,
     commits: AtomicU64,
     aborts: AtomicU64,
     reads: AtomicU64,
@@ -170,9 +210,17 @@ impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
             encode(OptNodeId::NONE),
             "VM's initial version must be the empty tree"
         );
+        let pids = PidPool::new(vmo.processes());
+        let waiters = Arc::new(pool::WaitQueue::new());
+        // Wake-on-release: a dropping `Session` releases its pid, and the
+        // pool's hook unparks the FIFO wait queue — `pool().acquire()`
+        // never polls.
+        let wake = Arc::clone(&waiters);
+        pids.add_release_hook(move |_pid| wake.notify());
         Database {
             forest: Forest::new(),
-            pids: PidPool::new(vmo.processes()),
+            pids,
+            waiters,
             vmo,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -199,6 +247,15 @@ impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
     /// Number of currently leased sessions (racy snapshot, diagnostics).
     pub fn sessions_leased(&self) -> usize {
         self.pids.leased()
+    }
+
+    /// The waiting-mode session front end: [`SessionPool::acquire`]
+    /// parks FIFO until a pid frees instead of returning
+    /// `Err(Exhausted)`, so more logical sessions than `processes()` can
+    /// share this database. The handle is `Copy`; every handle shares one
+    /// wait queue.
+    pub fn pool(&self) -> SessionPool<'_, P, M> {
+        SessionPool::new(self)
     }
 
     /// The shared forest (for building batches outside transactions).

@@ -36,7 +36,8 @@
 //! handful of lease/release transitions per *session* (not per
 //! transaction) make the fence cost irrelevant.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::RwLock;
 
 const NIL: u32 = u32::MAX;
 const TAG_SHIFT: u32 = 32;
@@ -82,12 +83,23 @@ struct PidSlot {
     next: AtomicU32,
 }
 
+/// Callback invoked (with the freed pid) after every [`PidPool::release`].
+pub type ReleaseHook = Box<dyn Fn(usize) + Send + Sync>;
+
 /// A lock-free pool of `0..processes` leasable process ids.
 pub struct PidPool {
     /// Tagged Treiber head: `(tag << 32) | pid`, [`NIL`] when empty. The
     /// tag increments on every successful CAS, guarding against ABA.
     head: AtomicU64,
     slots: Box<[PidSlot]>,
+    /// `true` once any hook is registered: the release path reads this
+    /// single flag before touching the hook lock, so a hook-less pool's
+    /// release (and always its lease) stays lock- and allocation-free.
+    has_hooks: AtomicBool,
+    /// Wake-on-release callbacks (session pools parked on exhaustion).
+    /// Write-locked only by [`PidPool::add_release_hook`]; the release
+    /// path takes the read side, which never blocks hook readers.
+    hooks: RwLock<Vec<ReleaseHook>>,
 }
 
 impl PidPool {
@@ -105,6 +117,35 @@ impl PidPool {
         PidPool {
             head: AtomicU64::new(if processes == 0 { NIL as u64 } else { 0 }),
             slots,
+            has_hooks: AtomicBool::new(false),
+            hooks: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Register a callback to run after every [`PidPool::release`], with
+    /// the freed pid. This is the wake-up wire for waiting-mode session
+    /// pools: a parked `acquire` learns a pid freed without polling.
+    ///
+    /// Hooks must not call back into the pool's lease/release API (they
+    /// run on the releasing thread, inside its release call) and should
+    /// be cheap — typically a condvar notify. Registration is append-only
+    /// and may happen at any time; releases that race with it may or may
+    /// not see the new hook.
+    pub fn add_release_hook(&self, hook: impl Fn(usize) + Send + Sync + 'static) {
+        self.hooks
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(hook));
+        self.has_hooks.store(true, Ordering::SeqCst);
+    }
+
+    /// Run the registered release hooks for `pid` (no-op without hooks:
+    /// one relaxed-ish atomic load, no lock).
+    fn notify_release(&self, pid: usize) {
+        if self.has_hooks.load(Ordering::SeqCst) {
+            for hook in self.hooks.read().unwrap_or_else(|e| e.into_inner()).iter() {
+                hook(pid);
+            }
         }
     }
 
@@ -216,6 +257,8 @@ impl PidPool {
     }
 
     /// Return a leased pid to the pool. The caller must be the holder.
+    /// Once the pid is back, any registered release hooks run (see
+    /// [`PidPool::add_release_hook`]).
     pub fn release(&self, pid: usize) {
         let slot = &self.slots[pid];
         loop {
@@ -227,7 +270,7 @@ impl PidPool {
                     // tombstone, which `lease` handles.
                     slot.state.store(FREE, Ordering::SeqCst);
                     self.push(pid as u32);
-                    return;
+                    break;
                 }
                 RESERVED => {
                     // Our entry should still be on the list; just flip the
@@ -239,12 +282,13 @@ impl PidPool {
                         .compare_exchange(RESERVED, FREE, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                     {
-                        return;
+                        break;
                     }
                 }
                 _ => panic!("release of pid {pid} that is not leased"),
             }
         }
+        self.notify_release(pid);
     }
 }
 
@@ -306,6 +350,44 @@ mod tests {
     fn lease_exact_out_of_range_panics() {
         let pool = PidPool::new(2);
         let _ = pool.lease_exact(2);
+    }
+
+    #[test]
+    fn release_hooks_fire_with_the_freed_pid() {
+        use std::sync::Mutex;
+        let pool = PidPool::new(3);
+        let freed: std::sync::Arc<Mutex<Vec<usize>>> = Default::default();
+        // Releases before any registration run no hook.
+        let early = pool.lease().unwrap();
+        pool.release(early);
+        let log = std::sync::Arc::clone(&freed);
+        pool.add_release_hook(move |pid| log.lock().unwrap().push(pid));
+        let a = pool.lease().unwrap();
+        let b = pool.lease().unwrap();
+        pool.release(b);
+        pool.release(a);
+        // Both registered hooks observe every release, in call order.
+        let second = std::sync::Arc::clone(&freed);
+        pool.add_release_hook(move |pid| second.lock().unwrap().push(pid + 100));
+        pool.lease_exact(2).unwrap();
+        pool.release(2);
+        assert_eq!(*freed.lock().unwrap(), vec![b, a, 2, 102]);
+    }
+
+    #[test]
+    fn release_hook_fires_on_the_tombstone_path() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = PidPool::new(2);
+        let fired = std::sync::Arc::new(AtomicUsize::new(0));
+        let f = std::sync::Arc::clone(&fired);
+        pool.add_release_hook(move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        // `lease_exact` leaves the freelist entry as a tombstone; its
+        // release takes the RESERVED -> FREE arm, which must notify too.
+        pool.lease_exact(0).unwrap();
+        pool.release(0);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
     }
 
     #[test]

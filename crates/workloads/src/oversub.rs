@@ -1,0 +1,239 @@
+//! Oversubscription workload: more client threads than sessions.
+//!
+//! The session-pool work decouples logical sessions from the paper's
+//! fixed process count `P`; this harness measures what that queueing
+//! costs. `clients` threads (typically several times the pool capacity)
+//! each repeatedly *acquire* a session, run some work on it, and drop it
+//! — and the harness records how long every acquire waited, reporting
+//! tail percentiles of the wait distribution.
+//!
+//! Two arrival models:
+//!
+//! * **closed loop** (`pacing: None`) — each client issues its next
+//!   acquire immediately after finishing the previous one; the offered
+//!   load self-throttles to the pool's service rate, so the wait tail
+//!   reflects pure queue depth.
+//! * **open loop** (`pacing: Some(interval)`) — each client *schedules*
+//!   an acquire every `interval` (sleeping out the remainder of its
+//!   slot, never skipping); if the pool falls behind, waits compound —
+//!   the coordinated-omission-resistant view of tail latency.
+//!
+//! The harness is generic over what "a session" is (any `S`), so it
+//! drives `mvcc-core`'s `SessionPool`/`Router` without this crate
+//! depending on them — see `mvcc-bench`'s `oversub` binary.
+
+use std::time::{Duration, Instant};
+
+/// Latency distribution summary over a set of samples, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples aggregated.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Worst observed.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a sample set (sorts in place; empty input is all-zero).
+    pub fn from_ns(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_ns: 0,
+                p50_ns: 0,
+                p90_ns: 0,
+                p99_ns: 0,
+                max_ns: 0,
+            };
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+        LatencySummary {
+            count,
+            mean_ns: samples.iter().sum::<u64>() / count,
+            p50_ns: pct(0.50),
+            p90_ns: pct(0.90),
+            p99_ns: pct(0.99),
+            max_ns: *samples.last().unwrap(),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.1}us p50 {:.1}us p90 {:.1}us p99 {:.1}us max {:.1}us ({} samples)",
+            self.mean_ns as f64 / 1e3,
+            self.p50_ns as f64 / 1e3,
+            self.p90_ns as f64 / 1e3,
+            self.p99_ns as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+            self.count
+        )
+    }
+}
+
+/// Result of a [`run_oversubscribed`] run.
+#[derive(Debug, Clone)]
+pub struct OversubReport {
+    /// Client threads driven.
+    pub clients: usize,
+    /// Total sessions acquired (clients × acquires per client).
+    pub acquires: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Distribution of per-acquire wait times.
+    pub wait: LatencySummary,
+}
+
+/// Drive `clients` threads through `acquires_per_client` acquire → work →
+/// release cycles each, measuring acquire-wait latency.
+///
+/// * `acquire(client)` blocks until a session is available and returns
+///   it; the wait clock covers exactly this call.
+/// * `work(&mut session, client, iteration)` runs inside the lease; the
+///   session drops (releases) when it returns.
+/// * `pacing` picks the arrival model (see the module docs).
+///
+/// Every client completes all its acquires — an oversubscribed pool must
+/// serve the excess by queueing, not by shedding.
+pub fn run_oversubscribed<S, A, W>(
+    clients: usize,
+    acquires_per_client: usize,
+    pacing: Option<Duration>,
+    acquire: A,
+    work: W,
+) -> OversubReport
+where
+    A: Fn(usize) -> S + Sync,
+    W: Fn(&mut S, usize, usize) + Sync,
+{
+    let start = Instant::now();
+    let per_client: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let acquire = &acquire;
+                let work = &work;
+                s.spawn(move || {
+                    let mut waits = Vec::with_capacity(acquires_per_client);
+                    let base = Instant::now();
+                    for i in 0..acquires_per_client {
+                        if let Some(interval) = pacing {
+                            // Open loop: arrival i is scheduled at
+                            // base + i·interval; sleep out the remainder
+                            // of the slot but never skip a scheduled
+                            // arrival that is already overdue.
+                            let due = base + interval * i as u32;
+                            if let Some(slack) = due.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(slack);
+                            }
+                        }
+                        let t0 = Instant::now();
+                        let mut session = acquire(c);
+                        waits.push(t0.elapsed().as_nanos() as u64);
+                        work(&mut session, c, i);
+                    }
+                    waits
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+    let mut all: Vec<u64> = per_client.into_iter().flatten().collect();
+    OversubReport {
+        clients,
+        acquires: all.len() as u64,
+        elapsed,
+        wait: LatencySummary::from_ns(&mut all),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn summary_percentiles_are_order_statistics() {
+        let mut ns: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_ns(&mut ns);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 51); // round(99 * 0.5) = 50 -> value 51
+        assert_eq!(s.p90_ns, 90);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.mean_ns, 50); // 5050 / 100, integer division
+    }
+
+    #[test]
+    fn summary_of_nothing_is_zero() {
+        let s = LatencySummary::from_ns(&mut []);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn closed_loop_runs_every_acquire() {
+        let acquired = AtomicUsize::new(0);
+        let worked = AtomicUsize::new(0);
+        let report = run_oversubscribed(
+            4,
+            25,
+            None,
+            |_c| {
+                acquired.fetch_add(1, Ordering::Relaxed);
+            },
+            |_s, _c, _i| {
+                worked.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(report.acquires, 100);
+        assert_eq!(acquired.load(Ordering::Relaxed), 100);
+        assert_eq!(worked.load(Ordering::Relaxed), 100);
+        assert_eq!(report.wait.count, 100);
+    }
+
+    #[test]
+    fn open_loop_paces_arrivals() {
+        let t0 = Instant::now();
+        let report = run_oversubscribed(
+            2,
+            5,
+            Some(Duration::from_millis(2)),
+            |_c| {},
+            |_s, _c, _i| {},
+        );
+        // 5 arrivals spaced 2ms apart: the run cannot finish before the
+        // last scheduled arrival at t = 4 * 2ms.
+        assert!(t0.elapsed() >= Duration::from_millis(8));
+        assert_eq!(report.acquires, 10);
+    }
+
+    #[test]
+    fn client_and_iteration_indices_flow_through() {
+        let seen = AtomicUsize::new(0);
+        run_oversubscribed(
+            3,
+            4,
+            None,
+            |c| c,
+            |s, c, i| {
+                assert_eq!(*s, c);
+                assert!(i < 4);
+                seen.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(seen.load(Ordering::Relaxed), 12);
+    }
+}

@@ -98,4 +98,52 @@ fn main() {
     assert_eq!(db.sessions_leased(), 1);
     drop(writer);
     assert_eq!(db.sessions_leased(), 0);
+
+    // --- Session pools: more clients than process ids --------------------
+    // `session()` errors once all P pids are out; `pool().acquire()`
+    // parks FIFO until one frees instead — 12 client threads share the
+    // 4 pids below, and every acquire eventually succeeds.
+    let pool = db.pool();
+    std::thread::scope(|s| {
+        for client in 0..12u64 {
+            s.spawn(move || {
+                let mut session = pool.acquire(); // waits its turn if needed
+                session.write(|txn| txn.insert(1_000 + client, client));
+            });
+        }
+    });
+    assert_eq!(db.sessions_leased(), 0);
+    println!(
+        "12 pooled clients shared {} pids without an error",
+        db.processes()
+    );
+
+    // --- Router: N×P capacity via sharding -------------------------------
+    // A Router owns N independent databases and hashes a tenant/key-space
+    // id to a shard (stably: same key, same shard). Aggregate capacity is
+    // N×P waiting sessions instead of P.
+    let router: Router<SumU64Map> = Router::new(4, 4);
+    std::thread::scope(|s| {
+        for tenant in 0..8u64 {
+            let router = &router;
+            s.spawn(move || {
+                // All of a tenant's transactions land on its shard.
+                let mut session = router.session(&tenant);
+                session.write(|txn| {
+                    txn.insert(tenant, 100);
+                    txn.insert(tenant + 100, 200);
+                });
+            });
+        }
+    });
+    // Cross-shard sweep for aggregate stats and GC checks.
+    assert_eq!(router.stats().commits, 8);
+    assert_eq!(router.live_versions(), router.shards() as u64);
+    println!(
+        "router: {} shards x {} pids = capacity {}, {} commits total",
+        router.shards(),
+        router.with_shard(0).processes(),
+        router.capacity(),
+        router.stats().commits
+    );
 }

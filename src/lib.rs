@@ -68,7 +68,8 @@ pub use mvcc_workloads as workloads;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use mvcc_core::{
-        BatchWriter, Database, MapOp, Session, SessionError, SessionReadGuard, Snapshot, WriteTxn,
+        AcquireTimeout, BatchWriter, Database, MapOp, Router, Session, SessionError, SessionPool,
+        SessionReadGuard, Snapshot, WriteTxn,
     };
     pub use mvcc_fds::{CellSession, VersionedCell};
     pub use mvcc_ftree::{Forest, MaxU64Map, SumU64Map, TreeParams, U64Map};

@@ -13,6 +13,19 @@ use multiversion::index::InvertedIndex;
 /// see a document in *both* posting lists or in neither.
 #[test]
 fn document_commits_are_atomic_under_queries() {
+    churn_under_queries_scaled(400);
+}
+
+/// Stress-tier churn: the same atomicity oracle over 15× the writer
+/// rounds (and so 15× the posting-list versions collected while queries
+/// run). Run via the CI `stress` job (`cargo test --release -- --ignored`).
+#[test]
+#[ignore = "stress tier: long-running, run with --ignored in release"]
+fn document_commits_are_atomic_under_queries_stress() {
+    churn_under_queries_scaled(6_000);
+}
+
+fn churn_under_queries_scaled(rounds: u64) {
     const TERM_A: u64 = 1;
     const TERM_B: u64 = 2;
     let idx: Arc<InvertedIndex> = Arc::new(InvertedIndex::new(4));
@@ -30,7 +43,7 @@ fn document_commits_are_atomic_under_queries() {
                 let mut writer = idx.session().unwrap();
                 let mut next_doc = 0u64;
                 let mut oldest = 0u64;
-                for round in 0..400u64 {
+                for round in 0..rounds {
                     writer.add_documents(&[(
                         next_doc,
                         vec![(TERM_A, next_doc + 1), (TERM_B, next_doc + 1)],

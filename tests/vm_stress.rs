@@ -50,6 +50,20 @@ impl Oracle {
 /// full reclamation in quiescence.
 #[test]
 fn single_writer_safety_oracle() {
+    single_writer_oracle_scaled(2_000);
+}
+
+/// The stress-tier version of [`single_writer_safety_oracle`]: same
+/// oracle, 20× the committed versions. Run via the CI `stress` job
+/// (`cargo test --release -- --ignored`).
+#[test]
+#[ignore = "stress tier: long-running, run with --ignored in release"]
+fn single_writer_safety_oracle_stress() {
+    single_writer_oracle_scaled(40_000);
+}
+
+fn single_writer_oracle_scaled(writes: u64) {
+    assert!((writes as usize) < MAX_TOKENS, "oracle table too small");
     for kind in VmKind::ALL {
         let readers = 3usize;
         let procs = readers + 1;
@@ -87,7 +101,7 @@ fn single_writer_safety_oracle() {
             }
             // Writer on this thread.
             let mut out = Vec::new();
-            for i in 1..2_000u64 {
+            for i in 1..writes {
                 let t = vm.acquire(0);
                 oracle.assert_alive(t, kind, "writer(acquire)");
                 oracle.birth(i);
@@ -124,8 +138,24 @@ fn single_writer_safety_oracle() {
 /// the current version is never collected.
 #[test]
 fn multi_writer_safety_oracle() {
+    multi_writer_oracle_scaled(400, 100_000);
+}
+
+/// Stress-tier [`multi_writer_safety_oracle`]: 25× the commits per
+/// writer (attempt cap sized to stay inside the oracle's token table).
+#[test]
+#[ignore = "stress tier: long-running, run with --ignored in release"]
+fn multi_writer_safety_oracle_stress() {
+    multi_writer_oracle_scaled(10_000, 150_000);
+}
+
+fn multi_writer_oracle_scaled(commits_per_writer: u64, max_attempts: u64) {
     for kind in [VmKind::Pswf, VmKind::Pslf, VmKind::Hazard, VmKind::Epoch] {
         let writers = 3usize;
+        assert!(
+            writers as u64 * max_attempts < MAX_TOKENS as u64,
+            "oracle table too small for the attempt budget"
+        );
         let vm = kind.build(writers, 0);
         let oracle = Arc::new(Oracle::new());
         let next_token = Arc::new(AtomicU64::new(1));
@@ -141,7 +171,7 @@ fn multi_writer_safety_oracle() {
                     let mut out = Vec::new();
                     let mut committed = 0u64;
                     let mut attempts = 0u64;
-                    while committed < 400 && attempts < 100_000 {
+                    while committed < commits_per_writer && attempts < max_attempts {
                         attempts += 1;
                         let t = vm.acquire(w);
                         oracle.assert_alive(t, kind, "writer(acquire)");
@@ -160,7 +190,10 @@ fn multi_writer_safety_oracle() {
                             oracle.collect(tk, kind);
                         }
                     }
-                    assert_eq!(committed, 400, "{kind:?}: writer starved (lock-freedom)");
+                    assert_eq!(
+                        committed, commits_per_writer,
+                        "{kind:?}: writer starved (lock-freedom)"
+                    );
                 });
             }
         });
