@@ -1,0 +1,180 @@
+//! Parallel bulk-operation benchmark: sequential vs work-stealing-pool
+//! execution of `union` / `difference` / `filter`.
+//!
+//! For each tree size and each worker count in {1, 2, 4, nproc} the
+//! harness reconfigures the global fork-join pool in-process
+//! (`rayon::pool::set_pool_threads`) and times the operation over
+//! retained inputs; `workers = 1` *is* the old sequential shim (no pool
+//! threads are spawned), so the w=1 row is the sequential baseline the
+//! parallel rows are judged against. Results print per configuration
+//! and land in `BENCH_bulk.json` at the repo root (companion to
+//! `BENCH_arena.json` / `BENCH_oversub.json`), with the host's
+//! `nproc` recorded — on the 1-core CI container the parallel rows
+//! measure pure fork overhead (the acceptance gate is < 10% regression
+//! there), while multicore hosts record the actual speedup.
+//!
+//! ```sh
+//! MVCC_BULK_SIZES=10000,100000,1000000 cargo run --release -p mvcc-bench --bin bulk
+//! MVCC_BULK_FULL=1 ...         # adds the 10^7 sweep (~1 GiB peak RSS)
+//! MVCC_PAR_CUTOFF=4096 ...     # sweep the fork cutoff
+//! ```
+
+use std::time::Instant;
+
+use mvcc_bench::env_u64;
+use mvcc_ftree::{Forest, Root, U64Map};
+use rayon::pool;
+
+struct OpResult {
+    mean_ns: u128,
+    min_ns: u128,
+    reps: usize,
+}
+
+fn time_reps(reps: usize, mut run: impl FnMut()) -> OpResult {
+    let mut total = 0u128;
+    let mut min = u128::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run();
+        let dt = t0.elapsed().as_nanos();
+        total += dt;
+        min = min.min(dt);
+    }
+    OpResult {
+        mean_ns: total / reps as u128,
+        min_ns: min,
+        reps,
+    }
+}
+
+type Pairs = Vec<(u64, u64)>;
+
+/// Union inputs: interleaved key ranges (every key new to the other
+/// side), the worst case for structural sharing.
+fn union_inputs(n: u64) -> (Pairs, Pairs) {
+    let a = (0..n).map(|k| (k * 2, k)).collect();
+    let b = (0..n).map(|k| (k * 2 + 1, k)).collect();
+    (a, b)
+}
+
+fn run_op(f: &Forest<U64Map>, op: &str, ta: Root, tb: Root) {
+    f.retain(ta);
+    let out = match op {
+        "union" => {
+            f.retain(tb);
+            f.union(ta, tb)
+        }
+        "difference" => {
+            f.retain(tb);
+            f.difference(ta, tb)
+        }
+        "filter" => f.filter(ta, |k, _| k % 2 == 0),
+        _ => unreachable!(),
+    };
+    f.release(out);
+}
+
+fn main() {
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sizes: Vec<u64> = std::env::var("MVCC_BULK_SIZES")
+        .ok()
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| {
+            let mut v = vec![10_000, 100_000, 1_000_000];
+            if env_u64("MVCC_BULK_FULL", 0) == 1 {
+                v.push(10_000_000);
+            }
+            v
+        });
+    let mut workers: Vec<usize> = vec![1, 2, 4, nproc];
+    workers.sort_unstable();
+    workers.dedup();
+    let cutoff = env_u64("MVCC_PAR_CUTOFF", 2048);
+    let ops = ["union", "difference", "filter"];
+
+    println!("bulk ops: sizes {sizes:?}, workers {workers:?}, nproc {nproc}, cutoff {cutoff}");
+
+    // results[op][size][workers] -> OpResult
+    let mut json = String::from("{\n  \"bench\": \"parallel_bulk_ops\",\n");
+    json.push_str(&format!(
+        "  \"host_threads\": {nproc},\n  \"par_cutoff\": {cutoff},\n  \
+         \"workers\": {workers:?},\n  \"sizes\": {sizes:?},\n  \"ops\": {{\n"
+    ));
+
+    for (oi, op) in ops.iter().enumerate() {
+        println!("== {op} ==");
+        json.push_str(&format!("    \"{op}\": {{\n"));
+        for (si, &n) in sizes.iter().enumerate() {
+            // Means on shared/1-core hosts are noisy; enough reps (and
+            // the recorded min) keep the seq-vs-par comparison honest.
+            let reps = (5_000_000 / n).clamp(5, 20) as usize;
+            let (av, bv) = union_inputs(n);
+            json.push_str(&format!("      \"{n}\": {{"));
+            let mut seq_mean = 0u128;
+            let mut seq_min = 0u128;
+            for (wi, &w) in workers.iter().enumerate() {
+                pool::set_pool_threads(w);
+                // Build inside the pool config so build_sorted's own
+                // parallelism does not leak across configurations.
+                let f: Forest<U64Map> = Forest::new();
+                let ta = f.build_sorted(&av);
+                let tb = f.build_sorted(&bv);
+                run_op(&f, op, ta, tb); // warmup: chunks + freelists hot
+                let r = time_reps(reps, || run_op(&f, op, ta, tb));
+                if w == 1 {
+                    seq_mean = r.mean_ns;
+                    seq_min = r.min_ns;
+                }
+                let rel = if seq_mean > 0 {
+                    r.mean_ns as f64 / seq_mean as f64
+                } else {
+                    1.0
+                };
+                println!(
+                    "  n={n:<9} w={w:<3} mean {:>12} ns  min {:>12} ns  ({reps} reps, {:.2}x of seq)",
+                    r.mean_ns, r.min_ns, rel
+                );
+                json.push_str(&format!(
+                    "{}\"w{w}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"reps\": {}}}",
+                    if wi == 0 { "" } else { ", " },
+                    r.mean_ns,
+                    r.min_ns,
+                    r.reps
+                ));
+                f.release(ta);
+                f.release(tb);
+                assert_eq!(f.arena().live(), 0, "bench leaked tree nodes");
+                // The acceptance gate from ISSUE 4: on a single-core
+                // host the parallel rows measure pure fork overhead,
+                // which must stay under 10% for union at 10^6 keys.
+                // Compared on min-of-reps (means absorb scheduler noise
+                // on shared runners; a real overhead regression shifts
+                // the min too).
+                if nproc == 1 && *op == "union" && n >= 1_000_000 && w > 1 && seq_min > 0 {
+                    let rel_min = r.min_ns as f64 / seq_min as f64;
+                    assert!(
+                        rel_min < 1.10,
+                        "parallel union regressed {rel_min:.2}x vs sequential \
+                         at n={n}, w={w} on a 1-core host (gate: < 1.10x)"
+                    );
+                }
+            }
+            json.push_str(if si + 1 == sizes.len() { "}\n" } else { "},\n" });
+        }
+        json.push_str(if oi + 1 == ops.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  }\n}\n");
+    pool::set_pool_threads(0);
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bulk.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

@@ -13,13 +13,23 @@
 
 use crate::forest::Forest;
 use crate::node::Root;
-use crate::params::TreeParams;
+use crate::params::{par_cutoff, TreeParams};
 use mvcc_plm::{AllocCtx, OptNodeId};
 
-/// Below this many total entries, recursion stays sequential.
-const PAR_CUTOFF: usize = 2048;
-
 impl<P: TreeParams> Forest<P> {
+    /// Fork the two halves onto the work-stealing pool when `par` and
+    /// the pool has workers, else recurse sequentially on this thread.
+    ///
+    /// Each parallel half re-acquires its *executing* thread's
+    /// allocation context ([`Forest::with_task_ctx`]): `rayon::join` may
+    /// run a half on any pool thread, so the old shim's same-thread
+    /// guarantee (which let a single pin cover both halves) no longer
+    /// holds — and funneling every stolen subtask through the forker's
+    /// pinned shard would re-serialize the allocator the sharding was
+    /// built to parallelize. With a sequential pool
+    /// (`MVCC_POOL_THREADS=1`) the fork — and with it the re-pin — is
+    /// skipped entirely, so session/`_in` pins cover whole bulk ops
+    /// exactly as they did under the sequential shim.
     #[inline]
     fn maybe_join<A: Send, B: Send>(
         &self,
@@ -27,8 +37,8 @@ impl<P: TreeParams> Forest<P> {
         fa: impl FnOnce() -> A + Send,
         fb: impl FnOnce() -> B + Send,
     ) -> (A, B) {
-        if par {
-            rayon::join(fa, fb)
+        if par && rayon::pool::current_num_threads() > 1 {
+            rayon::join(|| self.with_task_ctx(fa), || self.with_task_ctx(fb))
         } else {
             (fa(), fb())
         }
@@ -59,7 +69,7 @@ impl<P: TreeParams> Forest<P> {
         if b.is_none() {
             return a;
         }
-        let par = self.size(a) + self.size(b) > PAR_CUTOFF;
+        let par = self.size(a) + self.size(b) > par_cutoff();
         let (bl, bk, bv, br) = self.expose_owned(b.unwrap());
         let (al, m, ar) = self.split(a, &bk);
         let ((l, r), value) = {
@@ -97,7 +107,7 @@ impl<P: TreeParams> Forest<P> {
             self.release(a);
             return OptNodeId::NONE;
         }
-        let par = self.size(a) + self.size(b) > PAR_CUTOFF;
+        let par = self.size(a) + self.size(b) > par_cutoff();
         let (bl, bk, bv, br) = self.expose_owned(b.unwrap());
         let (al, m, ar) = self.split(a, &bk);
         let (l, r) = self.maybe_join(
@@ -123,7 +133,7 @@ impl<P: TreeParams> Forest<P> {
         if b.is_none() {
             return a;
         }
-        let par = self.size(a) + self.size(b) > PAR_CUTOFF;
+        let par = self.size(a) + self.size(b) > par_cutoff();
         let (bl, bk, _bv, br) = self.expose_owned(b.unwrap());
         let (al, _m, ar) = self.split(a, &bk);
         let (l, r) = self.maybe_join(par, || self.difference(al, bl), || self.difference(ar, br));
@@ -139,7 +149,7 @@ impl<P: TreeParams> Forest<P> {
         let Some(id) = t.get() else {
             return OptNodeId::NONE;
         };
-        let par = self.size(t) > PAR_CUTOFF;
+        let par = self.size(t) > par_cutoff();
         let (l, k, v, r) = self.expose_owned(id);
         let (fl, fr) = self.maybe_join(
             par,
@@ -170,7 +180,7 @@ impl<P: TreeParams> Forest<P> {
         let mid = items.len() / 2;
         let (k, v) = items[mid].clone();
         let (l, r) = self.maybe_join(
-            items.len() > PAR_CUTOFF,
+            items.len() > par_cutoff(),
             || self.build_rec(&items[..mid]),
             || self.build_rec(&items[mid + 1..]),
         );
@@ -229,10 +239,14 @@ impl<P: TreeParams> Forest<P> {
     // ------------------------------------------------------------------
     //
     // The bulk operations are exactly where a batching writer allocates
-    // in anger; these variants pin the calling thread to one arena shard
-    // for the whole operation (workers spawned by `rayon::join` that run
-    // on other threads fall back to their own affine shards, which is
-    // the desired behaviour — one shard per allocating thread).
+    // in anger; these variants pin the *calling* thread to one arena
+    // shard. The pin governs the sequential regime: the top of the
+    // recursion and every subtree below the fork cutoff on this thread.
+    // Once recursion forks onto the work-stealing pool, each parallel
+    // subtask re-pins to its executing thread's own shard
+    // (`with_task_ctx` in `maybe_join`) — one shard per allocating
+    // thread, so a wide parallel op spreads over the sharded allocator
+    // instead of serializing on the caller's freelist.
 
     /// [`Forest::union`] through an explicit allocation context.
     pub fn union_in(&self, ctx: AllocCtx, a: Root, b: Root) -> Root {
@@ -267,7 +281,7 @@ impl<P: TreeParams> Forest<P> {
         let mid = keys.len() / 2;
         let (l, _m, r) = self.split(t, &keys[mid]);
         let (l2, r2) = self.maybe_join(
-            self.size(l) + self.size(r) > PAR_CUTOFF,
+            self.size(l) + self.size(r) > par_cutoff(),
             || self.remove_sorted(l, &keys[..mid]),
             || self.remove_sorted(r, &keys[mid + 1..]),
         );

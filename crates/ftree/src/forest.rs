@@ -62,6 +62,19 @@ impl<P: TreeParams> Forest<P> {
         self.arena.with_ctx(ctx, f)
     }
 
+    /// Run one fork-join subtask with allocation routed through the
+    /// *executing* thread's own shard.
+    ///
+    /// The parallel bulk operations wrap both halves of every
+    /// `rayon::join` in this: a stolen half then allocates and collects
+    /// through its thief's shard (one freelist per allocating thread —
+    /// the sharded arena's contract), instead of inheriting whatever pin
+    /// happened to be installed on the forking thread.
+    #[inline]
+    pub(crate) fn with_task_ctx<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.arena.with_ctx(self.arena.task_ctx(), f)
+    }
+
     /// [`Forest::insert`] through an explicit allocation context.
     pub fn insert_in(&self, ctx: AllocCtx, t: Root, key: P::K, value: P::V) -> Root {
         self.with_ctx(ctx, || self.insert(t, key, value))

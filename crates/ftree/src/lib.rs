@@ -42,6 +42,31 @@
 //! Height-balanced (AVL-style) trees with O(|h1 − h2|) `join`, following
 //! the Just Join paper. Every bulk operation is built from `join`/`split`
 //! and is therefore work-efficient and (with rayon) has polylog span.
+//!
+//! ## Parallel bulk operations
+//!
+//! The divide-and-conquer operations (`union`, `intersection`,
+//! `difference`, `multi_insert`, `multi_remove`, `filter`,
+//! `build_sorted`, `map_reduce`, `map_values`) fork both halves onto a
+//! **work-stealing pool** (`rayon::join`, the in-tree shim's real
+//! fork-join runtime) whenever a subtree exceeds the sequential cutoff,
+//! so their polylog span is realized as multicore speedup:
+//!
+//! * `MVCC_POOL_THREADS` sets the worker count (default: one worker per
+//!   core). `MVCC_POOL_THREADS=1` is the supported escape hatch that
+//!   forces the old fully-sequential execution — deterministic schedules
+//!   for debugging, zero extra threads.
+//! * `MVCC_PAR_CUTOFF` overrides the sequential cutoff (default 2048
+//!   entries), mostly for benchmarking the fork overhead.
+//!
+//! Allocation stays sharded under parallelism: each stolen subtask
+//! allocates and collects through its *executing* thread's arena shard
+//! ([`Arena::task_ctx`]), while an explicit [`AllocCtx`] pin (e.g. a
+//! session's, or the `*_in` bulk variants') keeps governing the
+//! sequential regime on the calling thread. Results are identical to
+//! sequential execution — the recursion tree and reassembly order do not
+//! depend on the schedule; only the placement of freed/allocated slots
+//! across shards does.
 
 mod bulk;
 mod forest;

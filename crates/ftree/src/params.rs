@@ -1,4 +1,34 @@
-//! Tree parameterisation: key/value types and the augmentation monoid.
+//! Tree parameterisation: key/value types and the augmentation monoid —
+//! plus the shared fork-join cutoff knob.
+
+/// Default sequential cutoff for the parallel divide-and-conquer
+/// operations (bulk set ops and map-reduce): subtrees at or below this
+/// many entries recurse sequentially.
+///
+/// Re-tuned against the work-stealing pool (PR 4): one fork costs two
+/// queue locks plus a latch handshake (sub-microsecond), while a
+/// cutoff-sized bulk-op subtree costs hundreds of microseconds, so fork
+/// overhead stays well under 1%. On the bulk bench (`BENCH_bulk.json`)
+/// union at 10^6 keys measures single-digit-percent total parallel
+/// overhead on a single core (the bench asserts < 10%), flat across
+/// cutoffs 2048–8192 — so the cutoff stays at 2048, which keeps enough
+/// forks in flight to feed wide pools at the sizes the paper evaluates.
+pub(crate) const DEFAULT_PAR_CUTOFF: usize = 2048;
+
+/// The active sequential cutoff: `MVCC_PAR_CUTOFF` if set to a positive
+/// integer (read once — benches sweep it across processes), otherwise
+/// [`DEFAULT_PAR_CUTOFF`].
+#[inline]
+pub(crate) fn par_cutoff() -> usize {
+    static CUTOFF: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CUTOFF.get_or_init(|| {
+        std::env::var("MVCC_PAR_CUTOFF")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c >= 1)
+            .unwrap_or(DEFAULT_PAR_CUTOFF)
+    })
+}
 
 /// Static description of a map type: key ordering, value type, and an
 /// *augmentation* — a monoid folded over every subtree and cached in each

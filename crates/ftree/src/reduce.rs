@@ -10,10 +10,7 @@
 
 use crate::forest::Forest;
 use crate::node::Root;
-use crate::params::TreeParams;
-
-/// Below this many entries, recursion stays sequential.
-const PAR_CUTOFF: usize = 2048;
+use crate::params::{par_cutoff, TreeParams};
 
 impl<P: TreeParams> Forest<P> {
     /// Fold `map` over every entry, combining with the associative
@@ -31,7 +28,7 @@ impl<P: TreeParams> Forest<P> {
     {
         let Some(nid) = t.get() else { return id() };
         let n = self.node(nid);
-        if n.size() as usize <= PAR_CUTOFF {
+        if n.size() as usize <= par_cutoff() {
             // Sequential fold, left to right.
             let l = self.map_reduce(n.left(), map, combine, id);
             let m = map(n.key(), n.value());
@@ -60,7 +57,7 @@ impl<P: TreeParams> Forest<P> {
     fn any_rec<F: Fn(&P::K, &P::V) -> bool + Sync>(&self, t: Root, pred: &F) -> bool {
         let Some(nid) = t.get() else { return false };
         let n = self.node(nid);
-        if n.size() as usize <= PAR_CUTOFF {
+        if n.size() as usize <= par_cutoff() {
             return self.any_rec(n.left(), pred)
                 || pred(n.key(), n.value())
                 || self.any_rec(n.right(), pred);
@@ -87,11 +84,20 @@ impl<P: TreeParams> Forest<P> {
 
     fn map_values_rec<F: Fn(&P::K, &P::V) -> P::V + Sync>(&self, t: Root, f: &F) -> Root {
         let Some(nid) = t.get() else { return t };
-        let par = self.size(t) > PAR_CUTOFF;
+        // Like bulk.rs's maybe_join: only fork (and per-task re-pin) on
+        // a pool that actually has workers, so sequential mode keeps
+        // the caller's pin over the whole rewrite.
+        let par = self.size(t) > par_cutoff() && rayon::pool::current_num_threads() > 1;
         let (l, k, v, r) = self.expose_owned(nid);
         let nv = f(&k, &v);
         let (nl, nr) = if par {
-            rayon::join(|| self.map_values_rec(l, f), || self.map_values_rec(r, f))
+            // Allocating subtasks re-pin to their executing thread's own
+            // shard (see `maybe_join` in bulk.rs); the read-only folds
+            // above need no context.
+            rayon::join(
+                || self.with_task_ctx(|| self.map_values_rec(l, f)),
+                || self.with_task_ctx(|| self.map_values_rec(r, f)),
+            )
         } else {
             (self.map_values_rec(l, f), self.map_values_rec(r, f))
         };

@@ -14,6 +14,19 @@
 //! substitutes for PAM's nested inner trees: merging on union gives the
 //! same atomic-visibility semantics with coarser sharing, and mirrors how
 //! production indexes store postings.
+//!
+//! ## Parallelism
+//!
+//! Both the bulk entry points ([`IndexSession::add_documents`] /
+//! [`IndexSession::remove_documents`], which bottom out in `mvcc-ftree`'s
+//! `multi_insert`/`filter`) and the query-side [`intersect`] fork onto
+//! the work-stealing pool behind `rayon::join` above a sequential cutoff.
+//! The ingestion paths run inside the session's pinned allocation
+//! context; subtasks stolen by other pool threads re-pin to their own
+//! arena shard (`mvcc-ftree`'s per-task contexts), so a large batch
+//! spreads across the sharded allocator instead of serializing on the
+//! session's freelist. `MVCC_POOL_THREADS=1` forces everything
+//! sequential (see the `rayon` shim docs).
 
 use std::sync::Arc;
 

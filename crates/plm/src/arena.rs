@@ -185,6 +185,19 @@ fn sanitize_seed(raw: u32) -> u32 {
     raw % NO_PIN
 }
 
+/// This thread's affine shard seed, assigned round-robin on first use.
+#[inline]
+fn affine_seed() -> u32 {
+    THREAD_SEED.with(|s| {
+        let mut v = s.get();
+        if v == NO_PIN {
+            v = sanitize_seed(NEXT_THREAD_SEED.fetch_add(1, Ordering::Relaxed));
+            s.set(v);
+        }
+        v
+    })
+}
+
 thread_local! {
     /// This thread's affine shard seed (assigned on first allocation).
     static THREAD_SEED: Cell<u32> = const { Cell::new(NO_PIN) };
@@ -302,17 +315,30 @@ impl<T: Tuple> Arena<T> {
         let seed = if pinned != NO_PIN && pin_key == self.pin_key() {
             pinned
         } else {
-            THREAD_SEED.with(|s| {
-                let mut v = s.get();
-                if v == NO_PIN {
-                    v = sanitize_seed(NEXT_THREAD_SEED.fetch_add(1, Ordering::Relaxed));
-                    s.set(v);
-                }
-                v
-            })
+            affine_seed()
         };
         AllocCtx {
             shard: seed & self.shard_mask,
+        }
+    }
+
+    /// The calling thread's **affine** context, deliberately bypassing
+    /// any live [`Arena::pin`] — the cheap per-*task* shard acquisition
+    /// for fork-join code (one thread-local read after first use).
+    ///
+    /// A work-stealing runtime (`rayon::join`) may run a forked closure
+    /// on any pool thread, or inline on a thread that is *helping* while
+    /// it waits and still has an unrelated batch pin installed. Either
+    /// way the right shard for the subtask is the executing thread's own
+    /// one — inheriting the forker's pin would funnel every parallel
+    /// subtask onto a single freelist (re-serializing the allocator), and
+    /// inheriting a helper's pin would route an unrelated computation
+    /// through a batch's shard. Parallel subtasks therefore re-pin with
+    /// `with_ctx(task_ctx(), ...)` at each fork; pins keep their batching
+    /// role for the sequential regime below the fork cutoff.
+    pub fn task_ctx(&self) -> AllocCtx {
+        AllocCtx {
+            shard: affine_seed() & self.shard_mask,
         }
     }
 
@@ -1243,6 +1269,23 @@ mod tests {
             drops.load(Ordering::Relaxed),
             n,
             "every value must drop exactly once (no double drop, no skip)"
+        );
+    }
+
+    #[test]
+    fn task_ctx_bypasses_pins() {
+        // A fork-join subtask must allocate through its executing
+        // thread's own shard even when the thread carries a batch pin
+        // (forker's pin inherited inline, or a helper's unrelated pin).
+        let arena: Arena<Leaf<u64>> = Arena::with_shards(4);
+        let affine = arena.task_ctx().shard_index();
+        let pinned = (affine + 1) % 4;
+        let _guard = arena.pin(arena.ctx_for(pinned));
+        assert_eq!(arena.ctx().shard_index(), pinned, "pin governs ctx()");
+        assert_eq!(
+            arena.task_ctx().shard_index(),
+            affine,
+            "task_ctx() must ignore the pin"
         );
     }
 

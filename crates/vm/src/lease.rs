@@ -32,9 +32,12 @@
 //! either on the list with a `FREE`/`RESERVED` state or off the list and
 //! `LEASED`.
 //!
-//! Like the rest of this crate the pool uses `SeqCst` everywhere; the
-//! handful of lease/release transitions per *session* (not per
-//! transaction) make the fence cost irrelevant.
+//! Like the rest of this crate the pool's *state machine* uses `SeqCst`
+//! everywhere; the handful of lease/release transitions per *session*
+//! (not per transaction) make the fence cost irrelevant. The pure
+//! diagnostic counters ([`PidPool::leased`] / [`PidPool::is_leased`])
+//! are the exception: they read with `Relaxed`, as part of the
+//! relaxed-ordering audit's first slice (stats only, never decisions).
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::RwLock;
@@ -155,16 +158,24 @@ impl PidPool {
     }
 
     /// Number of pids currently leased (racy snapshot, diagnostics only).
+    ///
+    /// Relaxed loads: this is a pure statistics sweep — the snapshot is
+    /// racy whatever the ordering, no lease/release decision ever reads
+    /// it, and callers needing a settled count (tests, shutdown checks)
+    /// already synchronize via joins. First slice of the ROADMAP
+    /// relaxed-ordering audit; the lease/release state machine itself
+    /// stays SeqCst.
     pub fn leased(&self) -> usize {
         self.slots
             .iter()
-            .filter(|s| s.state.load(Ordering::SeqCst) != FREE)
+            .filter(|s| s.state.load(Ordering::Relaxed) != FREE)
             .count()
     }
 
-    /// Is `pid` currently leased? (Racy snapshot, diagnostics only.)
+    /// Is `pid` currently leased? (Racy snapshot, diagnostics only —
+    /// Relaxed for the same reason as [`PidPool::leased`].)
     pub fn is_leased(&self, pid: usize) -> bool {
-        self.slots[pid].state.load(Ordering::SeqCst) != FREE
+        self.slots[pid].state.load(Ordering::Relaxed) != FREE
     }
 
     fn pop(&self) -> Option<u32> {

@@ -118,6 +118,26 @@ fn main() {
         db.processes()
     );
 
+    // --- Parallel bulk operations ----------------------------------------
+    // Bulk ops (`multi_insert`, `union`, `filter`, range builds, …) are
+    // divide-and-conquer joins that fork onto a work-stealing pool once a
+    // subtree exceeds the sequential cutoff, so one big commit uses every
+    // core. The pool sizes itself to the host; `MVCC_POOL_THREADS=1`
+    // forces fully sequential execution (the debugging escape hatch) and
+    // `MVCC_POOL_THREADS=8` pins eight workers. Results are identical
+    // either way — only the wall-clock changes.
+    let bulk_db: Database<SumU64Map> = Database::new(1);
+    let mut bulk = bulk_db.session().expect("pid free");
+    bulk.write(|txn| {
+        let big: Vec<(u64, u64)> = (0..100_000).map(|k| (k, 1)).collect();
+        txn.multi_insert(big, |_old, new| *new); // parallel above the cutoff
+    });
+    println!(
+        "bulk-inserted 100k keys through the fork-join pool (sum {})",
+        bulk.read(|s| s.aug_total())
+    );
+    drop(bulk);
+
     // --- Router: N×P capacity via sharding -------------------------------
     // A Router owns N independent databases and hashes a tenant/key-space
     // id to a shard (stably: same key, same shard). Aggregate capacity is
