@@ -1,19 +1,26 @@
-//! In-tree shim for the `rayon` API surface this workspace uses.
+//! In-tree shim for the `rayon` API surface this workspace uses, backed
+//! by a real work-stealing fork-join pool (see [`pool`]).
 //!
-//! The build environment has no registry access, so fork-join calls
-//! execute sequentially: `join(a, b)` runs `a` then `b` on the calling
-//! thread. This preserves every correctness property the tree code
-//! relies on (same-thread execution also keeps arena allocation-context
-//! pins, which are thread-local, in effect across both halves). Swap in
-//! the real crate for multi-core span benefits.
+//! Historical note: this shim used to execute `join(a, b)` sequentially,
+//! and tree code leaned on a documented crutch — "same-thread execution
+//! keeps thread-local `AllocCtx` pins in effect across both halves".
+//! **That guarantee is gone.** `join` now runs its halves on a global
+//! pool of `N` workers (`N` from [`std::thread::available_parallelism`]):
+//! the second closure may execute on a different thread, with that
+//! thread's own thread-local state. Code that routes allocation through
+//! thread-local pins must re-acquire a per-task context inside each
+//! closure (`mvcc-ftree` does this via `Arena::task_ctx`).
+//!
+//! ## Forcing sequential execution
+//!
+//! Set `MVCC_POOL_THREADS=1` (or `0`) to restore the old behaviour
+//! exactly — no worker threads are spawned and `join(a, b)` runs `a`
+//! then `b` on the calling thread. This is the supported escape hatch
+//! for debugging (deterministic schedules, clean backtraces, `perf` on
+//! one thread). Values ≥ 2 pin the worker count; unset or unparseable,
+//! the pool sizes itself to the host. Programmatic equivalent:
+//! [`pool::set_pool_threads`] (where `0` instead clears the override).
 
-/// Run both closures and return their results. Sequential: `a` first.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    (a(), b())
-}
+pub mod pool;
+
+pub use pool::join;
