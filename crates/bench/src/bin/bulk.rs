@@ -22,6 +22,7 @@
 use std::time::Instant;
 
 use mvcc_bench::env_u64;
+use mvcc_bench::json::{self, JsonWriter};
 use mvcc_ftree::{Forest, Root, U64Map};
 use rayon::pool;
 
@@ -97,24 +98,25 @@ fn main() {
     println!("bulk ops: sizes {sizes:?}, workers {workers:?}, nproc {nproc}, cutoff {cutoff}");
 
     // results[op][size][workers] -> OpResult
-    let mut json = String::from("{\n  \"bench\": \"parallel_bulk_ops\",\n");
-    json.push_str(&format!(
-        "  \"host_threads\": {nproc},\n  \"par_cutoff\": {cutoff},\n  \
-         \"workers\": {workers:?},\n  \"sizes\": {sizes:?},\n  \"ops\": {{\n"
-    ));
+    let mut jw = JsonWriter::bench("parallel_bulk_ops");
+    jw.field_u64("host_threads", nproc as u64);
+    jw.field_u64("par_cutoff", cutoff);
+    jw.field_raw("workers", &format!("{workers:?}"));
+    jw.field_raw("sizes", &format!("{sizes:?}"));
+    jw.begin_object("ops");
 
-    for (oi, op) in ops.iter().enumerate() {
+    for op in ops.iter() {
         println!("== {op} ==");
-        json.push_str(&format!("    \"{op}\": {{\n"));
-        for (si, &n) in sizes.iter().enumerate() {
+        jw.begin_object(op);
+        for &n in sizes.iter() {
             // Means on shared/1-core hosts are noisy; enough reps (and
             // the recorded min) keep the seq-vs-par comparison honest.
             let reps = (5_000_000 / n).clamp(5, 20) as usize;
             let (av, bv) = union_inputs(n);
-            json.push_str(&format!("      \"{n}\": {{"));
+            jw.begin_object(&n.to_string());
             let mut seq_mean = 0u128;
             let mut seq_min = 0u128;
-            for (wi, &w) in workers.iter().enumerate() {
+            for &w in workers.iter() {
                 pool::set_pool_threads(w);
                 // Build inside the pool config so build_sorted's own
                 // parallelism does not leak across configurations.
@@ -136,13 +138,11 @@ fn main() {
                     "  n={n:<9} w={w:<3} mean {:>12} ns  min {:>12} ns  ({reps} reps, {:.2}x of seq)",
                     r.mean_ns, r.min_ns, rel
                 );
-                json.push_str(&format!(
-                    "{}\"w{w}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"reps\": {}}}",
-                    if wi == 0 { "" } else { ", " },
-                    r.mean_ns,
-                    r.min_ns,
-                    r.reps
-                ));
+                jw.begin_object(&format!("w{w}"));
+                jw.field_u128("mean_ns", r.mean_ns);
+                jw.field_u128("min_ns", r.min_ns);
+                jw.field_u64("reps", r.reps as u64);
+                jw.end_object();
                 f.release(ta);
                 f.release(tb);
                 assert_eq!(f.arena().live(), 0, "bench leaked tree nodes");
@@ -161,20 +161,11 @@ fn main() {
                     );
                 }
             }
-            json.push_str(if si + 1 == sizes.len() { "}\n" } else { "},\n" });
+            jw.end_object();
         }
-        json.push_str(if oi + 1 == ops.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
+        jw.end_object();
     }
-    json.push_str("  }\n}\n");
     pool::set_pool_threads(0);
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bulk.json");
-    match std::fs::write(out, &json) {
-        Ok(()) => println!("wrote {out}"),
-        Err(e) => eprintln!("could not write {out}: {e}"),
-    }
+    json::write_repo_root("BENCH_bulk.json", &jw.finish());
 }

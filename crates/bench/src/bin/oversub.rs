@@ -23,6 +23,7 @@
 use std::time::Duration;
 
 use mvcc_bench::env_u64;
+use mvcc_bench::json::{self, JsonWriter};
 use mvcc_core::{Database, Router};
 use mvcc_ftree::U64Map;
 use mvcc_workloads::oversub::{run_oversubscribed, LatencySummary, OversubReport};
@@ -31,20 +32,20 @@ use mvcc_workloads::oversub::{run_oversubscribed, LatencySummary, OversubReport}
 /// a measurable hold time without dominating the run.
 const TXNS_PER_LEASE: usize = 8;
 
-fn report_json(name: &str, r: &OversubReport, out: &mut String) {
+fn report_json(name: &str, r: &OversubReport, jw: &mut JsonWriter) {
     let w: &LatencySummary = &r.wait;
-    out.push_str(&format!(
-        "    \"{name}\": {{\"clients\": {}, \"acquires\": {}, \"elapsed_ms\": {}, \
-         \"wait_ns\": {{\"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}",
-        r.clients,
-        r.acquires,
-        r.elapsed.as_millis(),
-        w.mean_ns,
-        w.p50_ns,
-        w.p90_ns,
-        w.p99_ns,
-        w.max_ns,
-    ));
+    jw.begin_object(name);
+    jw.field_u64("clients", r.clients as u64);
+    jw.field_u64("acquires", r.acquires);
+    jw.field_u128("elapsed_ms", r.elapsed.as_millis());
+    jw.begin_object("wait_ns");
+    jw.field_u64("mean", w.mean_ns);
+    jw.field_u64("p50", w.p50_ns);
+    jw.field_u64("p90", w.p90_ns);
+    jw.field_u64("p99", w.p99_ns);
+    jw.field_u64("max", w.max_ns);
+    jw.end_object();
+    jw.end_object();
 }
 
 fn main() {
@@ -112,24 +113,21 @@ fn main() {
     );
     println!("  single_pool_open wait {}", open.wait);
 
-    let mut json = String::from("{\n  \"bench\": \"session_pool_oversubscription\",\n");
-    json.push_str(&format!(
-        "  \"pids\": {pids},\n  \"shards\": {shards},\n  \"clients\": {clients},\n  \
-         \"acquires_per_client\": {acquires},\n  \"txns_per_lease\": {TXNS_PER_LEASE},\n  \
-         \"host_threads\": {},\n",
-        std::thread::available_parallelism().map_or(0, |n| n.get())
-    ));
-    json.push_str("  \"configs\": {\n");
-    report_json("single_pool", &single, &mut json);
-    json.push_str(",\n");
-    report_json(&format!("router_{shards}x{pids}"), &routed, &mut json);
-    json.push_str(",\n");
-    report_json("single_pool_open", &open, &mut json);
-    json.push_str("\n  }\n}\n");
+    let mut jw = JsonWriter::bench("session_pool_oversubscription");
+    jw.field_u64("pids", pids as u64);
+    jw.field_u64("shards", shards as u64);
+    jw.field_u64("clients", clients as u64);
+    jw.field_u64("acquires_per_client", acquires as u64);
+    jw.field_u64("txns_per_lease", TXNS_PER_LEASE as u64);
+    jw.field_u64(
+        "host_threads",
+        std::thread::available_parallelism().map_or(0, |n| n.get()) as u64,
+    );
+    jw.begin_object("configs");
+    report_json("single_pool", &single, &mut jw);
+    report_json(&format!("router_{shards}x{pids}"), &routed, &mut jw);
+    report_json("single_pool_open", &open, &mut jw);
+    jw.end_object();
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oversub.json");
-    match std::fs::write(out, &json) {
-        Ok(()) => println!("wrote {out}"),
-        Err(e) => eprintln!("could not write {out}: {e}"),
-    }
+    json::write_repo_root("BENCH_oversub.json", &jw.finish());
 }

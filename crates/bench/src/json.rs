@@ -1,0 +1,184 @@
+//! Minimal JSON assembly shared by the `BENCH_*.json` harnesses.
+//!
+//! The bench bins (`bulk`, `oversub`, `vm_ops`) each emit a small
+//! machine-readable report at the repo root so successive PRs accumulate
+//! a perf trajectory. They used to hand-roll the string assembly
+//! (`push_str` + manual comma/brace bookkeeping) independently; this
+//! module centralizes it. It is deliberately *not* a serializer — no
+//! external dependency exists in this build environment (see
+//! `shims/`) — just a pretty-printing writer with container bookkeeping
+//! so the call sites read like the document they produce.
+//!
+//! ```
+//! use mvcc_bench::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::bench("example");
+//! w.field_u64("host_threads", 1);
+//! w.begin_object("configs");
+//! w.begin_object("fast");
+//! w.field_u64("mean_ns", 42);
+//! w.end_object();
+//! w.end_object();
+//! let doc = w.finish();
+//! assert!(doc.starts_with("{\n  \"bench\": \"example\","));
+//! assert!(doc.ends_with("}\n"));
+//! ```
+
+/// A pretty-printing JSON object writer (2-space indent, one member per
+/// line). Containers are balanced by [`JsonWriter::finish`], which
+/// closes anything left open — call sites can bail out of loops without
+/// brace bookkeeping.
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open object: has it emitted a member yet?
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Open the root object and stamp the conventional `"bench"` name
+    /// field every `BENCH_*.json` starts with.
+    pub fn bench(name: &str) -> Self {
+        let mut w = JsonWriter {
+            buf: String::from("{"),
+            stack: vec![false],
+        };
+        w.field_str("bench", name);
+        w
+    }
+
+    fn escape(s: &str) -> String {
+        // The harnesses only emit identifier-ish keys/values; escape the
+        // two characters that could break the document anyway.
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+
+    /// Start a member: comma for the container, newline, indent, key.
+    fn key(&mut self, key: &str) {
+        if let Some(populated) = self.stack.last_mut() {
+            if *populated {
+                self.buf.push(',');
+            }
+            *populated = true;
+        }
+        self.buf.push('\n');
+        for _ in 0..self.stack.len() {
+            self.buf.push_str("  ");
+        }
+        self.buf.push('"');
+        self.buf.push_str(&Self::escape(key));
+        self.buf.push_str("\": ");
+    }
+
+    /// A member whose value is pre-rendered JSON (e.g. a `{vec:?}` array
+    /// of numbers). The caller guarantees validity.
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.buf.push_str(raw);
+    }
+
+    /// An unsigned-integer member (covers the `u64`/`u128` timing sums).
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.field_raw(key, &v.to_string());
+    }
+
+    /// A `u128` member (nanosecond totals overflow `u64` aggregation).
+    pub fn field_u128(&mut self, key: &str, v: u128) {
+        self.field_raw(key, &v.to_string());
+    }
+
+    /// A float member, fixed to three decimals (ratios, milliseconds).
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.field_raw(key, &format!("{v:.3}"));
+    }
+
+    /// A string member.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&Self::escape(v));
+        self.buf.push('"');
+    }
+
+    /// Open a nested object member.
+    pub fn begin_object(&mut self, key: &str) {
+        self.key(key);
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Close the innermost object.
+    pub fn end_object(&mut self) {
+        assert!(self.stack.len() > 1, "cannot close the root object early");
+        let populated = self.stack.pop().unwrap();
+        if populated {
+            self.buf.push('\n');
+            for _ in 0..self.stack.len() {
+                self.buf.push_str("  ");
+            }
+        }
+        self.buf.push('}');
+    }
+
+    /// Close every open container (root included) and return the
+    /// document, newline-terminated.
+    pub fn finish(mut self) -> String {
+        while self.stack.len() > 1 {
+            self.end_object();
+        }
+        self.buf.push_str("\n}\n");
+        self.buf
+    }
+}
+
+/// Write `contents` to `<repo root>/<name>` (the convention every
+/// `BENCH_*.json` follows; the CI stress job globs them up as a
+/// workflow artifact), reporting the outcome on stdout/stderr like the
+/// harnesses always did.
+pub fn write_repo_root(name: &str, contents: &str) {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_shape() {
+        let mut w = JsonWriter::bench("t");
+        w.field_u64("n", 7);
+        w.begin_object("outer");
+        w.begin_object("inner");
+        w.field_f64("r", 1.0 / 3.0);
+        w.end_object();
+        w.begin_object("empty");
+        w.end_object();
+        w.end_object();
+        let doc = w.finish();
+        assert_eq!(
+            doc,
+            "{\n  \"bench\": \"t\",\n  \"n\": 7,\n  \"outer\": {\n    \
+             \"inner\": {\n      \"r\": 0.333\n    },\n    \"empty\": {}\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn finish_closes_open_containers() {
+        let mut w = JsonWriter::bench("t");
+        w.begin_object("a");
+        w.begin_object("b");
+        w.field_u64("x", 1);
+        let doc = w.finish();
+        assert!(doc.ends_with("\"x\": 1\n    }\n  }\n}\n"), "{doc}");
+    }
+
+    #[test]
+    fn strings_escaped() {
+        let w = JsonWriter::bench("q\"uote");
+        let doc = w.finish();
+        assert!(doc.contains("\"bench\": \"q\\\"uote\""));
+    }
+}

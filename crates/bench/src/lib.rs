@@ -13,6 +13,7 @@
 //! | `MVCC_KEYSPACE` | 100000 | YCSB key space (paper: 5·10⁷) |
 //! | `MVCC_DOCS`     | 5000 | initial documents for Table 3 |
 
+pub mod json;
 pub mod rangesum;
 pub mod table1;
 pub mod table3;

@@ -36,7 +36,48 @@
 //! the root here is a plain counter.)
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------
+// Memory-ordering roles — a local mirror of `mvcc-vm::ordering`'s
+// vocabulary (this crate sits below `mvcc-vm` in the dependency graph,
+// so the constants are restated rather than imported; the `strict-sc`
+// feature maps the tunable ones back to `SeqCst` just the same).
+// ---------------------------------------------------------------------
+
+/// Tunable (`AcqRel`; `SeqCst` under `strict-sc`) — every interior-node
+/// CAS. The RMW chain on each node totally orders that node's
+/// transitions and extends predecessors' release sequences, so a
+/// completed arrive's propagation to the root happens-before any
+/// operation that synchronizes with the arriver — the edge the
+/// `Guarantees` section needs. (On x86 this is the same locked
+/// instruction as `SeqCst`; ARM drops the trailing barrier.)
+const NODE_CAS: Ordering = if cfg!(feature = "strict-sc") {
+    Ordering::SeqCst
+} else {
+    Ordering::AcqRel
+};
+
+/// Tunable (`Relaxed`; `SeqCst` under `strict-sc`) — the per-iteration
+/// node re-read feeding a CAS expected value. A stale read is corrected
+/// by the CAS failing (the version field catches stale `HALF`
+/// promotions); no decision survives without revalidation.
+const NODE_HINT: Ordering = if cfg!(feature = "strict-sc") {
+    Ordering::SeqCst
+} else {
+    Ordering::Relaxed
+};
+
+/// **Pinned `SeqCst`** — the root counter's RMWs and [`Snzi::query`]'s
+/// load. Proof obligation: the module's first guarantee is *temporal*
+/// ("if some process has completed an arrive..."), promised to queriers
+/// with no happens-before relationship to the arriver; only the SC
+/// total order makes a completed root increment visible to every later
+/// query. Root RMWs are locked instructions on x86 either way, and the
+/// query is a plain `mov`, so pinning costs nothing there.
+const ROOT_RMW: Ordering = Ordering::SeqCst;
+/// See [`ROOT_RMW`].
+const QUERY: Ordering = Ordering::SeqCst;
 
 /// Count of one whole arrival, in half units.
 const ONE: u64 = 2;
@@ -104,14 +145,14 @@ impl Snzi {
     /// `true` iff the surplus (arrives minus departs) is provably
     /// non-zero. A single uncontended root-word read.
     pub fn query(&self) -> bool {
-        count_of(self.nodes[0].load(SeqCst)) > 0
+        count_of(self.nodes[0].load(QUERY)) > 0
     }
 
     fn arrive_at(&self, idx: usize) {
         if idx == 0 {
             // Root: a plain counter; only 0↔nonzero transitions of its
             // children ever reach here.
-            self.nodes[0].fetch_add(pack(ONE, 0), SeqCst);
+            self.nodes[0].fetch_add(pack(ONE, 0), ROOT_RMW);
             return;
         }
         let parent = (idx - 1) / 2;
@@ -124,11 +165,11 @@ impl Snzi {
         let mut succ = false;
         let mut undo = 0u32;
         while !succ {
-            let mut x = node.load(SeqCst);
+            let mut x = node.load(NODE_HINT);
             if count_of(x) >= ONE {
                 // Node already visibly non-zero: just add our unit.
                 if node
-                    .compare_exchange(x, pack(count_of(x) + ONE, ver_of(x)), SeqCst, SeqCst)
+                    .compare_exchange(x, pack(count_of(x) + ONE, ver_of(x)), NODE_CAS, NODE_HINT)
                     .is_ok()
                 {
                     succ = true;
@@ -138,17 +179,21 @@ impl Snzi {
                 // Claim the 0→nonzero transition with the HALF marker and
                 // a fresh version so a stale ½→1 CAS can never land.
                 let claimed = pack(HALF, ver_of(x).wrapping_add(1));
-                if node.compare_exchange(x, claimed, SeqCst, SeqCst).is_ok() {
+                if node
+                    .compare_exchange(x, claimed, NODE_CAS, NODE_HINT)
+                    .is_ok()
+                {
                     succ = true;
                     x = claimed;
                 }
             }
             if count_of(x) == HALF {
                 // Complete the transition: surplus must reach the parent
-                // *before* the node reads as whole.
+                // *before* the node reads as whole (NODE_CAS release
+                // publishes the parent arrival with the promotion).
                 self.arrive_at(parent);
                 if node
-                    .compare_exchange(x, pack(ONE, ver_of(x)), SeqCst, SeqCst)
+                    .compare_exchange(x, pack(ONE, ver_of(x)), NODE_CAS, NODE_HINT)
                     .is_err()
                 {
                     undo += 1;
@@ -162,18 +207,18 @@ impl Snzi {
 
     fn depart_at(&self, idx: usize) {
         if idx == 0 {
-            let prev = self.nodes[0].fetch_sub(pack(ONE, 0), SeqCst);
+            let prev = self.nodes[0].fetch_sub(pack(ONE, 0), ROOT_RMW);
             debug_assert!(count_of(prev) >= ONE, "root departed below zero");
             return;
         }
         let parent = (idx - 1) / 2;
         let node = &self.nodes[idx];
         loop {
-            let x = node.load(SeqCst);
+            let x = node.load(NODE_HINT);
             let (c, v) = (count_of(x), ver_of(x));
             debug_assert!(c >= ONE, "depart without a completed arrive");
             if node
-                .compare_exchange(x, pack(c - ONE, v), SeqCst, SeqCst)
+                .compare_exchange(x, pack(c - ONE, v), NODE_CAS, NODE_HINT)
                 .is_ok()
             {
                 if c == ONE {

@@ -7,6 +7,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// live versions" series that Table 2 and Figure 6 report (for imprecise
 /// algorithms it additionally counts retired-but-not-yet-collected
 /// versions, which is exactly the quantity the paper measures).
+///
+/// All accesses are `Relaxed` (the counters slice of the relaxed-ordering
+/// audit): pure statistics, never read by any reclamation decision;
+/// callers needing a settled figure (tests, quiescence checks) already
+/// synchronize via thread joins.
 #[derive(Debug, Default)]
 pub struct VersionCounter {
     created: AtomicU64,

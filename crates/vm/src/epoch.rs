@@ -11,12 +11,26 @@
 //! **Imprecise and unbounded**: a single slow reader pins its announced
 //! epoch, after which *no* version can be collected, no matter how many
 //! pile up — this is exactly the blow-up Figure 6 shows for small `nu`.
+//!
+//! ## Memory orderings
+//!
+//! The crossbeam-epoch `pin` idiom (`crate::ordering`, pattern 1):
+//! `acquire` announces its epoch with [`ANNOUNCE_PUBLISH`] and crosses
+//! [`announce_validate_fence`] before reading the version; the
+//! epoch-advance scan crosses [`scan_fence`] before its [`SCAN_LOAD`]s,
+//! so a reader whose announcement the scan missed is guaranteed to
+//! observe a version newer than anything the advance frees. Limbo-bag
+//! contents synchronize through the bag mutex.
 
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::AtomicU64;
 
 use crate::counter::VersionCounter;
+use crate::ordering::{
+    announce_validate_fence, scan_fence, ANNOUNCE_CLEAR, ANNOUNCE_PUBLISH, CAS_FAILURE, CLOCK_LOAD,
+    EPOCH_ADVANCE_CAS, SCAN_LOAD, VERSION_CAS, VERSION_LOAD,
+};
 use crate::util::PerProc;
 use crate::VersionMaintenance;
 
@@ -74,9 +88,16 @@ impl VersionMaintenance for EpochVm {
     }
 
     fn acquire(&self, k: usize) -> u64 {
-        let e = self.epoch.load(SeqCst);
-        self.ann[k].store(e, SeqCst);
-        let d = self.v.load(SeqCst);
+        let e = self.epoch.load(CLOCK_LOAD);
+        self.ann[k].store(e, ANNOUNCE_PUBLISH);
+        // ANNOUNCE_VALIDATE_FENCE: the epoch announcement must be
+        // globally visible before the version read — an advance scan
+        // that misses it would otherwise free what we are about to read
+        // (StoreLoad; pairs with release's `scan_fence`). There is no
+        // validate retry here: the fence instead guarantees the version
+        // we read is too young for any advance that missed us to free.
+        announce_validate_fence();
+        let d = self.v.load(VERSION_LOAD);
         // Safety: only process k touches proc[k] (VM contract).
         unsafe { self.proc.with(k, |p| p.acquired = d) };
         d
@@ -84,9 +105,13 @@ impl VersionMaintenance for EpochVm {
 
     fn set(&self, k: usize, data: u64) -> bool {
         let old = unsafe { self.proc.with(k, |p| p.acquired) };
-        if self.v.compare_exchange(old, data, SeqCst, SeqCst).is_ok() {
+        if self
+            .v
+            .compare_exchange(old, data, VERSION_CAS, CAS_FAILURE)
+            .is_ok()
+        {
             self.counter.created();
-            let e = self.epoch.load(SeqCst);
+            let e = self.epoch.load(CLOCK_LOAD);
             self.limbo[(e % 3) as usize].lock().push(old);
             unsafe { self.proc.with(k, |p| p.try_advance = true) };
             true
@@ -96,7 +121,9 @@ impl VersionMaintenance for EpochVm {
     }
 
     fn release(&self, k: usize, out: &mut Vec<u64>) {
-        self.ann[k].store(QUIESCENT, SeqCst);
+        // ANNOUNCE_CLEAR: an advance scan observing QUIESCENT acquires
+        // every read we made under the announced epoch.
+        self.ann[k].store(QUIESCENT, ANNOUNCE_CLEAR);
         // Paper optimization: only writer releases scan; this leaves at
         // most one extra uncollected version behind.
         let advance = unsafe {
@@ -109,16 +136,21 @@ impl VersionMaintenance for EpochVm {
         if !advance {
             return;
         }
-        let e = self.epoch.load(SeqCst);
+        let e = self.epoch.load(CLOCK_LOAD);
+        // SCAN_FENCE: pairs with acquire's announce/validate fence (see
+        // `ordering` pattern 1) — an announcement this scan misses
+        // belongs to a reader whose version read is ordered after our
+        // retirements, so nothing it holds is in the bag we may drain.
+        scan_fence();
         for a in self.ann.iter() {
-            let announced = a.load(SeqCst);
+            let announced = a.load(SCAN_LOAD);
             if announced != QUIESCENT && announced != e {
                 return; // a straggler pins an older epoch
             }
         }
         if self
             .epoch
-            .compare_exchange(e, e + 1, SeqCst, SeqCst)
+            .compare_exchange(e, e + 1, EPOCH_ADVANCE_CAS, CAS_FAILURE)
             .is_ok()
         {
             // Epoch e+1 begins; versions retired in epoch e-2 (which lives
@@ -131,7 +163,7 @@ impl VersionMaintenance for EpochVm {
     }
 
     fn current(&self) -> u64 {
-        self.v.load(SeqCst)
+        self.v.load(VERSION_LOAD)
     }
 
     fn uncollected_versions(&self) -> u64 {

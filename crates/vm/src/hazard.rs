@@ -11,11 +11,24 @@
 //! **Imprecise**: up to `2P` dead versions can sit in retired lists
 //! indefinitely (the paper measures exactly `2P = 282` live versions for
 //! HP in Table 2).
+//!
+//! ## Memory orderings
+//!
+//! The classic hazard-pointer fence idiom (`crate::ordering`, pattern
+//! 1): `acquire` publishes the hazard slot with [`ANNOUNCE_PUBLISH`] and
+//! crosses [`announce_validate_fence`] before validating; the `release`
+//! scan crosses [`scan_fence`] before its [`SCAN_LOAD`] snapshot. All
+//! other traffic is plain acquire/release ([`VERSION_CAS`] /
+//! [`VERSION_LOAD`] / [`ANNOUNCE_CLEAR`]).
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::AtomicU64;
 
 use crate::counter::VersionCounter;
+use crate::ordering::{
+    announce_validate_fence, scan_fence, ANNOUNCE_CLEAR, ANNOUNCE_PUBLISH, CAS_FAILURE, SCAN_LOAD,
+    SELF_LOAD, VERSION_CAS, VERSION_LOAD,
+};
 use crate::util::PerProc;
 use crate::VersionMaintenance;
 
@@ -66,11 +79,15 @@ impl VersionMaintenance for HazardVm {
 
     fn acquire(&self, k: usize) -> u64 {
         loop {
-            let d = self.v.load(SeqCst);
-            self.ann[k].store(d, SeqCst);
+            let d = self.v.load(VERSION_LOAD);
+            self.ann[k].store(d, ANNOUNCE_PUBLISH);
+            // ANNOUNCE_VALIDATE_FENCE: the announcement must be globally
+            // visible before the validate load (StoreLoad; pairs with
+            // the release scan's `scan_fence`).
+            announce_validate_fence();
             // Re-validate: if still current, the announcement was visible
             // before the version could be retired, so it is protected.
-            if d == self.v.load(SeqCst) {
+            if d == self.v.load(VERSION_LOAD) {
                 return d;
             }
         }
@@ -78,8 +95,13 @@ impl VersionMaintenance for HazardVm {
 
     fn set(&self, k: usize, data: u64) -> bool {
         debug_assert_ne!(data, IDLE, "u64::MAX is reserved");
-        let old = self.ann[k].load(SeqCst);
-        if self.v.compare_exchange(old, data, SeqCst, SeqCst).is_ok() {
+        // SELF_LOAD: our own slot, last written by our own acquire.
+        let old = self.ann[k].load(SELF_LOAD);
+        if self
+            .v
+            .compare_exchange(old, data, VERSION_CAS, CAS_FAILURE)
+            .is_ok()
+        {
             self.counter.created();
             // Safety: only process k touches proc[k] (VM contract).
             unsafe { self.proc.with(k, |p| p.retired.push(old)) };
@@ -90,7 +112,10 @@ impl VersionMaintenance for HazardVm {
     }
 
     fn release(&self, k: usize, out: &mut Vec<u64>) {
-        self.ann[k].store(IDLE, SeqCst);
+        // ANNOUNCE_CLEAR: a scan observing IDLE acquires every use we
+        // made of the version; a scan that misses it just keeps the
+        // version one more round (within the 2P imprecision budget).
+        self.ann[k].store(IDLE, ANNOUNCE_CLEAR);
         let threshold = 2 * self.processes;
         // Safety: only process k touches proc[k].
         unsafe {
@@ -99,8 +124,12 @@ impl VersionMaintenance for HazardVm {
                     return;
                 }
                 // Scan phase: snapshot all hazard slots, hand back every
-                // retired version that no one has announced.
-                let announced: Vec<u64> = self.ann.iter().map(|a| a.load(SeqCst)).collect();
+                // retired version that no one has announced. SCAN_FENCE:
+                // pairs with acquire's announce/validate fence — any
+                // announcement this snapshot misses belongs to a reader
+                // whose validation will observe the retirement and retry.
+                scan_fence();
+                let announced: Vec<u64> = self.ann.iter().map(|a| a.load(SCAN_LOAD)).collect();
                 let before = p.retired.len();
                 p.retired.retain(|ver| {
                     if announced.contains(ver) {
@@ -116,7 +145,7 @@ impl VersionMaintenance for HazardVm {
     }
 
     fn current(&self) -> u64 {
-        self.v.load(SeqCst)
+        self.v.load(VERSION_LOAD)
     }
 
     fn uncollected_versions(&self) -> u64 {

@@ -26,11 +26,26 @@
 //! lists between scans, and a pinned interval can hold versions past
 //! their death. The paper's precision experiments treat this as a third
 //! imprecise point between HP and EP.
+//!
+//! ## Memory orderings
+//!
+//! The hazard-pointer fence idiom over eras (`crate::ordering`, pattern
+//! 1): `acquire` publishes its reservation with [`ANNOUNCE_PUBLISH`] and
+//! crosses [`announce_validate_fence`] before the version read and era
+//! validation; the `release` scan crosses [`scan_fence`] before its
+//! [`SCAN_LOAD`]s of the reservation array. A reservation the scan
+//! misses belongs to a reader whose era validation observes the
+//! retirement bump and retries. The birth-era word is a pure hint
+//! ([`BIRTH_HINT`]): stale reads only widen intervals.
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::AtomicU64;
 
 use crate::counter::VersionCounter;
+use crate::ordering::{
+    announce_validate_fence, scan_fence, ANNOUNCE_CLEAR, ANNOUNCE_PUBLISH, BIRTH_HINT, CAS_FAILURE,
+    CLOCK_BUMP, CLOCK_LOAD, SCAN_LOAD, VERSION_CAS, VERSION_LOAD,
+};
 use crate::util::PerProc;
 use crate::VersionMaintenance;
 
@@ -94,9 +109,11 @@ impl IntervalVm {
     }
 
     /// Does `[birth, retire]` overlap any active reservation?
+    /// Callers must cross [`scan_fence`] once before the scan loop that
+    /// invokes this (pairs with `acquire`'s announce/validate fence).
     fn pinned(&self, birth: u64, retire: u64) -> bool {
         self.resv.iter().any(|r| {
-            let e = r.load(SeqCst);
+            let e = r.load(SCAN_LOAD);
             e != IDLE && birth <= e && e <= retire
         })
     }
@@ -109,13 +126,17 @@ impl VersionMaintenance for IntervalVm {
 
     fn acquire(&self, k: usize) -> u64 {
         loop {
-            let e = self.era.load(SeqCst);
-            self.resv[k].store(e, SeqCst);
-            let d = self.v.load(SeqCst);
+            let e = self.era.load(CLOCK_LOAD);
+            self.resv[k].store(e, ANNOUNCE_PUBLISH);
+            // ANNOUNCE_VALIDATE_FENCE: the reservation must be globally
+            // visible before the era validation below (StoreLoad; pairs
+            // with the release scan's `scan_fence`).
+            announce_validate_fence();
+            let d = self.v.load(VERSION_LOAD);
             // If no successful set advanced the era, `d` was the current
             // version at a point inside our reservation: its birth is
             // <= e and its retire era (if any) will be > e.
-            if self.era.load(SeqCst) == e {
+            if self.era.load(CLOCK_LOAD) == e {
                 // Safety: only process k touches proc[k] (VM contract).
                 unsafe { self.proc.with(k, |p| p.acquired = d) };
                 return d;
@@ -128,10 +149,14 @@ impl VersionMaintenance for IntervalVm {
         // Read the old version's birth before the CAS: if another set
         // succeeds in between, our CAS fails; a torn read can only be an
         // older (smaller) birth, widening the interval — safe.
-        let old_birth = self.v_birth.load(SeqCst);
-        if self.v.compare_exchange(old, data, SeqCst, SeqCst).is_ok() {
-            let retire = self.era.fetch_add(1, SeqCst) + 1;
-            self.v_birth.store(retire, SeqCst);
+        let old_birth = self.v_birth.load(BIRTH_HINT);
+        if self
+            .v
+            .compare_exchange(old, data, VERSION_CAS, CAS_FAILURE)
+            .is_ok()
+        {
+            let retire = self.era.fetch_add(1, CLOCK_BUMP) + 1;
+            self.v_birth.store(retire, BIRTH_HINT);
             self.counter.created();
             unsafe {
                 self.proc.with(k, |p| {
@@ -149,7 +174,9 @@ impl VersionMaintenance for IntervalVm {
     }
 
     fn release(&self, k: usize, out: &mut Vec<u64>) {
-        self.resv[k].store(IDLE, SeqCst);
+        // ANNOUNCE_CLEAR: a scan observing IDLE acquires every use we
+        // made of the reserved-era versions.
+        self.resv[k].store(IDLE, ANNOUNCE_CLEAR);
         let threshold = 2 * self.processes;
         // Safety: only process k touches proc[k].
         unsafe {
@@ -157,6 +184,9 @@ impl VersionMaintenance for IntervalVm {
                 if p.retired.len() < threshold {
                     return;
                 }
+                // SCAN_FENCE: once per scan, before the first `pinned`
+                // reservation load (see `pinned`'s contract).
+                scan_fence();
                 let before = p.retired.len();
                 p.retired.retain(|r| {
                     if self.pinned(r.birth, r.retire) {
@@ -172,7 +202,7 @@ impl VersionMaintenance for IntervalVm {
     }
 
     fn current(&self) -> u64 {
-        self.v.load(SeqCst)
+        self.v.load(VERSION_LOAD)
     }
 
     fn uncollected_versions(&self) -> u64 {

@@ -32,15 +32,30 @@
 //! either on the list with a `FREE`/`RESERVED` state or off the list and
 //! `LEASED`.
 //!
-//! Like the rest of this crate the pool's *state machine* uses `SeqCst`
-//! everywhere; the handful of lease/release transitions per *session*
-//! (not per transaction) make the fence cost irrelevant. The pure
+//! # Memory orderings
+//!
+//! The pool runs entirely on tunable roles from [`crate::ordering`]
+//! (acquire/release by default, `SeqCst` under `strict-sc`): the lease
+//! state machine on [`LEASE_CAS`]/[`LEASE_STATE_LOAD`]/
+//! [`LEASE_RELEASE_STORE`] — the claiming CAS's acquire is the edge
+//! that hands one holder's writes to the next when a pid migrates
+//! across threads (what `PerProc`'s safety contract leans on) — and the
+//! freelist on [`FREELIST_HEAD_LOAD`]/[`FREELIST_CAS`]/
+//! [`FREELIST_LINK`], the classic tagged-Treiber pairing. No StoreLoad
+//! window exists here: a popper that misses a just-pushed pid returns
+//! `Exhausted`, which the waiting layers above (`mvcc-core`'s session
+//! pool) already treat as "park and retry after the mutex-mediated
+//! release hook" — the retry synchronizes through that mutex. The pure
 //! diagnostic counters ([`PidPool::leased`] / [`PidPool::is_leased`])
-//! are the exception: they read with `Relaxed`, as part of the
-//! relaxed-ordering audit's first slice (stats only, never decisions).
+//! read with `Relaxed` (stats only, never decisions).
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::RwLock;
+
+use crate::ordering::{
+    CAS_FAILURE, FREELIST_CAS, FREELIST_HEAD_LOAD, FREELIST_LINK, HOOK_FLAG_READ, HOOK_FLAG_SET,
+    LEASE_CAS, LEASE_RELEASE_STORE, LEASE_STATE_LOAD,
+};
 
 const NIL: u32 = u32::MAX;
 const TAG_SHIFT: u32 = 32;
@@ -139,13 +154,14 @@ impl PidPool {
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .push(Box::new(hook));
-        self.has_hooks.store(true, Ordering::SeqCst);
+        // HOOK_FLAG_SET: publishes the append above to HOOK_FLAG_READ.
+        self.has_hooks.store(true, HOOK_FLAG_SET);
     }
 
     /// Run the registered release hooks for `pid` (no-op without hooks:
     /// one relaxed-ish atomic load, no lock).
     fn notify_release(&self, pid: usize) {
-        if self.has_hooks.load(Ordering::SeqCst) {
+        if self.has_hooks.load(HOOK_FLAG_READ) {
             for hook in self.hooks.read().unwrap_or_else(|e| e.into_inner()).iter() {
                 hook(pid);
             }
@@ -180,17 +196,21 @@ impl PidPool {
 
     fn pop(&self) -> Option<u32> {
         loop {
-            let head = self.head.load(Ordering::SeqCst);
+            // FREELIST_HEAD_LOAD: synchronizes with the pushing CAS (and
+            // its release sequence), making the link below visible.
+            let head = self.head.load(FREELIST_HEAD_LOAD);
             let pid = (head & LOW_MASK) as u32;
             if pid == NIL {
                 return None;
             }
-            let next = self.slots[pid as usize].next.load(Ordering::SeqCst);
+            // FREELIST_LINK: published by the push CAS we synchronized
+            // with; a stale read is discarded by the tag CAS failing.
+            let next = self.slots[pid as usize].next.load(FREELIST_LINK);
             let tag = (head >> TAG_SHIFT).wrapping_add(1);
             let new = (tag << TAG_SHIFT) | next as u64;
             if self
                 .head
-                .compare_exchange(head, new, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(head, new, FREELIST_CAS, CAS_FAILURE)
                 .is_ok()
             {
                 return Some(pid);
@@ -200,15 +220,17 @@ impl PidPool {
 
     fn push(&self, pid: u32) {
         loop {
-            let head = self.head.load(Ordering::SeqCst);
+            let head = self.head.load(FREELIST_HEAD_LOAD);
+            // FREELIST_LINK: we own this node until the CAS below
+            // publishes it (release).
             self.slots[pid as usize]
                 .next
-                .store((head & LOW_MASK) as u32, Ordering::SeqCst);
+                .store((head & LOW_MASK) as u32, FREELIST_LINK);
             let tag = (head >> TAG_SHIFT).wrapping_add(1);
             let new = (tag << TAG_SHIFT) | pid as u64;
             if self
                 .head
-                .compare_exchange(head, new, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(head, new, FREELIST_CAS, CAS_FAILURE)
                 .is_ok()
             {
                 return;
@@ -226,9 +248,11 @@ impl PidPool {
             };
             let slot = &self.slots[pid as usize];
             loop {
+                // LEASE_CAS: the acquire on success is the ownership
+                // hand-off edge from the previous holder's release.
                 match slot
                     .state
-                    .compare_exchange(FREE, LEASED, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(FREE, LEASED, LEASE_CAS, CAS_FAILURE)
                 {
                     Ok(_) => return Ok(pid as usize),
                     Err(RESERVED) => {
@@ -237,7 +261,7 @@ impl PidPool {
                         // LEASED and will relist on release) and move on.
                         if slot
                             .state
-                            .compare_exchange(RESERVED, LEASED, Ordering::SeqCst, Ordering::SeqCst)
+                            .compare_exchange(RESERVED, LEASED, LEASE_CAS, CAS_FAILURE)
                             .is_ok()
                         {
                             continue 'next_entry;
@@ -260,9 +284,10 @@ impl PidPool {
         assert!(pid < self.processes(), "pid {pid} out of range");
         // The entry (if any) stays on the list as a tombstone; `lease`
         // skips it and `release` accounts for it.
+        // LEASE_CAS: same ownership hand-off edge as `lease`.
         self.slots[pid]
             .state
-            .compare_exchange(FREE, RESERVED, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(FREE, RESERVED, LEASE_CAS, CAS_FAILURE)
             .map(|_| ())
             .map_err(|_| LeaseError::PidLeased { pid })
     }
@@ -273,13 +298,15 @@ impl PidPool {
     pub fn release(&self, pid: usize) {
         let slot = &self.slots[pid];
         loop {
-            match slot.state.load(Ordering::SeqCst) {
+            match slot.state.load(LEASE_STATE_LOAD) {
                 LEASED => {
                     // Off-list: publish FREE first, then relist. A
                     // `lease_exact` that claims the pid inside this window
                     // turns the entry we are about to push into a
                     // tombstone, which `lease` handles.
-                    slot.state.store(FREE, Ordering::SeqCst);
+                    // LEASE_RELEASE_STORE: hands our writes to the next
+                    // claimant's LEASE_CAS acquire.
+                    slot.state.store(FREE, LEASE_RELEASE_STORE);
                     self.push(pid as u32);
                     break;
                 }
@@ -288,9 +315,10 @@ impl PidPool {
                     // state. A concurrent `lease` may consume the entry
                     // first (RESERVED -> LEASED), in which case we loop
                     // into the LEASED arm and relist.
+                    // LEASE_CAS: release side of the hand-off edge.
                     if slot
                         .state
-                        .compare_exchange(RESERVED, FREE, Ordering::SeqCst, Ordering::SeqCst)
+                        .compare_exchange(RESERVED, FREE, LEASE_CAS, CAS_FAILURE)
                         .is_ok()
                     {
                         break;

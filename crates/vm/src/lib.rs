@@ -19,24 +19,43 @@
 //! Five implementations matching the paper's §3.1, §6 and §7.1 evaluation,
 //! plus one extension ([`IntervalVm`]) from the §6 pointer to IBR \[63\]:
 //!
-//! | Type | Precise | Progress | acquire | set | release |
-//! |------|---------|----------|---------|-----|---------|
-//! | [`PswfVm`]   | yes | wait-free           | O(1) | O(P) | O(P) |
-//! | [`PslfVm`]   | yes | lock-free (no helping) | unbounded retries | O(P) | O(P) |
-//! | [`HazardVm`] | no (≤ 2P retired) | non-blocking readers | O(1) expected | O(1) | amortized O(1) |
-//! | [`EpochVm`]  | no (unbounded)     | non-blocking | O(1) | O(1) | O(P) on epoch close |
-//! | [`RcuVm`]    | yes (≤ 1 old) | **writers block on readers** | O(1) | O(1) | O(readers) blocking |
-//! | [`IntervalVm`] | no (≤ 2P + pinned intervals) | non-blocking | O(1) expected | O(1) | amortized O(1) |
+//! | Type | Precise | Progress | acquire | set | release | relaxed-audit |
+//! |------|---------|----------|---------|-----|---------|---------------|
+//! | [`PswfVm`]   | yes | wait-free           | O(1) | O(P) | O(P) | handshake pinned `SeqCst`; data array relaxed |
+//! | [`PslfVm`]   | yes | lock-free (no helping) | unbounded retries | O(P) | O(P) | handshake pinned `SeqCst`; data array relaxed |
+//! | [`HazardVm`] | no (≤ 2P retired) | non-blocking readers | O(1) expected | O(1) | amortized O(1) | acq/rel + announce/scan fences |
+//! | [`EpochVm`]  | no (unbounded)     | non-blocking | O(1) | O(1) | O(P) on epoch close | acq/rel + announce/scan fences |
+//! | [`RcuVm`]    | yes (≤ 1 old) | **writers block on readers** | O(1) | O(1) | O(readers) blocking | acq/rel + fences; grace RMW pinned |
+//! | [`IntervalVm`] | no (≤ 2P + pinned intervals) | non-blocking | O(1) expected | O(1) | amortized O(1) | acq/rel + announce/scan fences |
+//!
+//! (The last column summarizes each algorithm's position after the
+//! relaxed-ordering audit; `strict-sc` collapses every tunable entry
+//! back to `SeqCst`.)
 //!
 //! Data pointers are opaque `u64` tokens (`mvcc-core` stores version-root
 //! node ids in them); [`NIL_DATA`] is the "no data" token of the initial
 //! version when a system starts empty.
 //!
-//! All shared-memory operations use `SeqCst` ordering: the paper's model is
-//! a sequentially consistent shared memory, and Algorithm 4's
-//! linearization argument (Appendix B) relies on a global order of its
-//! CASes. We deliberately trade a few fence cycles for fidelity to the
-//! proof.
+//! ## Memory-ordering contract
+//!
+//! The paper's model is a sequentially consistent shared memory, and the
+//! seed reproduction used `SeqCst` everywhere for fidelity. That audit
+//! is now complete: every atomic site in this crate names a **role**
+//! from the [`ordering`] vocabulary module, which documents one pairing
+//! argument per role instead of ad-hoc per-site reasoning. Hot-path
+//! announcement traffic runs on acquire/release (plus two explicit
+//! `SeqCst` fences where a StoreLoad edge is irreducible), while the
+//! sites whose proofs genuinely need a total store order — Algorithm 4's
+//! handshake words, whose Appendix B linearization argument orders all
+//! of its CASes globally, and the RCU grace-period RMW — stay pinned at
+//! `SeqCst` in every build.
+//!
+//! Building with the **`strict-sc`** feature maps every tunable role
+//! back to `SeqCst` (the explicit fences remain), restoring the paper's
+//! memory model wholesale. Use it as the safe harbor when auditing the
+//! algorithms against the proofs, or to measure what the relaxed
+//! orderings buy: the `mvcc-bench` `vm_ops` harness records per-op
+//! latency under both regimes into `BENCH_vm.json`.
 
 //! ## Example
 //!
@@ -66,6 +85,7 @@ mod epoch;
 mod hazard;
 mod interval;
 mod lease;
+pub mod ordering;
 mod pswf;
 mod rcu;
 mod util;

@@ -36,11 +36,23 @@
 //!    concurrent `set` may claim it and overwrite `D`, and a post-erase
 //!    read would hand the newcomer's data out for collection (caught by
 //!    the multi-writer double-collect oracle in `tests/vm_stress.rs`).
+//!
+//! ## Memory orderings
+//!
+//! Every operation on the handshake words `V` / `S` / `A` uses the
+//! pinned roles [`HANDSHAKE_CAS`] / [`HANDSHAKE_LOAD`] /
+//! [`HANDSHAKE_STORE`] (`SeqCst` in both builds): Appendix B's
+//! linearization argument orders all of Algorithm 4's CASes globally,
+//! and both of `crate::ordering`'s irreducible StoreLoad windows occur
+//! here (announce->validate in `acquire`, clear->scan in `release`). Only
+//! the data array `D` — a pure payload side-channel carried by those
+//! words — runs on the tunable [`DATA_SLOT`] role.
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::AtomicU64;
 
 use crate::counter::VersionCounter;
+use crate::ordering::{DATA_SLOT, HANDSHAKE_CAS, HANDSHAKE_LOAD, HANDSHAKE_STORE};
 use crate::word::*;
 use crate::VersionMaintenance;
 
@@ -61,6 +73,9 @@ struct Core {
     /// modifying operation responded on the same word during ours, i.e.
     /// one unit of contention in the §2 sense. Bumped only on failure
     /// (rare by Theorem 3.5), so the accounting is free on the hot path.
+    /// `Relaxed` on both ends (stats only, never a decision): the
+    /// counters slice of the relaxed-ordering audit — the state machine
+    /// itself uses the pinned roles of [`crate::ordering`].
     cas_failures: AtomicU64,
 }
 
@@ -102,44 +117,61 @@ impl Core {
             cas_failures: AtomicU64::new(0),
         };
         // Install the initial version ⟨ts=1, index=0⟩.
-        core.s[0].store(pack_ver(1, 0) | USABLE, SeqCst);
-        core.d[0].store(initial, SeqCst);
+        core.s[0].store(pack_ver(1, 0) | USABLE, HANDSHAKE_STORE);
+        core.d[0].store(initial, DATA_SLOT);
         core
     }
 
     #[inline]
     fn data_of(&self, ver: u64) -> u64 {
-        self.d[idx_of(ver)].load(SeqCst)
+        // DATA_SLOT: the carrying word (V / A[k] / S[i], all pinned)
+        // provides the synchronizes-with edge; see `ordering::DATA_SLOT`.
+        self.d[idx_of(ver)].load(DATA_SLOT)
     }
 
     /// Algorithm 4 `acquire` (wait-free, O(1)): announce with the help flag
     /// raised, re-validate against `V`, commit by clearing the flag; retry
     /// at most twice, after which a helper must have committed for us.
     fn acquire_bounded(&self, k: usize) -> u64 {
-        let mut u = self.v.load(SeqCst);
-        self.a[k].store(u | HELP, SeqCst);
-        if u == self.v.load(SeqCst) {
-            let _ = self.tally(self.a[k].compare_exchange(u | HELP, u, SeqCst, SeqCst));
-            return self.data_of(ver_of(self.a[k].load(SeqCst)));
+        // HANDSHAKE_*: the announce->validate window below (store A[k],
+        // then re-load V) is `ordering`'s StoreLoad pattern 1, and the
+        // helping CASes are counted by Lemma B.2 in the global CAS
+        // order — every access to V/A here is pinned.
+        let mut u = self.v.load(HANDSHAKE_LOAD);
+        self.a[k].store(u | HELP, HANDSHAKE_STORE);
+        if u == self.v.load(HANDSHAKE_LOAD) {
+            let _ =
+                self.tally(self.a[k].compare_exchange(u | HELP, u, HANDSHAKE_CAS, HANDSHAKE_LOAD));
+            return self.data_of(ver_of(self.a[k].load(HANDSHAKE_LOAD)));
         }
         for _ in 0..2 {
-            let v = self.v.load(SeqCst);
+            let v = self.v.load(HANDSHAKE_LOAD);
             if self
-                .tally(self.a[k].compare_exchange(u | HELP, v | HELP, SeqCst, SeqCst))
+                .tally(self.a[k].compare_exchange(
+                    u | HELP,
+                    v | HELP,
+                    HANDSHAKE_CAS,
+                    HANDSHAKE_LOAD,
+                ))
                 .is_err()
             {
                 // Someone helped: use the committed version.
-                return self.data_of(ver_of(self.a[k].load(SeqCst)));
+                return self.data_of(ver_of(self.a[k].load(HANDSHAKE_LOAD)));
             }
-            if v == self.v.load(SeqCst) {
-                let _ = self.tally(self.a[k].compare_exchange(v | HELP, v, SeqCst, SeqCst));
-                return self.data_of(ver_of(self.a[k].load(SeqCst)));
+            if v == self.v.load(HANDSHAKE_LOAD) {
+                let _ = self.tally(self.a[k].compare_exchange(
+                    v | HELP,
+                    v,
+                    HANDSHAKE_CAS,
+                    HANDSHAKE_LOAD,
+                ));
+                return self.data_of(ver_of(self.a[k].load(HANDSHAKE_LOAD)));
             }
             u = v;
         }
         // Two version changes occurred during this acquire; Lemma B.2
         // guarantees a helping CAS has committed A[k] by now.
-        self.data_of(ver_of(self.a[k].load(SeqCst)))
+        self.data_of(ver_of(self.a[k].load(HANDSHAKE_LOAD)))
     }
 
     /// PSLF `acquire` (lock-free): same announce/validate/commit protocol
@@ -148,19 +180,31 @@ impl Core {
     /// (the pending phase) may still commit for us mid-retry, in which case
     /// we must use the committed version to keep collection precise.
     fn acquire_unbounded(&self, k: usize) -> u64 {
-        let mut u = self.v.load(SeqCst);
-        self.a[k].store(u | HELP, SeqCst);
+        // HANDSHAKE_*: same announce->validate window as the bounded
+        // variant; all V/A accesses pinned.
+        let mut u = self.v.load(HANDSHAKE_LOAD);
+        self.a[k].store(u | HELP, HANDSHAKE_STORE);
         loop {
-            if u == self.v.load(SeqCst) {
-                let _ = self.tally(self.a[k].compare_exchange(u | HELP, u, SeqCst, SeqCst));
-                return self.data_of(ver_of(self.a[k].load(SeqCst)));
+            if u == self.v.load(HANDSHAKE_LOAD) {
+                let _ = self.tally(self.a[k].compare_exchange(
+                    u | HELP,
+                    u,
+                    HANDSHAKE_CAS,
+                    HANDSHAKE_LOAD,
+                ));
+                return self.data_of(ver_of(self.a[k].load(HANDSHAKE_LOAD)));
             }
-            let v = self.v.load(SeqCst);
+            let v = self.v.load(HANDSHAKE_LOAD);
             if self
-                .tally(self.a[k].compare_exchange(u | HELP, v | HELP, SeqCst, SeqCst))
+                .tally(self.a[k].compare_exchange(
+                    u | HELP,
+                    v | HELP,
+                    HANDSHAKE_CAS,
+                    HANDSHAKE_LOAD,
+                ))
                 .is_err()
             {
-                return self.data_of(ver_of(self.a[k].load(SeqCst)));
+                return self.data_of(ver_of(self.a[k].load(HANDSHAKE_LOAD)));
             }
             u = v;
         }
@@ -169,7 +213,7 @@ impl Core {
     /// Algorithm 4 `set`: claim a status slot for the candidate version,
     /// optionally help pending acquires, then CAS the global version.
     fn set(&self, k: usize, data: u64, helping: bool) -> bool {
-        let announced = self.a[k].load(SeqCst);
+        let announced = self.a[k].load(HANDSHAKE_LOAD);
         debug_assert!(
             !has_help(announced) && ver_of(announced) != EMPTY_VER,
             "set({k}) without a committed acquire"
@@ -181,14 +225,21 @@ impl Core {
         let mut claimed = usize::MAX;
         let mut new_ver = 0u64;
         for i in 0..slots {
-            if self.s[i].load(SeqCst) == EMPTY_USABLE {
-                let ts = ts_of(self.v.load(SeqCst)) + 1;
+            if self.s[i].load(HANDSHAKE_LOAD) == EMPTY_USABLE {
+                let ts = ts_of(self.v.load(HANDSHAKE_LOAD)) + 1;
                 let cand = pack_ver(ts, i);
                 if self
-                    .tally(self.s[i].compare_exchange(EMPTY_USABLE, cand | USABLE, SeqCst, SeqCst))
+                    .tally(self.s[i].compare_exchange(
+                        EMPTY_USABLE,
+                        cand | USABLE,
+                        HANDSHAKE_CAS,
+                        HANDSHAKE_LOAD,
+                    ))
                     .is_ok()
                 {
-                    self.d[i].store(data, SeqCst);
+                    // DATA_SLOT: exclusive while we hold the claim CAS;
+                    // published to readers by the V CAS below.
+                    self.d[i].store(data, DATA_SLOT);
                     claimed = i;
                     new_ver = cand;
                     break;
@@ -206,28 +257,36 @@ impl Core {
             // third is guaranteed to commit (proof of Lemma B.2).
             for i in 0..self.processes {
                 for _ in 0..3 {
-                    let a = self.a[i].load(SeqCst);
+                    let a = self.a[i].load(HANDSHAKE_LOAD);
                     if has_help(a) {
-                        if old_ver != self.v.load(SeqCst) {
+                        if old_ver != self.v.load(HANDSHAKE_LOAD) {
                             // Our own set can no longer succeed; clear the
                             // claimed slot (paper fix, see module docs).
-                            self.s[claimed].store(EMPTY_USABLE, SeqCst);
+                            self.s[claimed].store(EMPTY_USABLE, HANDSHAKE_STORE);
                             return false;
                         }
-                        let _ = self.tally(self.a[i].compare_exchange(a, old_ver, SeqCst, SeqCst));
+                        let _ = self.tally(self.a[i].compare_exchange(
+                            a,
+                            old_ver,
+                            HANDSHAKE_CAS,
+                            HANDSHAKE_LOAD,
+                        ));
                     }
                 }
             }
         }
 
         if self
-            .tally(self.v.compare_exchange(old_ver, new_ver, SeqCst, SeqCst))
+            .tally(
+                self.v
+                    .compare_exchange(old_ver, new_ver, HANDSHAKE_CAS, HANDSHAKE_LOAD),
+            )
             .is_ok()
         {
             self.counter.created();
             true
         } else {
-            self.s[claimed].store(EMPTY_USABLE, SeqCst);
+            self.s[claimed].store(EMPTY_USABLE, HANDSHAKE_STORE);
             false
         }
     }
@@ -236,22 +295,26 @@ impl Core {
     /// version is dead, race through the usable→pending→frozen status
     /// protocol to decide the unique last releaser.
     fn release(&self, k: usize, out: &mut Vec<u64>) {
-        let v = ver_of(self.a[k].load(SeqCst));
-        self.a[k].store(EMPTY_ANNOUNCE, SeqCst);
+        let v = ver_of(self.a[k].load(HANDSHAKE_LOAD));
+        // HANDSHAKE_STORE: this clear opens `ordering`'s StoreLoad
+        // window 2 (clear -> scan): two racing releasers that each missed
+        // the other's clear would both bail out and leak `v`, so the
+        // clear must take part in the SC total order.
+        self.a[k].store(EMPTY_ANNOUNCE, HANDSHAKE_STORE);
         if v == EMPTY_VER {
             return; // release without acquire (tolerated defensively)
         }
-        if v == self.v.load(SeqCst) {
+        if v == self.v.load(HANDSHAKE_LOAD) {
             return; // still the current version: live
         }
         let idx = idx_of(v);
-        let mut s = self.s[idx].load(SeqCst);
+        let mut s = self.s[idx].load(HANDSHAKE_LOAD);
         if ver_of(s) != v {
             return; // slot already recycled: another release returned v
         }
         if status_of(s) == USABLE {
             if self
-                .tally(self.s[idx].compare_exchange(s, v | PENDING, SeqCst, SeqCst))
+                .tally(self.s[idx].compare_exchange(s, v | PENDING, HANDSHAKE_CAS, HANDSHAKE_LOAD))
                 .is_err()
             {
                 return; // another releaser owns the pending phase
@@ -259,17 +322,18 @@ impl Core {
             // Pending phase: commit anyone who announced v with help up —
             // after this, no process can ever commit v again.
             for i in 0..self.processes {
-                let a = self.a[i].load(SeqCst);
+                let a = self.a[i].load(HANDSHAKE_LOAD);
                 if a == (v | HELP) {
-                    let _ = self.tally(self.a[i].compare_exchange(a, v, SeqCst, SeqCst));
+                    let _ =
+                        self.tally(self.a[i].compare_exchange(a, v, HANDSHAKE_CAS, HANDSHAKE_LOAD));
                 }
             }
             s = v | FROZEN;
-            self.s[idx].store(s, SeqCst);
+            self.s[idx].store(s, HANDSHAKE_STORE);
         }
         if status_of(s) == FROZEN {
             for i in 0..self.processes {
-                if self.a[i].load(SeqCst) == v {
+                if self.a[i].load(HANDSHAKE_LOAD) == v {
                     return; // committed holder still using v
                 }
             }
@@ -280,9 +344,12 @@ impl Core {
             // collection (a double collect once that version dies). While
             // S[idx] still holds ⟨v, frozen⟩ the slot cannot be reused,
             // so this read is v's data for certain.
-            let data = self.d[idx].load(SeqCst);
+            // DATA_SLOT: cannot read a post-erase claimant's write — that
+            // write happens-after the erase CAS below, which is sequenced
+            // after this load (see `ordering::DATA_SLOT`).
+            let data = self.d[idx].load(DATA_SLOT);
             if self
-                .tally(self.s[idx].compare_exchange(s, EMPTY_USABLE, SeqCst, SeqCst))
+                .tally(self.s[idx].compare_exchange(s, EMPTY_USABLE, HANDSHAKE_CAS, HANDSHAKE_LOAD))
                 .is_ok()
             {
                 // We won the erase race: unique last releaser of v.
@@ -349,7 +416,7 @@ impl VersionMaintenance for PswfVm {
         self.core.release(k, out)
     }
     fn current(&self) -> u64 {
-        self.core.data_of(ver_of(self.core.v.load(SeqCst)))
+        self.core.data_of(ver_of(self.core.v.load(HANDSHAKE_LOAD)))
     }
     fn uncollected_versions(&self) -> u64 {
         self.core.counter.uncollected()
@@ -395,7 +462,7 @@ impl VersionMaintenance for PslfVm {
         self.core.release(k, out)
     }
     fn current(&self) -> u64 {
-        self.core.data_of(ver_of(self.core.v.load(SeqCst)))
+        self.core.data_of(ver_of(self.core.v.load(HANDSHAKE_LOAD)))
     }
     fn uncollected_versions(&self) -> u64 {
         self.core.counter.uncollected()

@@ -9,11 +9,26 @@
 //! and at most one dead version ever exists, but the writer's progress is
 //! hostage to the slowest reader (the paper's motivation for PSWF, and the
 //! reason RCU's update throughput collapses in Table 2).
+//!
+//! ## Memory orderings
+//!
+//! `read_lock` is `crate::ordering`'s pattern 1: publish the generation
+//! with [`ANNOUNCE_PUBLISH`], cross [`announce_validate_fence`], read
+//! the version. `synchronize` pins its generation bump at `SeqCst`
+//! ([`GRACE_PERIOD_RMW`]) and crosses [`scan_fence`] before scanning
+//! reader generations: a reader the scan misses is one whose version
+//! read is ordered after the writer's install, so it cannot hold the
+//! version being reclaimed; a reader the scan waits for hands its
+//! critical section over through [`ANNOUNCE_CLEAR`]/[`SCAN_LOAD`].
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::AtomicU64;
 
 use crate::counter::VersionCounter;
+use crate::ordering::{
+    announce_validate_fence, scan_fence, ANNOUNCE_CLEAR, ANNOUNCE_PUBLISH, CAS_FAILURE, CLOCK_LOAD,
+    GRACE_PERIOD_RMW, SCAN_LOAD, VERSION_CAS, VERSION_LOAD,
+};
 use crate::util::PerProc;
 use crate::VersionMaintenance;
 
@@ -64,11 +79,16 @@ impl RcuVm {
     /// Block until all read-side critical sections that existed at the
     /// start of this call have completed.
     fn synchronize(&self) {
-        let target = self.gen.fetch_add(1, SeqCst) + 1;
+        // GRACE_PERIOD_RMW: pinned SeqCst — orders the preceding version
+        // CAS against the scan below (StoreLoad), on top of totally
+        // ordering the generation chain readers announce against.
+        let target = self.gen.fetch_add(1, GRACE_PERIOD_RMW) + 1;
+        // SCAN_FENCE: pairs with read_lock's announce/validate fence.
+        scan_fence();
         for slot in self.reader_gen.iter() {
             let mut spins = 0u32;
             loop {
-                let g = slot.load(SeqCst);
+                let g = slot.load(SCAN_LOAD);
                 // A reader is past us if it is quiescent or entered after
                 // the generation bump.
                 if g == QUIESCENT || g >= target {
@@ -91,12 +111,14 @@ impl VersionMaintenance for RcuVm {
     }
 
     fn acquire(&self, k: usize) -> u64 {
-        // read_lock: publish our generation, then read the version. SeqCst
-        // totally orders the publish against synchronize's scan, so either
-        // the writer waits for us or we observe the new version.
-        let g = self.gen.load(SeqCst);
-        self.reader_gen[k].store(g, SeqCst);
-        let d = self.v.load(SeqCst);
+        // read_lock: publish our generation, then read the version. The
+        // announce/validate fence orders the publish against
+        // synchronize's scan, so either the writer waits for us or we
+        // observe the new version.
+        let g = self.gen.load(CLOCK_LOAD);
+        self.reader_gen[k].store(g, ANNOUNCE_PUBLISH);
+        announce_validate_fence();
+        let d = self.v.load(VERSION_LOAD);
         // Safety: only process k touches proc[k] (VM contract).
         unsafe { self.proc.with(k, |p| p.acquired = d) };
         d
@@ -104,7 +126,11 @@ impl VersionMaintenance for RcuVm {
 
     fn set(&self, k: usize, data: u64) -> bool {
         let old = unsafe { self.proc.with(k, |p| p.acquired) };
-        if self.v.compare_exchange(old, data, SeqCst, SeqCst).is_ok() {
+        if self
+            .v
+            .compare_exchange(old, data, VERSION_CAS, CAS_FAILURE)
+            .is_ok()
+        {
             self.counter.created();
             unsafe { self.proc.with(k, |p| p.pending_old = Some(old)) };
             true
@@ -115,8 +141,9 @@ impl VersionMaintenance for RcuVm {
 
     fn release(&self, k: usize, out: &mut Vec<u64>) {
         // read_unlock first so our own read-side section never blocks our
-        // own synchronize.
-        self.reader_gen[k].store(QUIESCENT, SeqCst);
+        // own synchronize. ANNOUNCE_CLEAR: the waiting writer's SCAN_LOAD
+        // acquires our whole read-side critical section.
+        self.reader_gen[k].store(QUIESCENT, ANNOUNCE_CLEAR);
         let pending = unsafe { self.proc.with(k, |p| p.pending_old.take()) };
         if let Some(old) = pending {
             self.synchronize();
@@ -126,7 +153,7 @@ impl VersionMaintenance for RcuVm {
     }
 
     fn current(&self) -> u64 {
-        self.v.load(SeqCst)
+        self.v.load(VERSION_LOAD)
     }
 
     fn uncollected_versions(&self) -> u64 {
@@ -137,7 +164,7 @@ impl VersionMaintenance for RcuVm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
     use std::sync::Arc;
 
     #[test]

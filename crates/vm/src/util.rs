@@ -8,6 +8,18 @@ use std::cell::UnsafeCell;
 /// process `k`'s operations, which the Version Maintenance problem
 /// guarantees are never concurrent — so `&mut` access through a shared
 /// reference is sound for the caller that upholds that contract.
+///
+/// No atomics live here, so the relaxed-ordering audit touches this
+/// module only through its contract: when ownership of a process id
+/// migrates across OS threads (a `mvcc-core` session ending on one
+/// thread and the pid being re-leased on another), the happens-before
+/// edge that makes the previous owner's plain writes visible to the next
+/// is [`PidPool`]'s lease hand-off — the `LEASE_RELEASE_STORE` release /
+/// `LEASE_CAS` acquire pairing of [`crate::ordering`]. Callers that
+/// move a raw pid between threads by other means must supply an
+/// equivalent edge themselves.
+///
+/// [`PidPool`]: crate::PidPool
 pub(crate) struct PerProc<T> {
     slots: Box<[CachePadded<UnsafeCell<T>>]>,
 }
