@@ -1,0 +1,217 @@
+//! Durability cost and recovery scaling: what the WAL charges per commit
+//! under each fsync policy, and how recovery time grows with the length
+//! of the un-checkpointed WAL tail.
+//!
+//! Two experiment families, both into `BENCH_wal.json`:
+//!
+//! * `modes` — a single durable writer committing fixed-size batches of
+//!   Zipfian updates against real files for `MVCC_SECS`, once per
+//!   `Durability::{Off, EveryN(8), Always}`. Reports commits/s, ops/s
+//!   and the per-commit latency distribution. `off` runs the unchanged
+//!   in-memory commit path (the no-regression baseline the acceptance
+//!   criteria cite); `always` pays one fsync per commit, so the gap
+//!   between the three rows *is* the durability price list.
+//! * `recovery` — fill a WAL tail of `N` batches (no checkpoint), then
+//!   time `DurableDatabase::recover`; repeat with a checkpoint taken
+//!   right before the tail so only the tail replays. Recovery must scale
+//!   with the tail, not the database: the checkpointed rows stay flat as
+//!   the pre-checkpoint history grows.
+//!
+//! Knobs: `MVCC_SECS` (per-mode measurement window), `MVCC_KEYSPACE`
+//! (Zipfian key space), `MVCC_WAL_BATCH` (ops per commit, default 16),
+//! `MVCC_WAL_TAIL` (longest recovery tail, default 4000).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use mvcc_bench::json::{self, JsonWriter};
+use mvcc_bench::{env_u64, run_secs};
+use mvcc_core::{Durability, DurableConfig, DurableDatabase, DurableSession};
+use mvcc_ftree::U64Map;
+use mvcc_workloads::{run_for_collect, LatencySummary, ScrambledZipf};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn mode_name(d: Durability) -> &'static str {
+    match d {
+        Durability::Off => "off",
+        Durability::EveryN(_) => "every8",
+        Durability::Always => "always",
+    }
+}
+
+/// A scratch directory under the system temp dir, fresh per call.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mvcc-bench-wal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &PathBuf, durability: Durability) -> DurableDatabase<U64Map> {
+    match DurableDatabase::recover(dir, 2, DurableConfig::default().with_durability(durability)) {
+        Ok(db) => db,
+        Err(e) => panic!("open {}: {e}", dir.display()),
+    }
+}
+
+/// One time-boxed single-writer run; returns (commits/s, ops/s, latency).
+fn measure_mode(
+    durability: Durability,
+    secs: f64,
+    batch: u64,
+    zipf: &ScrambledZipf,
+) -> (f64, f64, LatencySummary) {
+    let dir = scratch_dir(mode_name(durability));
+    let db = open(&dir, durability);
+    let (report, states) = run_for_collect(
+        1,
+        Duration::from_secs_f64(secs),
+        |_| {
+            (
+                db.session().expect("fresh pool has a free lease"),
+                SmallRng::seed_from_u64(42),
+                Vec::<u64>::new(),
+            )
+        },
+        |_, iter, (session, rng, samples): &mut (DurableSession<'_, U64Map>, _, _)| {
+            let t0 = Instant::now();
+            session
+                .write(|txn| {
+                    for i in 0..batch {
+                        txn.insert(zipf.sample(rng), iter * batch + i);
+                    }
+                })
+                .expect("durable commit");
+            samples.push(t0.elapsed().as_nanos() as u64);
+            1
+        },
+    );
+    let commits_per_sec = report.ops_per_sec();
+    let mut samples = states.into_iter().next().map(|(_, _, s)| s).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        commits_per_sec,
+        commits_per_sec * batch as f64,
+        LatencySummary::from_ns(&mut samples),
+    )
+}
+
+/// Fill `history` then (optionally) checkpoint, then fill `tail` more
+/// commits, then time recovery. Returns (replayed, recover_ms).
+fn measure_recovery(history: u64, tail: u64, checkpoint: bool, batch: u64) -> (u64, f64) {
+    let dir = scratch_dir(&format!(
+        "rec-{history}-{tail}-{}",
+        if checkpoint { "ck" } else { "raw" }
+    ));
+    // EveryN fill: every frame lands, sync cost stays off the fill's
+    // critical path — the bench times recovery, not the fill.
+    {
+        let db = open(&dir, Durability::EveryN(64));
+        let mut session = db.session().expect("fresh pool has a free lease");
+        let mut commit = |i: u64| {
+            session
+                .write(|txn| {
+                    for j in 0..batch {
+                        txn.insert((i * batch + j) % 100_000, i);
+                    }
+                })
+                .expect("durable commit");
+        };
+        for i in 0..history {
+            commit(i);
+        }
+        if checkpoint {
+            db.checkpoint().expect("checkpoint");
+        }
+        for i in history..history + tail {
+            commit(i);
+        }
+        db.sync().expect("final sync");
+    }
+    let t0 = Instant::now();
+    let db: DurableDatabase<U64Map> = DurableDatabase::recover(&dir, 2, DurableConfig::default())
+        .unwrap_or_else(|e| {
+            panic!("recover {}: {e}", dir.display());
+        });
+    let elapsed = t0.elapsed();
+    let replayed = db.recovery().replayed as u64;
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    (replayed, elapsed.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let secs = run_secs() / 2.0;
+    let batch = env_u64("MVCC_WAL_BATCH", 16);
+    let keyspace = env_u64("MVCC_KEYSPACE", 100_000);
+    let tail_max = env_u64("MVCC_WAL_TAIL", 4_000);
+    let zipf = ScrambledZipf::ycsb(keyspace);
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "wal: {secs:.2}s per mode, {batch} ops/commit, keyspace {keyspace}, \
+         recovery tails up to {tail_max}"
+    );
+
+    let mut jw = JsonWriter::bench("wal_durability");
+    jw.field_u64("host_threads", nproc as u64);
+    jw.field_f64("secs_per_mode", secs);
+    jw.field_u64("ops_per_commit", batch);
+    jw.field_u64("keyspace", keyspace);
+    jw.field_str(
+        "note",
+        "single durable writer against real files; off = unchanged in-memory \
+         commit path (no-regression baseline), every8 = group commit (fsync \
+         every 8th), always = fsync per commit; recovery rows time \
+         DurableDatabase::recover with the given un-checkpointed tail — \
+         checkpointed rows replay only the tail, so they stay flat as the \
+         pre-checkpoint history grows",
+    );
+
+    jw.begin_object("modes");
+    for durability in [Durability::Off, Durability::EveryN(8), Durability::Always] {
+        let (commits, ops, latency) = measure_mode(durability, secs, batch, &zipf);
+        println!(
+            "  {:<7} {commits:>9.0} commits/s  {ops:>10.0} ops/s  p50 {:>8} ns  p99 {:>8} ns",
+            mode_name(durability),
+            latency.p50_ns,
+            latency.p99_ns
+        );
+        jw.begin_object(mode_name(durability));
+        jw.field_f64("commits_per_sec", commits);
+        jw.field_f64("ops_per_sec", ops);
+        jw.begin_object("commit_latency");
+        jw.field_u64("count", latency.count);
+        jw.field_u64("mean_ns", latency.mean_ns);
+        jw.field_u64("p50_ns", latency.p50_ns);
+        jw.field_u64("p99_ns", latency.p99_ns);
+        jw.field_u64("max_ns", latency.max_ns);
+        jw.end_object();
+        jw.end_object();
+    }
+    jw.end_object();
+
+    jw.begin_object("recovery");
+    for tail in [tail_max / 40, tail_max / 4, tail_max] {
+        let tail = tail.max(1);
+        let (replayed, ms) = measure_recovery(0, tail, false, batch);
+        println!("  tail {tail:>6} (raw)          replayed {replayed:>6}  {ms:>8.2} ms");
+        jw.begin_object(&format!("tail_{tail}"));
+        jw.field_u64("batches_replayed", replayed);
+        jw.field_f64("recover_ms", ms);
+        jw.end_object();
+
+        // Same total history, but checkpointed before the tail: recovery
+        // cost should track the tail length, not the full history.
+        let (replayed, ms) = measure_recovery(tail_max - tail, tail, true, batch);
+        println!("  tail {tail:>6} (checkpointed) replayed {replayed:>6}  {ms:>8.2} ms");
+        jw.begin_object(&format!("checkpointed_tail_{tail}"));
+        jw.field_u64("history_batches", tail_max - tail);
+        jw.field_u64("batches_replayed", replayed);
+        jw.field_f64("recover_ms", ms);
+        jw.end_object();
+    }
+    jw.end_object();
+
+    json::write_repo_root("BENCH_wal.json", &jw.finish());
+}

@@ -18,7 +18,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crossbeam::queue::ArrayQueue;
 use mvcc_ftree::TreeParams;
 use mvcc_vm::VersionMaintenance;
+use mvcc_wal::WalCodec;
 
+use crate::durable::{DurableError, DurableSession};
 use crate::Session;
 
 /// One map update, as submitted by a producer.
@@ -177,23 +179,13 @@ impl<P: TreeParams> BatchWriter<P> {
         }
     }
 
-    /// Drain all buffers and commit the batch as a single write
-    /// transaction on the combiner's `session`. Returns the number of
-    /// operations applied (0 = nothing pending).
-    ///
-    /// Intended to be called in a loop by one combiner thread; with a
-    /// single combiner the transaction commits on the first attempt
-    /// (single-writer, O(P) delay).
-    pub fn combine<M: VersionMaintenance>(&self, session: &mut Session<'_, P, M>) -> usize {
-        // Pin the combiner to the session's arena shard for the whole
-        // batch: every node the parallel bulk build allocates, and every
-        // tuple the displaced version's collection frees, goes through a
-        // single freelist instead of contending with the producers'
-        // shards.
-        let forest = session.database().forest();
-        let _shard_pin = forest.arena().pin(session.alloc_ctx());
-        // Drain phase: take a snapshot of each queue's current contents.
-        let mut drained: Vec<(usize, Vec<MapOp<P>>)> = Vec::with_capacity(self.buffers.len());
+    /// Drain phase: take a snapshot of each queue's current contents,
+    /// then resolve last-writer-wins per key (respecting each producer's
+    /// order and a deterministic producer order). `None` when nothing was
+    /// pending.
+    fn drain_resolve(&self) -> Option<DrainedBatch<P>> {
+        let mut per_producer: Vec<(usize, u64)> = Vec::with_capacity(self.buffers.len());
+        let mut drained: Vec<Vec<MapOp<P>>> = Vec::with_capacity(self.buffers.len());
         let mut total = 0usize;
         for (i, buf) in self.buffers.iter().enumerate() {
             let n = buf.queue.len();
@@ -210,20 +202,16 @@ impl<P: TreeParams> BatchWriter<P> {
                 }
             }
             total += ops.len();
-            drained.push((i, ops));
+            per_producer.push((i, ops.len() as u64));
+            drained.push(ops);
         }
         if total == 0 {
-            return 0;
+            return None;
         }
 
-        // Resolution phase: last-writer-wins per key, respecting each
-        // producer's order and a deterministic producer order. The
-        // resolved batch is built once — the commit closure below only
-        // borrows it, so a retry (another writer slipped a commit in)
-        // re-clones nothing and rebuilds nothing per attempt.
         let mut resolved: std::collections::BTreeMap<P::K, Option<P::V>> =
             std::collections::BTreeMap::new();
-        for (_, ops) in &drained {
+        for ops in &drained {
             for op in ops {
                 match op {
                     MapOp::Insert(k, v) => {
@@ -243,29 +231,95 @@ impl<P: TreeParams> BatchWriter<P> {
                 None => removes.push(k),
             }
         }
+        Some(DrainedBatch {
+            per_producer,
+            inserts,
+            removes,
+            total,
+        })
+    }
+
+    /// Publish watermarks: producers can now observe that their drained
+    /// operations are applied.
+    fn publish(&self, per_producer: &[(usize, u64)]) {
+        for &(i, n) in per_producer {
+            self.buffers[i].applied.fetch_add(n, Ordering::Release);
+        }
+    }
+
+    /// Drain all buffers and commit the batch as a single write
+    /// transaction on the combiner's `session`. Returns the number of
+    /// operations applied (0 = nothing pending).
+    ///
+    /// Intended to be called in a loop by one combiner thread; with a
+    /// single combiner the transaction commits on the first attempt
+    /// (single-writer, O(P) delay).
+    pub fn combine<M: VersionMaintenance>(&self, session: &mut Session<'_, P, M>) -> usize {
+        // Pin the combiner to the session's arena shard for the whole
+        // batch: every node the parallel bulk build allocates, and every
+        // tuple the displaced version's collection frees, goes through a
+        // single freelist instead of contending with the producers'
+        // shards.
+        let forest = session.database().forest();
+        let _shard_pin = forest.arena().pin(session.alloc_ctx());
+        let Some(batch) = self.drain_resolve() else {
+            return 0;
+        };
 
         // Apply phase: one atomic version containing the whole batch,
         // built with the parallel bulk algorithms. The sorted insert tree
-        // is also built once, outside the retry loop; each attempt
-        // retains one reference for `union` to consume, so an abort
-        // costs O(1) extra instead of an O(batch) rebuild.
-        let ins_tree = forest.build_sorted(&inserts);
+        // is built once, outside the retry loop; each attempt retains one
+        // reference for `union` to consume, so an abort costs O(1) extra
+        // instead of an O(batch) rebuild.
+        let ins_tree = forest.build_sorted(&batch.inserts);
         session.write_raw(|f, base| {
             f.retain(ins_tree);
             let t = f.union(base, ins_tree);
-            let t = f.multi_remove_sorted(t, &removes);
+            let t = f.multi_remove_sorted(t, &batch.removes);
             (t, ())
         });
         forest.release(ins_tree);
 
-        // Publish watermarks: producers can now observe durability.
-        for (i, ops) in &drained {
-            self.buffers[*i]
-                .applied
-                .fetch_add(ops.len() as u64, Ordering::Release);
-        }
-        total
+        self.publish(&batch.per_producer);
+        batch.total
     }
+
+    /// [`BatchWriter::combine`] through a durable session: the whole
+    /// resolved batch commits as **one WAL record** (and one version), so
+    /// a producer's [`Ticket`] becoming applied means its operation is
+    /// durable to the [`crate::Durability`] policy's guarantee. Returns
+    /// the number of operations applied; on a WAL error nothing is
+    /// applied or published, and the drained operations are dropped (the
+    /// producers' tickets never turn applied).
+    pub fn combine_durable<M: VersionMaintenance>(
+        &self,
+        session: &mut DurableSession<'_, P, M>,
+    ) -> Result<usize, DurableError>
+    where
+        P::K: WalCodec,
+        P::V: WalCodec,
+    {
+        let Some(batch) = self.drain_resolve() else {
+            return Ok(0);
+        };
+        // The resolved values are final (last-writer-wins overwrite), so
+        // the delta log records exactly `inserts` + `removes`.
+        session.write(|txn| {
+            txn.multi_insert(batch.inserts.clone(), |_old, new| new.clone());
+            txn.multi_remove(batch.removes.clone());
+        })?;
+        self.publish(&batch.per_producer);
+        Ok(batch.total)
+    }
+}
+
+/// The outcome of [`BatchWriter::drain_resolve`]: the per-key-resolved
+/// batch plus the per-producer counts to publish after the commit.
+struct DrainedBatch<P: TreeParams> {
+    per_producer: Vec<(usize, u64)>,
+    inserts: Vec<(P::K, P::V)>,
+    removes: Vec<P::K>,
+    total: usize,
 }
 
 #[cfg(test)]

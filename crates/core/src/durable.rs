@@ -1,0 +1,946 @@
+//! Durable transactions: the WAL-backed commit path, snapshot-consistent
+//! checkpoints, and crash recovery for a [`Database`].
+//!
+//! A [`DurableDatabase`] wraps the in-memory multiversion database with
+//! the `mvcc-wal` layers:
+//!
+//! * **Commit** — a durable write transaction runs the usual Figure 1
+//!   skeleton, but its key/value deltas are recorded and the batch is
+//!   *published to the write-ahead log before the version becomes
+//!   visible*: WAL append (the commit point, fsynced per the
+//!   [`Durability`] policy) happens between user code and the VM `set`.
+//!   Durable writers serialize on a commit mutex, so the `set` cannot
+//!   lose a race to another durable writer and every batch gets the next
+//!   `commit_ts` in log order.
+//! * **Checkpoint** — [`DurableDatabase::checkpoint`] pins a snapshot via
+//!   the existing session machinery (`begin_read` under a brief clock
+//!   lock), then walks it *at its own pace while writers proceed* — the
+//!   paper's bounded-delay-reads claim doing real I/O — and finally
+//!   retires WAL segments older than the checkpoint's `commit_ts`.
+//! * **Recovery** — [`DurableDatabase::recover`] loads the newest valid
+//!   checkpoint, replays the WAL tail after it, and gracefully degrades
+//!   on a torn tail (replay ends at the last intact record; see
+//!   [`mvcc_wal::Replay`]). Replaying the same WAL twice is a no-op:
+//!   batches at or below the recovered `commit_ts` are skipped.
+//!
+//! [`Durability::Off`] keeps today's in-memory behavior: writes go
+//! straight through the lock-free session path — no logging, no commit
+//! mutex, no fsync — and only an explicit checkpoint persists anything.
+//!
+//! The raw [`Database`] stays reachable ([`DurableDatabase::database`])
+//! for reads, pools and diagnostics, but a *write* through it bypasses
+//! the log; a durable commit that loses its `set` to such a writer
+//! surfaces [`DurableError::RacedByRawWriter`] instead of retrying —
+//! that race is a misuse, not a liveness event.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use mvcc_ftree::TreeParams;
+use mvcc_vm::{PswfVm, VersionMaintenance};
+use mvcc_wal::checkpoint::{self};
+use mvcc_wal::{
+    DirStorage, FsyncPolicy, RetryPolicy, Storage, TornTail, Wal, WalBatch, WalCodec, WalConfig,
+    WalError, WalOp,
+};
+
+use crate::batch::MapOp;
+use crate::{decode, encode, Database, Session, SessionError, SessionReadGuard, WriteTxn};
+
+/// When a committed batch becomes durable.
+///
+/// * [`Always`](Durability::Always) — every commit is appended to the WAL
+///   and fsynced before it is acknowledged; a crash loses nothing acked.
+/// * [`EveryN`](Durability::EveryN)`(n)` — group commit: every commit is
+///   appended, the log fsyncs once per `n` appends. A crash can lose up
+///   to the last `n - 1` acked commits, always from the tail.
+/// * [`Off`](Durability::Off) — no logging at all: the lock-free
+///   in-memory commit path, byte-for-byte. Only explicit
+///   [`DurableDatabase::checkpoint`] calls persist state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Fsync every commit before acknowledging it.
+    Always,
+    /// Append every commit, fsync once per `n` (group commit).
+    EveryN(u64),
+    /// No write-ahead logging (in-memory behavior and performance).
+    Off,
+}
+
+/// Configuration for opening / recovering a [`DurableDatabase`].
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Commit durability policy.
+    pub durability: Durability,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Transient I/O retry policy for WAL appends.
+    pub retry: RetryPolicy,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        let wal = WalConfig::default();
+        DurableConfig {
+            durability: Durability::Always,
+            segment_bytes: wal.segment_bytes,
+            retry: wal.retry,
+        }
+    }
+}
+
+impl DurableConfig {
+    /// The default config with a different [`Durability`] policy.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    fn wal_config(&self) -> WalConfig {
+        WalConfig {
+            fsync: match self.durability {
+                Durability::Always => FsyncPolicy::Always,
+                Durability::EveryN(n) => FsyncPolicy::EveryN(n),
+                // Off never appends; the policy is irrelevant but Off is
+                // the honest mapping for the recovery-time segment repair.
+                Durability::Off => FsyncPolicy::Off,
+            },
+            segment_bytes: self.segment_bytes,
+            retry: self.retry,
+        }
+    }
+}
+
+/// Typed errors of the durable layer. Composes the WAL's I/O/corruption
+/// errors with the session layer's lease errors so call sites handle one
+/// enum.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The write-ahead log or checkpoint I/O failed (after retries).
+    Wal(WalError),
+    /// No session/pid was available where the operation needed one.
+    Session(SessionError),
+    /// A persisted record decoded at the byte layer but its typed
+    /// key/value contents did not ([`WalCodec::decode`] failed) —
+    /// corruption past what the CRC can see, or a codec change.
+    Corrupt {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A durable commit lost its `set` to a writer that bypassed the
+    /// durable layer (a raw [`Database`] write). The batch is already in
+    /// the WAL — the durable image and the in-memory image have diverged,
+    /// which is exactly why raw writes on a durable database are a
+    /// contract violation.
+    RacedByRawWriter,
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Wal(e) => write!(f, "durability I/O failed: {e}"),
+            DurableError::Session(e) => write!(f, "no session available: {e}"),
+            DurableError::Corrupt { context } => {
+                write!(f, "persisted {context} failed typed decoding")
+            }
+            DurableError::RacedByRawWriter => write!(
+                f,
+                "durable commit raced by a non-durable writer (raw Database write)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Wal(e) => Some(e),
+            DurableError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        DurableError::Wal(e)
+    }
+}
+
+impl From<SessionError> for DurableError {
+    fn from(e: SessionError) -> Self {
+        DurableError::Session(e)
+    }
+}
+
+/// What [`DurableDatabase::recover`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// `commit_ts` of the checkpoint the recovery started from, if any.
+    pub checkpoint_ts: Option<u64>,
+    /// Entries loaded from that checkpoint.
+    pub checkpoint_entries: usize,
+    /// WAL batches replayed (those after the checkpoint).
+    pub replayed: usize,
+    /// WAL batches skipped as already covered by the checkpoint —
+    /// replaying a WAL twice is a no-op by this rule.
+    pub skipped: usize,
+    /// The torn tail recovery truncated, if the log had one.
+    pub torn: Option<TornTail>,
+    /// WAL segments dropped beyond the torn point.
+    pub dropped_segments: usize,
+}
+
+/// The durable commit clock, shared by all durable writers under one
+/// mutex: the next batch's identifiers are assigned inside the critical
+/// section, so `commit_ts` is strictly increasing along the WAL.
+struct CommitClock {
+    next_tx: u64,
+    last_ts: u64,
+}
+
+/// A [`Database`] with a write-ahead log, checkpoints and crash recovery.
+///
+/// Create with [`DurableDatabase::recover`] (filesystem directory) or
+/// [`DurableDatabase::recover_storage`] (any [`Storage`], e.g. the
+/// fault-injection double) — recovery of an empty directory *is* the
+/// constructor. Write through [`DurableDatabase::session`] handles;
+/// anything read-only may also use the raw database underneath.
+pub struct DurableDatabase<P: TreeParams, M: VersionMaintenance = PswfVm> {
+    db: Database<P, M>,
+    storage: Arc<dyn Storage>,
+    /// `None` under [`Durability::Off`]: commits skip logging entirely.
+    wal: Option<Wal>,
+    commit: Mutex<CommitClock>,
+    report: RecoveryReport,
+}
+
+fn decode_ops<P: TreeParams>(ops: &[WalOp]) -> Result<Vec<MapOp<P>>, DurableError>
+where
+    P::K: WalCodec,
+    P::V: WalCodec,
+{
+    ops.iter()
+        .map(|op| match op {
+            WalOp::Put(k, v) => match (P::K::decode(k), P::V::decode(v)) {
+                (Some(k), Some(v)) => Ok(MapOp::Insert(k, v)),
+                _ => Err(DurableError::Corrupt {
+                    context: "WAL put delta",
+                }),
+            },
+            WalOp::Del(k) => P::K::decode(k)
+                .map(MapOp::Remove)
+                .ok_or(DurableError::Corrupt {
+                    context: "WAL delete delta",
+                }),
+        })
+        .collect()
+}
+
+fn encode_ops<P: TreeParams>(ops: &[MapOp<P>]) -> Vec<WalOp>
+where
+    P::K: WalCodec,
+    P::V: WalCodec,
+{
+    ops.iter()
+        .map(|op| match op {
+            MapOp::Insert(k, v) => {
+                let mut kb = Vec::new();
+                let mut vb = Vec::new();
+                k.encode(&mut kb);
+                v.encode(&mut vb);
+                WalOp::Put(kb, vb)
+            }
+            MapOp::Remove(k) => {
+                let mut kb = Vec::new();
+                k.encode(&mut kb);
+                WalOp::Del(kb)
+            }
+        })
+        .collect()
+}
+
+impl<P: TreeParams> DurableDatabase<P, PswfVm>
+where
+    P::K: WalCodec,
+    P::V: WalCodec,
+{
+    /// Open-or-recover a durable database backed by the directory `path`
+    /// (created if absent). An empty directory yields an empty database;
+    /// otherwise the newest valid checkpoint is loaded and the WAL tail
+    /// replayed — including after a crash, where a torn tail ends replay
+    /// at the last intact record instead of failing.
+    pub fn recover(
+        path: impl AsRef<Path>,
+        processes: usize,
+        cfg: DurableConfig,
+    ) -> Result<Self, DurableError> {
+        let storage = DirStorage::new(path.as_ref()).map_err(|e| {
+            DurableError::Wal(WalError::Io {
+                op: "open",
+                name: path.as_ref().display().to_string(),
+                source: e,
+            })
+        })?;
+        Self::recover_storage(Arc::new(storage), processes, cfg)
+    }
+
+    /// [`DurableDatabase::recover`] over an explicit [`Storage`] — the
+    /// entry point the fault-injection tests drive with an in-memory
+    /// crashed image.
+    pub fn recover_storage(
+        storage: Arc<dyn Storage>,
+        processes: usize,
+        cfg: DurableConfig,
+    ) -> Result<Self, DurableError> {
+        let (wal, replay) = Wal::open(Arc::clone(&storage), cfg.wal_config())?;
+        let ckpt = checkpoint::load_latest(&*storage)?;
+
+        let db: Database<P, PswfVm> = Database::new(processes);
+        let mut report = RecoveryReport {
+            torn: replay.torn.clone(),
+            dropped_segments: replay.dropped_segments,
+            ..RecoveryReport::default()
+        };
+        let mut last_ts = 0u64;
+        let mut next_tx = 1u64;
+        {
+            let mut session = db.session()?;
+            if let Some(c) = &ckpt {
+                last_ts = c.ts;
+                report.checkpoint_ts = Some(c.ts);
+                report.checkpoint_entries = c.entries.len();
+                let mut pairs = Vec::with_capacity(c.entries.len());
+                for (k, v) in &c.entries {
+                    match (P::K::decode(k), P::V::decode(v)) {
+                        (Some(k), Some(v)) => pairs.push((k, v)),
+                        _ => {
+                            return Err(DurableError::Corrupt {
+                                context: "checkpoint entry",
+                            })
+                        }
+                    }
+                }
+                session.write_raw(|f, base| {
+                    // The database is freshly constructed: `base` is the
+                    // nil root, so building the image directly is safe.
+                    debug_assert!(base.is_none(), "recovery must start empty");
+                    (f.build_sorted(&pairs), ())
+                });
+            }
+            for b in &replay.batches {
+                if b.commit_ts <= last_ts {
+                    report.skipped += 1;
+                    continue;
+                }
+                let ops = decode_ops::<P>(&b.ops)?;
+                session.write_raw(|f, base| {
+                    let mut root = base;
+                    for op in &ops {
+                        match op {
+                            MapOp::Insert(k, v) => {
+                                root = f.insert(root, k.clone(), v.clone());
+                            }
+                            MapOp::Remove(k) => root = f.remove(root, k).0,
+                        }
+                    }
+                    (root, ())
+                });
+                report.replayed += 1;
+                last_ts = b.commit_ts;
+                next_tx = next_tx.max(b.tx_id + 1);
+            }
+        }
+
+        Ok(DurableDatabase {
+            db,
+            storage,
+            wal: match cfg.durability {
+                Durability::Off => None,
+                _ => Some(wal),
+            },
+            commit: Mutex::new(CommitClock { next_tx, last_ts }),
+            report,
+        })
+    }
+}
+
+impl<P: TreeParams, M: VersionMaintenance> DurableDatabase<P, M> {
+    /// What the recovery that opened this database found.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The in-memory database underneath. Reads, pools and diagnostics
+    /// are fine; a **write** through it bypasses the WAL and breaks the
+    /// durable image (see [`DurableError::RacedByRawWriter`]).
+    pub fn database(&self) -> &Database<P, M> {
+        &self.db
+    }
+
+    /// The storage namespace holding the WAL segments and checkpoints.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    /// `commit_ts` of the most recent durable commit (0 = none yet).
+    pub fn last_commit_ts(&self) -> u64 {
+        self.clock().last_ts
+    }
+
+    /// Is write-ahead logging active (i.e. durability not
+    /// [`Durability::Off`])?
+    pub fn durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Total bytes currently held by WAL segments (0 when logging is
+    /// off). Grows with commits, shrinks at checkpoints.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::bytes)
+    }
+
+    /// Force an fsync of the WAL (flushes a pending
+    /// [`Durability::EveryN`] group). A no-op with logging off.
+    pub fn sync(&self) -> Result<(), DurableError> {
+        match &self.wal {
+            Some(wal) => wal.sync().map_err(DurableError::from),
+            None => Ok(()),
+        }
+    }
+
+    fn clock(&self) -> MutexGuard<'_, CommitClock> {
+        self.commit.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Lease a durable session (a [`Session`] whose write transactions go
+    /// through the WAL). `Err(Exhausted)` when all pids are out.
+    pub fn session(&self) -> Result<DurableSession<'_, P, M>, DurableError> {
+        Ok(DurableSession {
+            inner: self.db.session()?,
+            dd: self,
+            ops: Vec::new(),
+        })
+    }
+}
+
+impl<P: TreeParams, M: VersionMaintenance> DurableDatabase<P, M>
+where
+    P::K: WalCodec,
+    P::V: WalCodec,
+{
+    /// Write a snapshot-consistent checkpoint and retire the WAL segments
+    /// it covers. Returns the checkpoint's `commit_ts`.
+    ///
+    /// The snapshot is pinned under a brief clock lock (so its contents
+    /// correspond exactly to one `commit_ts`), then walked while writers
+    /// proceed — precise GC keeps the pinned version alive at zero cost
+    /// to them. Needs a free pid for the reading session; parks FIFO
+    /// until one frees.
+    pub fn checkpoint(&self) -> Result<u64, DurableError> {
+        let mut session = self.db.pool().acquire();
+        // Pin the snapshot at a known clock value: no durable commit can
+        // land between reading `last_ts` and acquiring the version.
+        let clock = self.clock();
+        let ts = clock.last_ts;
+        let guard = session.begin_read();
+        drop(clock);
+
+        // Writers proceed from here; the walk goes at its own pace.
+        let mut kb = Vec::new();
+        let mut vb = Vec::new();
+        checkpoint::write_checkpoint(&*self.storage, ts, |w| {
+            guard.snapshot().for_each(|k, v| {
+                kb.clear();
+                vb.clear();
+                k.encode(&mut kb);
+                v.encode(&mut vb);
+                w.entry(&kb, &vb);
+            });
+            Ok(())
+        })?;
+        drop(guard);
+
+        if let Some(wal) = &self.wal {
+            wal.truncate_before(ts)?;
+        }
+        Ok(ts)
+    }
+}
+
+/// A [`Session`] whose write transactions commit through the write-ahead
+/// log. Reads are the ordinary delay-free snapshot reads.
+///
+/// Obtained from [`DurableDatabase::session`]; like `Session` it is
+/// `Send + !Sync` and every transaction takes `&mut self`.
+pub struct DurableSession<'db, P: TreeParams, M: VersionMaintenance = PswfVm> {
+    inner: Session<'db, P, M>,
+    dd: &'db DurableDatabase<P, M>,
+    /// Reusable delta-log buffer for the commit path.
+    ops: Vec<MapOp<P>>,
+}
+
+impl<'db, P: TreeParams, M: VersionMaintenance> DurableSession<'db, P, M> {
+    /// The leased process id.
+    pub fn pid(&self) -> usize {
+        self.inner.pid()
+    }
+
+    /// The durable database this session writes to.
+    pub fn durable_database(&self) -> &'db DurableDatabase<P, M> {
+        self.dd
+    }
+
+    /// This session's transaction counters (see [`Session::stats`]).
+    pub fn stats(&self) -> crate::TxnStats {
+        self.inner.stats()
+    }
+
+    /// Run a read-only transaction — identical to [`Session::read`]:
+    /// durability adds nothing to the read path.
+    pub fn read<R>(&mut self, f: impl FnOnce(&crate::Snapshot<'_, P>) -> R) -> R {
+        self.inner.read(f)
+    }
+
+    /// Begin an RAII read transaction (see [`Session::begin_read`]).
+    pub fn begin_read(&mut self) -> SessionReadGuard<'_, 'db, P, M> {
+        self.inner.begin_read()
+    }
+
+    /// Point lookup as a read transaction.
+    pub fn get(&mut self, key: &P::K) -> Option<P::V> {
+        self.inner.get(key)
+    }
+
+    /// Entry count of the current version.
+    pub fn len(&mut self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the current version empty?
+    pub fn is_empty(&mut self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'db, P: TreeParams, M: VersionMaintenance> DurableSession<'db, P, M>
+where
+    P::K: WalCodec,
+    P::V: WalCodec,
+{
+    /// Run a **durable write transaction**.
+    ///
+    /// User code sees a [`DurableTxn`] — the [`WriteTxn`] surface, with
+    /// every delta recorded. On return the batch is appended to the WAL
+    /// (fsynced per the [`Durability`] policy) *before* the new version
+    /// becomes visible; `Ok` means both happened. On a WAL error the
+    /// in-memory database is untouched and the error is surfaced — the
+    /// transaction did not happen.
+    ///
+    /// Under [`Durability::Off`] this is exactly [`Session::write`]
+    /// (lock-free, retrying, nothing logged), wrapped in `Ok`.
+    ///
+    /// `f` may run more than once only in the `Off` mode (retry on a
+    /// lost race); with logging on, durable writers serialize and `f`
+    /// runs exactly once.
+    pub fn write<R>(
+        &mut self,
+        mut f: impl FnMut(&mut DurableTxn<'_, '_, P>) -> R,
+    ) -> Result<R, DurableError> {
+        let dd = self.dd;
+        let Some(wal) = &dd.wal else {
+            // Durability::Off: the unmodified in-memory commit path.
+            return Ok(self
+                .inner
+                .write(|txn| f(&mut DurableTxn { txn, log: None })));
+        };
+
+        let db = self.inner.database();
+        self.ops.clear();
+
+        // Serialize durable writers: commit_ts assignment, WAL append and
+        // `set` form one critical section, so the log order is the commit
+        // order and `set` cannot lose to another *durable* writer.
+        let mut clock = dd.clock();
+        let _pin = db.forest().arena().pin(self.inner.alloc_ctx());
+        let pid = self.inner.pid();
+        let base = decode(db.vmo.acquire(pid));
+        db.forest().retain(base);
+        let mut txn = WriteTxn::new(db.forest(), base);
+        let result = f(&mut DurableTxn {
+            txn: &mut txn,
+            log: Some(&mut self.ops),
+        });
+        let new_root = txn.root();
+
+        // Publish to the log BEFORE the version becomes visible: the WAL
+        // record is the commit point.
+        let batch = WalBatch {
+            tx_id: clock.next_tx,
+            commit_ts: clock.last_ts + 1,
+            snapshot_ts: clock.last_ts,
+            ops: encode_ops::<P>(&self.ops),
+        };
+        if let Err(e) = wal.append(&batch) {
+            // Nothing visible, nothing durable: release the speculative
+            // version and leave the database exactly as it was.
+            db.forest().release(new_root);
+            db.finish_txn(pid, &mut self.inner.released);
+            self.inner.aborts += 1;
+            return Err(e.into());
+        }
+        // The batch is in the log; its identifiers are spent even if the
+        // `set` below loses to a contract-violating raw writer.
+        clock.next_tx += 1;
+        clock.last_ts = batch.commit_ts;
+
+        let ok = db.vmo.set(pid, encode(new_root));
+        db.finish_txn(pid, &mut self.inner.released);
+        if ok {
+            self.inner.commits += 1;
+            Ok(result)
+        } else {
+            db.forest().release(new_root);
+            self.inner.aborts += 1;
+            Err(DurableError::RacedByRawWriter)
+        }
+    }
+
+    /// Durably insert one entry.
+    pub fn insert(&mut self, key: P::K, value: P::V) -> Result<(), DurableError> {
+        self.write(move |txn| txn.insert(key.clone(), value.clone()))
+    }
+
+    /// Durably remove one key; returns the removed value.
+    pub fn remove(&mut self, key: &P::K) -> Result<Option<P::V>, DurableError> {
+        self.write(|txn| txn.remove(key))
+    }
+
+    /// Durably remove every key in the inclusive range `[lo, hi]` as one
+    /// atomic commit.
+    pub fn remove_range(&mut self, lo: &P::K, hi: &P::K) -> Result<(), DurableError> {
+        self.write(|txn| txn.remove_range(lo, hi))
+    }
+}
+
+impl<P: TreeParams, M: VersionMaintenance> std::fmt::Debug for DurableSession<'_, P, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableSession")
+            .field("pid", &self.inner.pid())
+            .field("durable", &self.dd.durable())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The mutable view a durable write transaction receives: the
+/// [`WriteTxn`] surface, with every delta recorded for the WAL. There
+/// are deliberately no raw-root escape hatches — an unrecorded tree
+/// mutation could not be replayed.
+pub struct DurableTxn<'a, 't, P: TreeParams> {
+    txn: &'a mut WriteTxn<'t, P>,
+    /// `None` under [`Durability::Off`]: nothing is recorded.
+    log: Option<&'a mut Vec<MapOp<P>>>,
+}
+
+impl<P: TreeParams> DurableTxn<'_, '_, P> {
+    fn record(&mut self, op: MapOp<P>) {
+        if let Some(log) = self.log.as_deref_mut() {
+            log.push(op);
+        }
+    }
+
+    /// Insert or overwrite one entry.
+    pub fn insert(&mut self, key: P::K, value: P::V) {
+        self.record(MapOp::Insert(key.clone(), value.clone()));
+        self.txn.insert(key, value);
+    }
+
+    /// Remove one key; returns the removed value.
+    pub fn remove(&mut self, key: &P::K) -> Option<P::V> {
+        let removed = self.txn.remove(key);
+        if removed.is_some() {
+            self.record(MapOp::Remove(key.clone()));
+        }
+        removed
+    }
+
+    /// Remove every key in the inclusive range `[lo, hi]`.
+    pub fn remove_range(&mut self, lo: &P::K, hi: &P::K) {
+        if self.log.is_some() {
+            let mut doomed = Vec::new();
+            self.txn
+                .forest()
+                .range_for_each(self.txn.root(), lo, hi, &mut |k: &P::K, _: &P::V| {
+                    doomed.push(k.clone())
+                });
+            for k in doomed {
+                self.record(MapOp::Remove(k));
+            }
+        }
+        self.txn.remove_range(lo, hi);
+    }
+
+    /// Apply a whole batch of insertions (parallel `multi_insert`);
+    /// duplicates merge with `combine(old, new)`. The *merged* values are
+    /// what the WAL records, so replay needs no combine function.
+    pub fn multi_insert(
+        &mut self,
+        batch: Vec<(P::K, P::V)>,
+        combine: impl Fn(&P::V, &P::V) -> P::V + Sync,
+    ) {
+        if self.log.is_none() {
+            self.txn.multi_insert(batch, combine);
+            return;
+        }
+        let mut keys: Vec<P::K> = batch.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        self.txn.multi_insert(batch, combine);
+        for k in keys {
+            let v = self
+                .txn
+                .get(&k)
+                .expect("multi_insert key present in working version")
+                .clone();
+            self.record(MapOp::Insert(k, v));
+        }
+    }
+
+    /// Remove a whole batch of keys (parallel `multi_remove`).
+    pub fn multi_remove(&mut self, keys: Vec<P::K>) {
+        if self.log.is_some() {
+            for k in &keys {
+                self.record(MapOp::Remove(k.clone()));
+            }
+        }
+        self.txn.multi_remove(keys);
+    }
+
+    // ---- queries on the working root (see own writes) ----
+
+    /// Look up a key in the working version.
+    pub fn get(&self, key: &P::K) -> Option<&P::V> {
+        self.txn.get(key)
+    }
+
+    /// Does the working version contain `key`?
+    pub fn contains(&self, key: &P::K) -> bool {
+        self.txn.contains(key)
+    }
+
+    /// Entry count of the working version.
+    pub fn len(&self) -> usize {
+        self.txn.len()
+    }
+
+    /// Is the working version empty?
+    pub fn is_empty(&self) -> bool {
+        self.txn.is_empty()
+    }
+
+    /// Monoid fold over the inclusive key range (O(log n)).
+    pub fn aug_range(&self, lo: &P::K, hi: &P::K) -> P::Aug {
+        self.txn.aug_range(lo, hi)
+    }
+
+    /// Fold over the whole working version.
+    pub fn aug_total(&self) -> P::Aug {
+        self.txn.aug_total()
+    }
+
+    /// Smallest entry of the working version.
+    pub fn min(&self) -> Option<(&P::K, &P::V)> {
+        self.txn.min()
+    }
+
+    /// Largest entry of the working version.
+    pub fn max(&self) -> Option<(&P::K, &P::V)> {
+        self.txn.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_ftree::U64Map;
+    use mvcc_wal::FaultStorage;
+
+    fn open(storage: &FaultStorage, durability: Durability) -> DurableDatabase<U64Map> {
+        DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig {
+                durability,
+                ..DurableConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn commits_survive_reopen() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db = open(&storage, Durability::Always);
+            let mut s = db.session().unwrap();
+            s.insert(1, 10).unwrap();
+            s.insert(2, 20).unwrap();
+            assert_eq!(s.remove(&1).unwrap(), Some(10));
+            s.write(|txn| {
+                txn.insert(3, 30);
+                txn.insert(4, 40);
+            })
+            .unwrap();
+            assert_eq!(db.last_commit_ts(), 4);
+        }
+        let db = open(&storage, Durability::Always);
+        assert_eq!(db.recovery().replayed, 4);
+        assert_eq!(db.last_commit_ts(), 4);
+        let mut s = db.session().unwrap();
+        assert_eq!(s.get(&1), None);
+        assert_eq!(s.get(&2), Some(20));
+        assert_eq!(s.get(&3), Some(30));
+        assert_eq!(s.get(&4), Some(40));
+    }
+
+    #[test]
+    fn range_and_bulk_deltas_replay() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db = open(&storage, Durability::Always);
+            let mut s = db.session().unwrap();
+            s.write(|txn| {
+                txn.multi_insert((0..50u64).map(|k| (k, k)).collect(), |_o, n| *n);
+            })
+            .unwrap();
+            s.remove_range(&10, &39).unwrap();
+            s.write(|txn| txn.multi_remove(vec![0, 1, 2])).unwrap();
+        }
+        let db = open(&storage, Durability::Always);
+        let mut s = db.session().unwrap();
+        assert_eq!(s.len(), 17);
+        assert_eq!(s.get(&5), Some(5));
+        assert_eq!(s.get(&10), None);
+        assert_eq!(s.get(&40), Some(40));
+        assert_eq!(s.get(&0), None);
+    }
+
+    #[test]
+    fn merged_values_are_logged_not_the_raw_batch() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db = open(&storage, Durability::Always);
+            let mut s = db.session().unwrap();
+            s.insert(7, 100).unwrap();
+            // Sum-combine with the existing value and an in-batch dup:
+            // replay must see 100 + 1 + 2 = 103 without the combine fn.
+            s.write(|txn| {
+                txn.multi_insert(vec![(7, 1), (7, 2)], |old, new| old + new);
+            })
+            .unwrap();
+            assert_eq!(s.get(&7), Some(103));
+        }
+        let db = open(&storage, Durability::Always);
+        assert_eq!(db.session().unwrap().get(&7), Some(103));
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_prefers_it() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db = open(&storage, Durability::Always);
+            let mut s = db.session().unwrap();
+            for k in 0..20u64 {
+                s.insert(k, k * 3).unwrap();
+            }
+            let ts = db.checkpoint().unwrap();
+            assert_eq!(ts, 20);
+            s.insert(100, 1).unwrap(); // WAL tail beyond the checkpoint
+        }
+        let db = open(&storage, Durability::Always);
+        let report = db.recovery();
+        assert_eq!(report.checkpoint_ts, Some(20));
+        assert_eq!(report.checkpoint_entries, 20);
+        assert_eq!(report.replayed, 1, "only the tail replays");
+        let mut s = db.session().unwrap();
+        assert_eq!(s.len(), 21);
+        assert_eq!(s.get(&100), Some(1));
+    }
+
+    #[test]
+    fn durability_off_persists_nothing_but_checkpoints() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db = open(&storage, Durability::Off);
+            assert!(!db.durable());
+            let mut s = db.session().unwrap();
+            s.insert(1, 1).unwrap();
+            db.checkpoint().unwrap();
+            s.insert(2, 2).unwrap(); // after the checkpoint: lost on crash
+            assert_eq!(db.wal_bytes(), 0);
+        }
+        let db = open(&storage, Durability::Off);
+        let mut s = db.session().unwrap();
+        assert_eq!(s.get(&1), Some(1), "checkpointed commit survives");
+        assert_eq!(s.get(&2), None, "post-checkpoint Off commit is lost");
+    }
+
+    #[test]
+    fn wal_error_leaves_memory_untouched() {
+        use mvcc_wal::FaultPlan;
+        let storage = FaultStorage::new(
+            FaultPlan {
+                // Segment header survives open (one transient), then the
+                // first commit's append fails beyond the retry budget.
+                transient_append_failures: u64::MAX,
+                ..FaultPlan::default()
+            },
+            3,
+        );
+        // Header append also fails => open itself errors typed.
+        let r: Result<DurableDatabase<U64Map>, _> =
+            DurableDatabase::recover_storage(Arc::new(storage), 1, DurableConfig::default());
+        assert!(matches!(r, Err(DurableError::Wal(WalError::Io { .. }))));
+    }
+
+    #[test]
+    fn raw_writer_race_is_a_typed_error() {
+        let storage = FaultStorage::unfaulted();
+        let db = open(&storage, Durability::Always);
+        let mut s = db.session().unwrap();
+        s.insert(1, 1).unwrap();
+        let err = s
+            .write(|txn| {
+                // A contract-violating raw write sneaks in mid-transaction.
+                let mut raw = db.database().session().unwrap();
+                raw.insert(99, 99);
+                txn.insert(2, 2);
+            })
+            .expect_err("set must lose to the raw writer");
+        assert!(matches!(err, DurableError::RacedByRawWriter));
+        // The durable session keeps working afterwards.
+        s.insert(3, 3).unwrap();
+        assert_eq!(s.get(&3), Some(3));
+    }
+
+    #[test]
+    fn double_recovery_is_idempotent() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db = open(&storage, Durability::Always);
+            let mut s = db.session().unwrap();
+            for k in 0..10u64 {
+                s.insert(k, k).unwrap();
+            }
+        }
+        let once = open(&storage, Durability::Always);
+        let first: Vec<(u64, u64)> = once.session().unwrap().read(|s| s.to_vec());
+        let ts = once.last_commit_ts();
+        drop(once);
+        let twice = open(&storage, Durability::Always);
+        assert_eq!(twice.session().unwrap().read(|s| s.to_vec()), first);
+        assert_eq!(twice.last_commit_ts(), ts);
+        assert_eq!(twice.recovery().skipped, 0);
+        assert_eq!(twice.recovery().replayed, 10);
+    }
+}

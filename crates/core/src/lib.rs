@@ -99,12 +99,54 @@
 //! flat-combining single-writer that turns concurrent update requests into
 //! atomically-committed parallel batches.
 //!
+//! ## Durability
+//!
+//! Everything above is memory-only: a process crash loses every commit.
+//! The [`durable`] module (backed by the `mvcc-wal` crate) wraps a
+//! database with a write-ahead log, snapshot-consistent checkpoints and
+//! crash recovery:
+//!
+//! ```
+//! use mvcc_core::{Durability, DurableConfig, DurableDatabase};
+//! use mvcc_core::ftree::U64Map;
+//! use mvcc_core::wal::FaultStorage;
+//! use std::sync::Arc;
+//!
+//! // Open-or-recover; an empty store yields an empty database. (A real
+//! // deployment uses `DurableDatabase::recover("path/to/dir", ..)`.)
+//! let storage = Arc::new(FaultStorage::unfaulted());
+//! let cfg = DurableConfig { durability: Durability::Always, ..Default::default() };
+//! let db: DurableDatabase<U64Map> =
+//!     DurableDatabase::recover_storage(storage.clone(), 2, cfg.clone()).unwrap();
+//! let mut s = db.session().unwrap();
+//! s.insert(1, 10).unwrap(); // in the WAL (fsynced) before it is visible
+//! drop(s);
+//! drop(db); // crash-equivalent: no checkpoint, just the log
+//!
+//! let db: DurableDatabase<U64Map> =
+//!     DurableDatabase::recover_storage(storage, 2, cfg).unwrap();
+//! let mut s = db.session().unwrap();
+//! assert_eq!(s.get(&1), Some(10));
+//! ```
+//!
+//! The [`Durability`] policy trades the crash-loss window against commit
+//! latency: `Always` fsyncs every commit, `EveryN(n)` group-commits (a
+//! crash loses at most the last `n - 1` acknowledged commits, always
+//! from the tail), and `Off` preserves this crate's in-memory behavior
+//! and performance exactly — the lock-free commit path, no logging —
+//! with only explicit [`DurableDatabase::checkpoint`] calls persisting
+//! state. The recovery contract: the newest valid checkpoint is loaded,
+//! the WAL tail after it is replayed in `commit_ts` order, a torn tail
+//! ends replay at the last intact record (and is truncated away), and
+//! recovering the same store twice is idempotent.
+//!
 //! The pre-session entry points (`Database::read(pid, ..)` etc.) survive
 //! as thin deprecated shims; they still work — now allocation-free via a
 //! thread-local release buffer — but bypass the lease registry, so they
 //! cannot protect callers from pid aliasing the way sessions do.
 
 pub mod batch;
+pub mod durable;
 pub mod pool;
 mod session;
 
@@ -116,11 +158,16 @@ use mvcc_ftree::{AllocCtx, Forest, OptNodeId, Root, TreeParams};
 use mvcc_vm::{PidPool, PswfVm, VersionMaintenance, VmKind};
 
 pub use batch::{BatchWriter, MapOp, SubmitError};
+pub use durable::{
+    Durability, DurableConfig, DurableDatabase, DurableError, DurableSession, DurableTxn,
+    RecoveryReport,
+};
 pub use mvcc_ftree as ftree;
 pub use mvcc_vm as vm;
 /// Error returned by [`Database::session`] / [`Database::session_for`]:
 /// the pool is exhausted or the requested pid is already leased.
 pub use mvcc_vm::LeaseError as SessionError;
+pub use mvcc_wal as wal;
 pub use pool::{AcquireTimeout, Router, SessionPool};
 pub use session::{Session, SessionReadGuard, WriteTxn};
 
@@ -235,10 +282,8 @@ impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
     }
 
     /// Lease the specific process id `pid` (e.g. to pair a producer with
-    /// a deterministic arena shard). `Err(PidLeased)` if it is held.
-    ///
-    /// # Panics
-    /// If `pid >= processes()`.
+    /// a deterministic arena shard). `Err(PidLeased)` if it is held,
+    /// `Err(OutOfRange)` if `pid >= processes()`.
     pub fn session_for(&self, pid: usize) -> Result<Session<'_, P, M>, SessionError> {
         self.pids.lease_exact(pid)?;
         Ok(Session::new(self, pid))

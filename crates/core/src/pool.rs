@@ -394,9 +394,17 @@ impl<P: TreeParams, M: VersionMaintenance> Router<P, M> {
     /// computed (or pinned) a placement themselves.
     ///
     /// # Panics
-    /// If `index >= shards()`.
+    /// If `index >= shards()`; [`Router::try_with_shard`] is the
+    /// non-panicking form.
     pub fn with_shard(&self, index: usize) -> &Database<P, M> {
         &self.shards[index]
+    }
+
+    /// [`Router::with_shard`] without the panic: `None` when `index` is
+    /// not a shard (e.g. an index computed against a differently-sized
+    /// router).
+    pub fn try_with_shard(&self, index: usize) -> Option<&Database<P, M>> {
+        self.shards.get(index)
     }
 
     /// The shard database `key` routes to.

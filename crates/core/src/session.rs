@@ -55,9 +55,11 @@ pub struct Session<'db, P: TreeParams, M: VersionMaintenance = PswfVm> {
     pid: usize,
     ctx: AllocCtx,
     /// Reused across transactions: `release` appends, `collect` drains.
-    released: Vec<u64>,
-    commits: u64,
-    aborts: u64,
+    /// `pub(crate)`: the durable commit path ([`crate::durable`]) runs its
+    /// own transaction skeleton on the session's buffer and counters.
+    pub(crate) released: Vec<u64>,
+    pub(crate) commits: u64,
+    pub(crate) aborts: u64,
     reads: u64,
     /// `Cell` poisons `Sync` without costing anything: a session moves
     /// between threads, it is never shared.
@@ -313,6 +315,12 @@ pub struct WriteTxn<'t, P: TreeParams> {
 }
 
 impl<'t, P: TreeParams> WriteTxn<'t, P> {
+    /// Wrap an owned working root (the durable commit path builds its
+    /// transaction view by hand).
+    pub(crate) fn new(forest: &'t Forest<P>, root: Root) -> Self {
+        WriteTxn { forest, root }
+    }
+
     /// Insert or overwrite one entry.
     pub fn insert(&mut self, key: P::K, value: P::V) {
         self.root = self.forest.insert(self.root, key, value);

@@ -78,6 +78,14 @@ pub enum LeaseError {
         /// The pid that was requested.
         pid: usize,
     },
+    /// The requested pid does not exist ([`PidPool::lease_exact`] with
+    /// `pid >= processes`).
+    OutOfRange {
+        /// The pid that was requested.
+        pid: usize,
+        /// Total number of pids in the pool.
+        processes: usize,
+    },
 }
 
 impl std::fmt::Display for LeaseError {
@@ -88,6 +96,9 @@ impl std::fmt::Display for LeaseError {
             }
             LeaseError::PidLeased { pid } => {
                 write!(f, "process id {pid} is already leased")
+            }
+            LeaseError::OutOfRange { pid, processes } => {
+                write!(f, "process id {pid} is out of range (pool has {processes})")
             }
         }
     }
@@ -276,12 +287,15 @@ impl PidPool {
         }
     }
 
-    /// Lease the specific `pid`. `Err(PidLeased)` if already held.
-    ///
-    /// # Panics
-    /// If `pid >= processes()`.
+    /// Lease the specific `pid`. `Err(PidLeased)` if already held,
+    /// `Err(OutOfRange)` if the pool has no such pid.
     pub fn lease_exact(&self, pid: usize) -> Result<(), LeaseError> {
-        assert!(pid < self.processes(), "pid {pid} out of range");
+        if pid >= self.processes() {
+            return Err(LeaseError::OutOfRange {
+                pid,
+                processes: self.processes(),
+            });
+        }
         // The entry (if any) stays on the list as a tombstone; `lease`
         // skips it and `release` accounts for it.
         // LEASE_CAS: same ownership hand-off edge as `lease`.
@@ -385,10 +399,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn lease_exact_out_of_range_panics() {
+    fn lease_exact_out_of_range_is_a_typed_error() {
         let pool = PidPool::new(2);
-        let _ = pool.lease_exact(2);
+        assert_eq!(
+            pool.lease_exact(2),
+            Err(LeaseError::OutOfRange {
+                pid: 2,
+                processes: 2
+            })
+        );
+        assert_eq!(pool.leased(), 0, "failed lease must not consume a pid");
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Snapshot checkpoints: a full key/value image at one `commit_ts`.
+//!
+//! A checkpoint lets recovery skip replaying the log from the beginning
+//! of time, and lets the log retire sealed segments (see
+//! [`crate::Wal::truncate_before`]). The write protocol makes publication
+//! atomic with respect to crashes:
+//!
+//! 1. the image is written to a *temporary* name (`ckpt-<ts>.tmp`),
+//! 2. sealed with a trailing CRC-32 over the whole body and fsynced,
+//! 3. renamed to its final name (`ckpt-<ts>.ck`).
+//!
+//! A crash before the rename leaves only a `.tmp` the next writer
+//! overwrites; a crash after it leaves a fully validated checkpoint.
+//! [`load_latest`] walks the published checkpoints newest-first and falls
+//! back across corrupt ones, so a bad checkpoint degrades recovery to the
+//! previous one (plus a longer WAL replay), never to a failure.
+//!
+//! ```text
+//! checkpoint := b"MVCKPT01" [ts: u64 le] [count: u64 le] entry*
+//!               [crc32(everything before): u32 le]
+//! entry      := [klen: u32 le] key [vlen: u32 le] value
+//! ```
+
+use crate::frame::{crc32, Reader};
+use crate::{io_err, Storage, WalError};
+
+const CKPT_MAGIC: &[u8; 8] = b"MVCKPT01";
+/// Published checkpoints kept after a successful write (newest first);
+/// older ones are pruned.
+const KEEP_CHECKPOINTS: usize = 2;
+
+fn final_name(ts: u64) -> String {
+    format!("ckpt-{ts:016x}.ck")
+}
+
+fn tmp_name(ts: u64) -> String {
+    format!("ckpt-{ts:016x}.tmp")
+}
+
+fn parse_final_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("ckpt-")?.strip_suffix(".ck")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// A decoded, CRC-validated checkpoint image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The commit timestamp the image is a snapshot of: every batch with
+    /// `commit_ts <= ts` is reflected, none after.
+    pub ts: u64,
+    /// The full key/value contents at `ts`, in the order the writer
+    /// emitted them (key order, for the transactional layer's walk).
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// Streams entries into an in-progress checkpoint image. Handed to the
+/// closure given to [`write_checkpoint`]; the caller walks its snapshot
+/// and calls [`CheckpointWriter::entry`] per pair.
+pub struct CheckpointWriter {
+    buf: Vec<u8>,
+    count: u64,
+}
+
+impl CheckpointWriter {
+    /// Append one key/value pair to the image.
+    pub fn entry(&mut self, key: &[u8], value: &[u8]) {
+        self.buf
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(key);
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(value);
+        self.count += 1;
+    }
+
+    /// Pairs written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Write and atomically publish a checkpoint of the database at `ts`.
+///
+/// `fill` receives a [`CheckpointWriter`] and emits every key/value pair
+/// of the snapshot; this crate neither knows nor cares how the caller
+/// walks it (in mvcc-core it is a pinned version traversed while writers
+/// proceed). Returns the published file name. On success, all but the
+/// newest two checkpoints and any stale `.tmp` files are pruned.
+pub fn write_checkpoint(
+    storage: &dyn Storage,
+    ts: u64,
+    fill: impl FnOnce(&mut CheckpointWriter) -> Result<(), WalError>,
+) -> Result<String, WalError> {
+    let mut w = CheckpointWriter {
+        buf: Vec::with_capacity(64 * 1024),
+        count: 0,
+    };
+    w.buf.extend_from_slice(CKPT_MAGIC);
+    w.buf.extend_from_slice(&ts.to_le_bytes());
+    w.buf.extend_from_slice(&0u64.to_le_bytes()); // count, patched below
+    fill(&mut w)?;
+    let count = w.count;
+    w.buf[16..24].copy_from_slice(&count.to_le_bytes());
+    let crc = crc32(&w.buf);
+    w.buf.extend_from_slice(&crc.to_le_bytes());
+
+    let tmp = tmp_name(ts);
+    let name = final_name(ts);
+    // A leftover tmp from a crashed writer must not pollute this image.
+    match storage.remove(&tmp) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(io_err("remove", &tmp, e)),
+    }
+    storage
+        .append(&tmp, &w.buf)
+        .map_err(|e| io_err("append", &tmp, e))?;
+    storage.sync(&tmp).map_err(|e| io_err("sync", &tmp, e))?;
+    storage
+        .rename(&tmp, &name)
+        .map_err(|e| io_err("rename", &tmp, e))?;
+
+    prune(storage)?;
+    Ok(name)
+}
+
+/// Remove published checkpoints beyond the newest [`KEEP_CHECKPOINTS`]
+/// and any stale `.tmp` leftovers.
+fn prune(storage: &dyn Storage) -> Result<(), WalError> {
+    let names = storage.list().map_err(|e| io_err("list", "<storage>", e))?;
+    let mut published: Vec<u64> = names.iter().filter_map(|n| parse_final_name(n)).collect();
+    published.sort_unstable_by(|a, b| b.cmp(a));
+    for &old in published.iter().skip(KEEP_CHECKPOINTS) {
+        let name = final_name(old);
+        storage
+            .remove(&name)
+            .map_err(|e| io_err("remove", &name, e))?;
+    }
+    for name in names {
+        if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+            match storage.remove(&name) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err("remove", &name, e)),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode(data: &[u8]) -> Option<Checkpoint> {
+    if data.len() < CKPT_MAGIC.len() + 16 + 4 || &data[..8] != CKPT_MAGIC {
+        return None;
+    }
+    let (body, trailer) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return None;
+    }
+    let mut r = Reader::new(&body[8..]);
+    let ts = r.u64()?;
+    let count = r.u64()?;
+    let mut entries = Vec::with_capacity((count as usize).min(body.len()));
+    for _ in 0..count {
+        let klen = r.u32()? as usize;
+        let k = r.bytes(klen)?.to_vec();
+        let vlen = r.u32()? as usize;
+        let v = r.bytes(vlen)?.to_vec();
+        entries.push((k, v));
+    }
+    if !r.is_empty() {
+        return None;
+    }
+    Some(Checkpoint { ts, entries })
+}
+
+/// Load the newest valid published checkpoint, falling back across
+/// corrupt (or vanished) ones. `Ok(None)` means no checkpoint survives —
+/// recovery then replays the WAL from its start against an empty
+/// database.
+pub fn load_latest(storage: &dyn Storage) -> Result<Option<Checkpoint>, WalError> {
+    let mut published: Vec<u64> = storage
+        .list()
+        .map_err(|e| io_err("list", "<storage>", e))?
+        .iter()
+        .filter_map(|n| parse_final_name(n))
+        .collect();
+    published.sort_unstable_by(|a, b| b.cmp(a));
+    for ts in published {
+        let name = final_name(ts);
+        let data = match storage.read(&name) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(io_err("read", &name, e)),
+        };
+        if let Some(ckpt) = decode(&data) {
+            return Ok(Some(ckpt));
+        }
+        // Corrupt: fall back to the next-newest. Graceful degradation is
+        // the contract — a bad checkpoint costs replay time, not data.
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultStorage;
+
+    fn write(storage: &FaultStorage, ts: u64, n: u64) -> String {
+        write_checkpoint(storage, ts, |w| {
+            for i in 0..n {
+                w.entry(&i.to_le_bytes(), format!("v{i}@{ts}").as_bytes());
+            }
+            Ok(())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_and_latest_wins() {
+        let storage = FaultStorage::unfaulted();
+        write(&storage, 10, 3);
+        write(&storage, 25, 5);
+        let ckpt = load_latest(&storage).unwrap().expect("checkpoint");
+        assert_eq!(ckpt.ts, 25);
+        assert_eq!(ckpt.entries.len(), 5);
+        assert_eq!(ckpt.entries[2].1, b"v2@25");
+    }
+
+    #[test]
+    fn prunes_to_newest_two_and_clears_tmp() {
+        let storage = FaultStorage::unfaulted();
+        for ts in [1, 2, 3, 4] {
+            write(&storage, ts, 1);
+        }
+        // Simulate a crashed writer's leftover tmp.
+        storage.append(&tmp_name(99), b"half a checkpoint").unwrap();
+        write(&storage, 5, 1);
+        let mut names = storage.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec![final_name(4), final_name(5)]);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let storage = FaultStorage::unfaulted();
+        write(&storage, 7, 2);
+        let newest = write(&storage, 9, 2);
+        // Flip one byte in the newest image.
+        let mut data = storage.read(&newest).unwrap();
+        data[10] ^= 0x01;
+        storage.remove(&newest).unwrap();
+        storage.append(&newest, &data).unwrap();
+        let ckpt = load_latest(&storage).unwrap().expect("fallback");
+        assert_eq!(ckpt.ts, 7);
+    }
+
+    #[test]
+    fn all_corrupt_means_none() {
+        let storage = FaultStorage::unfaulted();
+        let name = write(&storage, 3, 1);
+        storage.truncate(&name, 10).unwrap();
+        assert_eq!(load_latest(&storage).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let storage = FaultStorage::unfaulted();
+        write_checkpoint(&storage, 0, |_| Ok(())).unwrap();
+        let ckpt = load_latest(&storage).unwrap().expect("empty checkpoint");
+        assert_eq!(ckpt.ts, 0);
+        assert!(ckpt.entries.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Byte codecs bridging the transactional crate's typed keys/values and
+//! the WAL's opaque byte strings.
+//!
+//! The log stores `Vec<u8>` keys and values ([`crate::WalOp`]); the
+//! transactional layer's trees are generic over key/value types. A
+//! [`WalCodec`] bound on those types is the only coupling: `encode` must
+//! be injective (two distinct values never share an encoding) and
+//! `decode` must invert it, but encodings need *not* be order-preserving
+//! — replay decodes back to typed values before touching a tree, it never
+//! compares raw bytes.
+
+/// Fixed, self-inverting byte encoding for a key or value type.
+pub trait WalCodec: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode a value from exactly `bytes` (the full slice must be
+    /// consumed). `None` on malformed input — recovery surfaces that as
+    /// corruption rather than guessing.
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl WalCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(bytes: &[u8]) -> Option<Self> {
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+int_codec!(u16, u32, u64, u128, i16, i32, i64, i128);
+
+impl WalCodec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(())
+    }
+}
+
+impl WalCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl WalCodec for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+impl WalCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        std::str::from_utf8(bytes).ok().map(str::to_string)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WalCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(T::decode(&buf), Some(v));
+    }
+
+    #[test]
+    fn integers_roundtrip() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX - 1);
+        roundtrip(-5i64);
+        roundtrip(i128::MIN);
+        roundtrip(7u16);
+    }
+
+    #[test]
+    fn composite_types_roundtrip() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(b"raw bytes \xFF\x00".to_vec());
+        roundtrip("unicode \u{1F980}".to_string());
+    }
+
+    #[test]
+    fn malformed_inputs_decode_to_none() {
+        assert_eq!(u64::decode(&[1, 2, 3]), None);
+        assert_eq!(<()>::decode(&[0]), None);
+        assert_eq!(bool::decode(&[2]), None);
+        assert_eq!(String::decode(&[0xFF, 0xFE]), None);
+    }
+}

@@ -1,0 +1,297 @@
+//! Frame format: length-prefixed, CRC-guarded records of committed
+//! batches.
+//!
+//! ```text
+//! frame    := [len: u32 le] [crc32(payload): u32 le] payload
+//! payload  := [tx_id: u64 le] [commit_ts: u64 le] [snapshot_ts: u64 le]
+//!             [n_ops: u32 le] op*
+//! op       := 0x00 [klen: u32 le] key [vlen: u32 le] value   (Put)
+//!           | 0x01 [klen: u32 le] key                        (Del)
+//! ```
+//!
+//! The payload head is the sombra MVCC frame shape (standard frame +
+//! `[snapshot_ts: 8][commit_ts: 8]` metadata): enough for recovery to
+//! re-establish the commit clock and for future consumers (replication,
+//! point-in-time restore) to reason about snapshot lineage without
+//! decoding the ops.
+//!
+//! Decoding is defensive end to end: every length is bounds-checked
+//! before use, so a torn or bit-flipped frame yields `None` — never a
+//! panic or an out-of-bounds slice — and replay degrades to "stop at the
+//! last intact record".
+
+/// Upper bound on a frame's payload (sanity check against interpreting
+/// garbage as a gigantic length and stalling replay on one bad frame).
+pub(crate) const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// CRC-32 (IEEE, reflected, as used by zip/png) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// One logical key/value delta inside a committed batch. Keys and values
+/// are opaque bytes at this layer; the transactional crate encodes its
+/// typed keys/values through [`crate::WalCodec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert or overwrite a key.
+    Put(Vec<u8>, Vec<u8>),
+    /// Remove a key (a no-op when absent, so replay is idempotent).
+    Del(Vec<u8>),
+}
+
+/// One committed batch: the unit of logging, replay and group commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBatch {
+    /// Monotone transaction identifier (diagnostics / dedup).
+    pub tx_id: u64,
+    /// The commit timestamp this batch established. Strictly increasing
+    /// along the log; recovery replays in this order.
+    pub commit_ts: u64,
+    /// The commit timestamp of the snapshot the batch was computed
+    /// against (`commit_ts - 1` under the serialized durable writer).
+    pub snapshot_ts: u64,
+    /// The batch's deltas, in application order.
+    pub ops: Vec<WalOp>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reads over a byte slice.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        let bytes = self.bytes(4)?;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let bytes = self.bytes(8)?;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        let bytes = self.bytes(1)?;
+        Some(bytes[0])
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl WalBatch {
+    /// Append the full frame (length prefix, CRC, payload) to `out`.
+    pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        let payload_at = out.len() + 8;
+        // Placeholder len + crc, patched below.
+        put_u32(out, 0);
+        put_u32(out, 0);
+        put_u64(out, self.tx_id);
+        put_u64(out, self.commit_ts);
+        put_u64(out, self.snapshot_ts);
+        put_u32(out, self.ops.len() as u32);
+        for op in &self.ops {
+            match op {
+                WalOp::Put(k, v) => {
+                    out.push(0x00);
+                    put_u32(out, k.len() as u32);
+                    out.extend_from_slice(k);
+                    put_u32(out, v.len() as u32);
+                    out.extend_from_slice(v);
+                }
+                WalOp::Del(k) => {
+                    out.push(0x01);
+                    put_u32(out, k.len() as u32);
+                    out.extend_from_slice(k);
+                }
+            }
+        }
+        let len = (out.len() - payload_at) as u32;
+        let crc = crc32(&out[payload_at..]);
+        out[payload_at - 8..payload_at - 4].copy_from_slice(&len.to_le_bytes());
+        out[payload_at - 4..payload_at].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Decode one frame starting at `buf[at..]`. Returns the batch and
+    /// the offset just past the frame, or `None` if the bytes do not hold
+    /// one intact frame (short length, CRC mismatch, malformed payload) —
+    /// the caller treats that as the torn tail.
+    pub fn decode_frame(buf: &[u8], at: usize) -> Option<(WalBatch, usize)> {
+        let mut head = Reader::new(buf.get(at..)?);
+        let len = head.u32()?;
+        let crc = head.u32()?;
+        if len > MAX_FRAME_BYTES {
+            return None;
+        }
+        let payload = head.bytes(len as usize)?;
+        if crc32(payload) != crc {
+            return None;
+        }
+        let mut r = Reader::new(payload);
+        let tx_id = r.u64()?;
+        let commit_ts = r.u64()?;
+        let snapshot_ts = r.u64()?;
+        let n_ops = r.u32()?;
+        let mut ops = Vec::with_capacity((n_ops as usize).min(payload.len()));
+        for _ in 0..n_ops {
+            let op = match r.u8()? {
+                0x00 => {
+                    let klen = r.u32()? as usize;
+                    let k = r.bytes(klen)?.to_vec();
+                    let vlen = r.u32()? as usize;
+                    let v = r.bytes(vlen)?.to_vec();
+                    WalOp::Put(k, v)
+                }
+                0x01 => {
+                    let klen = r.u32()? as usize;
+                    WalOp::Del(r.bytes(klen)?.to_vec())
+                }
+                _ => return None,
+            };
+            ops.push(op);
+        }
+        if !r.is_empty() {
+            return None; // trailing garbage inside a "valid" CRC: reject
+        }
+        Some((
+            WalBatch {
+                tx_id,
+                commit_ts,
+                snapshot_ts,
+                ops,
+            },
+            at + 8 + len as usize,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    fn sample() -> WalBatch {
+        WalBatch {
+            tx_id: 7,
+            commit_ts: 42,
+            snapshot_ts: 41,
+            ops: vec![
+                WalOp::Put(b"key-1".to_vec(), b"value-1".to_vec()),
+                WalOp::Del(b"key-2".to_vec()),
+                WalOp::Put(Vec::new(), Vec::new()),
+            ],
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let batch = sample();
+        let mut buf = vec![0xAA; 3]; // arbitrary prefix: frames are offset-relative
+        batch.encode_frame(&mut buf);
+        let (decoded, next) = WalBatch::decode_frame(&buf, 3).unwrap();
+        assert_eq!(decoded, batch);
+        assert_eq!(next, buf.len());
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_decode_to_none() {
+        let batch = sample();
+        let mut buf = Vec::new();
+        batch.encode_frame(&mut buf);
+        // Every strict prefix is torn.
+        for cut in 0..buf.len() {
+            assert!(
+                WalBatch::decode_frame(&buf[..cut], 0).is_none(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Every single-bit flip is caught by the CRC (or the structure).
+        for byte in 0..buf.len() {
+            let mut flipped = buf.clone();
+            flipped[byte] ^= 0x10;
+            if let Some((decoded, _)) = WalBatch::decode_frame(&flipped, 0) {
+                // A flip inside the length prefix can only "succeed" by
+                // re-framing onto bytes whose CRC still matches — with a
+                // 32-bit CRC over this tiny buffer that cannot happen.
+                panic!("bit flip at byte {byte} yielded {decoded:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_chain() {
+        let mut buf = Vec::new();
+        let mut batches = Vec::new();
+        for i in 0..5u64 {
+            let b = WalBatch {
+                tx_id: i,
+                commit_ts: i + 1,
+                snapshot_ts: i,
+                ops: vec![WalOp::Put(vec![i as u8], vec![i as u8; i as usize])],
+            };
+            b.encode_frame(&mut buf);
+            batches.push(b);
+        }
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while let Some((b, next)) = WalBatch::decode_frame(&buf, at) {
+            seen.push(b);
+            at = next;
+        }
+        assert_eq!(seen, batches);
+        assert_eq!(at, buf.len());
+    }
+}

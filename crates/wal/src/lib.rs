@@ -1,0 +1,195 @@
+//! # mvcc-wal — durability for the multiversion database
+//!
+//! The in-memory database (mvcc-core) commits a batch by installing a new
+//! version root; a process crash loses every one of those commits. This
+//! crate adds the three classic durability layers, kept deliberately
+//! independent of the tree types so the transactional crate wires them in
+//! without this crate knowing about forests or sessions:
+//!
+//! * **Write-ahead log** ([`Wal`]) — append-only segment files of
+//!   CRC-guarded, length-prefixed frames. Each frame carries one
+//!   committed batch's MVCC metadata (`tx_id`, `commit_ts`,
+//!   `snapshot_ts` — the sombra frame shape: standard frame +
+//!   `[snapshot_ts: 8][commit_ts: 8]`) and its key/value deltas as
+//!   [`WalOp`]s. Appends group-commit under a configurable
+//!   [`FsyncPolicy`] and retry transient I/O errors with exponential
+//!   backoff before surfacing a typed [`WalError`].
+//! * **Snapshot checkpoints** ([`checkpoint`]) — a full key/value image
+//!   at one `commit_ts`, written to a temporary name, CRC-sealed, then
+//!   renamed into place so a crash mid-checkpoint leaves the previous
+//!   checkpoint authoritative. Loading falls back across corrupt
+//!   checkpoints to the newest valid one.
+//! * **Recovery** ([`Wal::open`]) — scans the segments, replays every
+//!   intact frame in order and *gracefully degrades* on a torn tail: a
+//!   frame with a short length or bad CRC ends replay at the last intact
+//!   record (the torn bytes are truncated away so the log is appendable
+//!   again) instead of aborting.
+//!
+//! All I/O goes through the [`Storage`] trait: [`DirStorage`] is the real
+//! filesystem backend, and [`FaultStorage`] is an in-memory double with a
+//! seeded fault plan — torn writes, dropped unsynced bytes, bit flips,
+//! transient append failures, short reads and crash-points at every write
+//! site — driving the crash-recovery property tests in the workspace root
+//! (`tests/wal_recovery.rs`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mvcc_wal::{FaultStorage, FsyncPolicy, Wal, WalBatch, WalConfig, WalOp};
+//!
+//! let storage = Arc::new(FaultStorage::unfaulted());
+//! let (wal, replay) = Wal::open(storage.clone(), WalConfig::default()).unwrap();
+//! assert!(replay.batches.is_empty());
+//! wal.append(&WalBatch {
+//!     tx_id: 1,
+//!     commit_ts: 1,
+//!     snapshot_ts: 0,
+//!     ops: vec![WalOp::Put(b"k".to_vec(), b"v".to_vec())],
+//! })
+//! .unwrap();
+//! // Re-opening replays the committed batch.
+//! drop(wal);
+//! let (_wal, replay) = Wal::open(storage, WalConfig::default()).unwrap();
+//! assert_eq!(replay.batches.len(), 1);
+//! assert!(replay.torn.is_none());
+//! ```
+
+pub mod checkpoint;
+pub mod codec;
+mod fault;
+mod frame;
+mod log;
+mod storage;
+
+pub use codec::WalCodec;
+pub use fault::{FaultPlan, FaultStorage};
+pub use frame::{crc32, WalBatch, WalOp};
+pub use log::{Replay, TornTail, Wal};
+pub use storage::{DirStorage, Storage};
+
+use std::time::Duration;
+
+/// When the log calls `fsync` on the active segment.
+///
+/// The policy trades a crash's worst-case loss window against commit
+/// latency: `Always` makes every acknowledged commit durable; `EveryN(n)`
+/// group-commits (a crash can lose up to the last `n - 1` acknowledged
+/// batches, but they are lost *from the tail* — recovery still yields a
+/// committed prefix); `Off` leaves flushing to the OS entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append: an acknowledged commit is durable.
+    Always,
+    /// Sync after every `n`-th append (group commit). `EveryN(1)` is
+    /// `Always`.
+    EveryN(u64),
+    /// Never sync; the OS flushes at its leisure.
+    Off,
+}
+
+/// Bounded retry for transient I/O errors on the append path.
+///
+/// An append that still fails after `attempts` retries surfaces as
+/// [`WalError::Io`]; any partial bytes a failed attempt may have written
+/// are truncated away before each retry, so a retried append can never
+/// leave a corrupt frame *in front of* later records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub initial_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Configuration for a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Group-commit fsync policy for the append path.
+    pub fsync: FsyncPolicy,
+    /// Roll to a fresh segment file once the active one exceeds this many
+    /// bytes (checkpoint truncation drops whole sealed segments).
+    pub segment_bytes: u64,
+    /// Transient-error retry policy for appends.
+    pub retry: RetryPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 8 << 20,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Typed durability errors. Everything the WAL, checkpoint and recovery
+/// paths can surface; `From<std::io::Error>` is deliberately absent — the
+/// call sites wrap I/O failures with the operation and file they hit.
+#[derive(Debug)]
+pub enum WalError {
+    /// An I/O operation failed and (for appends) kept failing across the
+    /// configured retries.
+    Io {
+        /// The storage operation that failed (`"append"`, `"sync"`, …).
+        op: &'static str,
+        /// The file the operation targeted.
+        name: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A record failed validation where corruption is not tolerable (a
+    /// checkpoint body, or a frame that decodes but contradicts itself).
+    /// Torn WAL *tails* do not produce this error — they end replay
+    /// gracefully (see [`Replay::torn`]).
+    Corrupt {
+        /// The file holding the corrupt bytes.
+        name: String,
+        /// Byte offset of the corruption.
+        offset: u64,
+        /// What failed to validate.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { op, name, source } => {
+                write!(f, "wal {op} on {name:?} failed: {source}")
+            }
+            WalError::Corrupt {
+                name,
+                offset,
+                reason,
+            } => {
+                write!(f, "corrupt record in {name:?} at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            WalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+pub(crate) fn io_err(op: &'static str, name: &str, source: std::io::Error) -> WalError {
+    WalError::Io {
+        op,
+        name: name.to_string(),
+        source,
+    }
+}

@@ -23,7 +23,7 @@ pub mod ycsb;
 pub mod zipf;
 
 pub use corpus::{Corpus, CorpusConfig, Document};
-pub use harness::{run_for, ThroughputReport};
+pub use harness::{run_for, run_for_collect, ThroughputReport};
 pub use oversub::{run_oversubscribed, LatencySummary, OversubReport};
 pub use ycsb::{Mix, Op, YcsbConfig, YcsbGenerator};
 pub use zipf::{ScrambledZipf, Zipf};

@@ -14,7 +14,10 @@
 //! * [`ftree`] — persistent augmented balanced trees with join-based
 //!   parallel bulk operations (the PAM equivalent);
 //! * [`core`] — the transactional framework of Figure 1 plus the
-//!   Appendix F batching writer;
+//!   Appendix F batching writer, and the durable layer (WAL-backed
+//!   crash recovery, see [`core::DurableDatabase`]);
+//! * [`wal`] — the write-ahead log itself: CRC-framed segment files,
+//!   atomic checkpoints, and a fault-injection storage for crash tests;
 //! * [`fds`] — more functional structures (stack, queue, leftist heap)
 //!   and a structure-agnostic transaction wrapper;
 //! * [`index`] — the §7.2 weighted inverted-index application;
@@ -54,6 +57,37 @@
 //! // Precision: in quiescence exactly one version is live.
 //! assert_eq!(db.live_versions(), 1);
 //! ```
+//!
+//! ## Durability
+//!
+//! [`core::DurableDatabase`] wraps the same machinery in a write-ahead
+//! log: commits publish to the WAL *before* the version becomes
+//! visible, checkpoints walk a pinned snapshot while writers proceed,
+//! and `recover` replays the newest checkpoint plus the WAL tail —
+//! degrading gracefully on a torn tail. [`core::Durability`] picks the
+//! fsync trade-off (`Always` per commit, `EveryN` group commit, `Off`
+//! for today's pure in-memory behavior); see the `mvcc-core` crate docs
+//! for the full contract and `examples/durable.rs` for a crash/recover
+//! walkthrough.
+//!
+//! ```
+//! use multiversion::core::{Durability, DurableConfig, DurableDatabase};
+//! use multiversion::ftree::U64Map;
+//! use multiversion::wal::FaultStorage;
+//! use std::sync::Arc;
+//!
+//! let disk = FaultStorage::unfaulted(); // in-memory Storage for the doctest
+//! let cfg = DurableConfig::default().with_durability(Durability::Always);
+//! {
+//!     let db: DurableDatabase<U64Map> =
+//!         DurableDatabase::recover_storage(Arc::new(disk.clone()), 2, cfg.clone()).unwrap();
+//!     db.session().unwrap().insert(1, 10).unwrap();
+//!     // Dropped without a checkpoint: a simulated crash.
+//! }
+//! let db: DurableDatabase<U64Map> =
+//!     DurableDatabase::recover_storage(Arc::new(disk), 2, cfg).unwrap();
+//! assert_eq!(db.session().unwrap().get(&1), Some(10));
+//! ```
 
 pub use mvcc_baselines as baselines;
 pub use mvcc_core as core;
@@ -63,13 +97,15 @@ pub use mvcc_index as index;
 pub use mvcc_plm as plm;
 pub use mvcc_vlist as vlist;
 pub use mvcc_vm as vm;
+pub use mvcc_wal as wal;
 pub use mvcc_workloads as workloads;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use mvcc_core::{
-        AcquireTimeout, BatchWriter, Database, MapOp, Router, Session, SessionError, SessionPool,
-        SessionReadGuard, Snapshot, WriteTxn,
+        AcquireTimeout, BatchWriter, Database, Durability, DurableConfig, DurableDatabase,
+        DurableError, DurableSession, DurableTxn, MapOp, RecoveryReport, Router, Session,
+        SessionError, SessionPool, SessionReadGuard, Snapshot, WriteTxn,
     };
     pub use mvcc_fds::{CellSession, VersionedCell};
     pub use mvcc_ftree::{Forest, MaxU64Map, SumU64Map, TreeParams, U64Map};

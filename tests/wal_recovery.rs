@@ -1,0 +1,430 @@
+//! Crash-recovery integration tests: the durable layer is driven through
+//! the fault-injection storage and must always come back to a
+//! **prefix-consistent** database — the recovered state equals the fold
+//! of the first `T` committed batches for some `T`, every fsync-`Always`
+//! acked commit survives, at most one in-flight commit materialises, and
+//! torn tails truncate cleanly without panicking.
+//!
+//! Fast tier: deterministic single-writer scenarios plus a full
+//! crash-point sweep over a small workload. Stress tier (`--ignored`,
+//! release): a seeded sweep under concurrent writers and a concurrent
+//! checkpointer, across tear/power-loss/bit-flip fault plans.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use multiversion::core::{Durability, DurableConfig, DurableDatabase, DurableError, DurableTxn};
+use multiversion::ftree::U64Map;
+use multiversion::wal::{FaultPlan, FaultStorage, RetryPolicy};
+
+/// Small segments so sweeps exercise rotation and checkpoint truncation,
+/// and a short backoff so crashed appends fail fast.
+fn cfg(durability: Durability) -> DurableConfig {
+    DurableConfig {
+        durability,
+        segment_bytes: 256,
+        retry: RetryPolicy {
+            attempts: 2,
+            initial_backoff: Duration::from_micros(50),
+        },
+    }
+}
+
+fn open(
+    storage: &FaultStorage,
+    durability: Durability,
+) -> Result<DurableDatabase<U64Map>, DurableError> {
+    DurableDatabase::recover_storage(Arc::new(storage.clone()), 4, cfg(durability))
+}
+
+/// The deterministic per-commit delta: commit `i` always performs the
+/// same ops, so the database after the first `t` commits is computable.
+fn apply_commit(txn: &mut DurableTxn<'_, '_, U64Map>, i: u64) {
+    txn.insert(i % 16, 1000 + i);
+    if i % 4 == 3 {
+        txn.remove(&((i / 2) % 16));
+    }
+    if i % 9 == 8 {
+        txn.multi_insert(vec![(64 + i % 8, i), (64 + (i + 1) % 8, i)], |_old, new| {
+            *new
+        });
+    }
+}
+
+/// Reference fold of [`apply_commit`] over commits `0..t`.
+fn model_after(t: u64) -> Vec<(u64, u64)> {
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    for i in 0..t {
+        m.insert(i % 16, 1000 + i);
+        if i % 4 == 3 {
+            m.remove(&((i / 2) % 16));
+        }
+        if i % 9 == 8 {
+            m.insert(64 + i % 8, i);
+            m.insert(64 + (i + 1) % 8, i);
+        }
+    }
+    m.into_iter().collect()
+}
+
+/// Run up to `commits` single-writer commits (checkpointing every
+/// `ckpt_every` if set), stopping at the first injected failure.
+/// Returns the number of *acked* commits — writes that returned `Ok`.
+fn run_workload(
+    storage: &FaultStorage,
+    commits: u64,
+    durability: Durability,
+    ckpt_every: Option<u64>,
+) -> u64 {
+    let Ok(db) = open(storage, durability) else {
+        return 0;
+    };
+    let Ok(mut session) = db.session() else {
+        return 0;
+    };
+    let mut acked = 0;
+    for i in 0..commits {
+        if let Some(every) = ckpt_every {
+            if i > 0 && i % every == 0 && db.checkpoint().is_err() {
+                return acked;
+            }
+        }
+        match session.write(|txn| apply_commit(txn, i)) {
+            Ok(()) => acked += 1,
+            Err(_) => return acked,
+        }
+    }
+    acked
+}
+
+fn contents(db: &DurableDatabase<U64Map>) -> Vec<(u64, u64)> {
+    db.session().unwrap().read(|snap| snap.to_vec())
+}
+
+#[test]
+fn checkpoint_and_replay_round_trip_on_real_files() {
+    let dir = std::env::temp_dir().join(format!("mv-wal-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db: DurableDatabase<U64Map> =
+            DurableDatabase::recover(&dir, 2, cfg(Durability::Always)).unwrap();
+        let mut s = db.session().unwrap();
+        for i in 0..8 {
+            s.write(|txn| apply_commit(txn, i)).unwrap();
+        }
+        db.checkpoint().unwrap();
+        for i in 8..14 {
+            s.write(|txn| apply_commit(txn, i)).unwrap();
+        }
+    }
+    let db: DurableDatabase<U64Map> =
+        DurableDatabase::recover(&dir, 2, cfg(Durability::Always)).unwrap();
+    assert_eq!(db.recovery().checkpoint_ts, Some(8));
+    assert_eq!(db.recovery().replayed, 6, "only the post-checkpoint tail");
+    assert_eq!(db.last_commit_ts(), 14);
+    assert_eq!(contents(&db), model_after(14));
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_tail_truncates_cleanly_and_log_stays_writable() {
+    // Dry run to find the write site of the last commit's frame.
+    let dry = FaultStorage::unfaulted();
+    assert_eq!(run_workload(&dry, 10, Durability::Always, None), 10);
+    let last_frame = dry.appends() - 1;
+
+    let storage = FaultStorage::new(
+        FaultPlan {
+            crash_at_append: Some(last_frame),
+            ..FaultPlan::default()
+        },
+        0xbead,
+    );
+    let acked = run_workload(&storage, 10, Durability::Always, None);
+    assert_eq!(acked, 9, "the torn commit must not be acked");
+
+    let db = open(&storage.crash_view(), Durability::Always).unwrap();
+    let t = db.last_commit_ts();
+    assert!(t == 9 || t == 10, "prefix of length {t}?");
+    assert_eq!(contents(&db), model_after(t));
+
+    // The repaired log accepts new commits immediately.
+    let mut s = db.session().unwrap();
+    s.insert(777, 7).unwrap();
+    assert_eq!(db.last_commit_ts(), t + 1);
+}
+
+#[test]
+fn double_recovery_is_idempotent_even_after_repair() {
+    let dry = FaultStorage::unfaulted();
+    run_workload(&dry, 12, Durability::Always, Some(5));
+    let mid = dry.appends() / 2;
+
+    let storage = FaultStorage::new(
+        FaultPlan {
+            crash_at_append: Some(mid),
+            ..FaultPlan::default()
+        },
+        0xd0d0,
+    );
+    run_workload(&storage, 12, Durability::Always, Some(5));
+    let view = storage.crash_view();
+
+    // First recovery repairs the torn tail in place...
+    let first = open(&view, Durability::Always).unwrap();
+    let (t1, c1) = (first.last_commit_ts(), contents(&first));
+    drop(first);
+    // ...so a second recovery of the same storage finds a clean log and
+    // reproduces the exact same state: replay is a no-op to re-run.
+    let second = open(&view, Durability::Always).unwrap();
+    assert_eq!(second.last_commit_ts(), t1);
+    assert_eq!(contents(&second), c1);
+    assert!(second.recovery().torn.is_none(), "repair already happened");
+}
+
+#[test]
+fn fsync_always_survives_power_loss() {
+    let storage = FaultStorage::new(
+        FaultPlan {
+            drop_unsynced: true,
+            ..FaultPlan::default()
+        },
+        0xacdc,
+    );
+    let acked = run_workload(&storage, 10, Durability::Always, None);
+    assert_eq!(acked, 10);
+    storage.crash_now(); // power failure: unsynced page cache is gone
+
+    let db = open(&storage.crash_view(), Durability::Always).unwrap();
+    assert_eq!(
+        db.last_commit_ts(),
+        10,
+        "fsync=Always: every acked commit is durable across power loss"
+    );
+    assert_eq!(contents(&db), model_after(10));
+}
+
+#[test]
+fn fsync_every_n_loses_at_most_the_unsynced_suffix() {
+    let storage = FaultStorage::new(
+        FaultPlan {
+            drop_unsynced: true,
+            ..FaultPlan::default()
+        },
+        0xeeee,
+    );
+    let acked = run_workload(&storage, 20, Durability::EveryN(4), None);
+    assert_eq!(acked, 20);
+    storage.crash_now();
+
+    let db = open(&storage.crash_view(), Durability::EveryN(4)).unwrap();
+    let t = db.last_commit_ts();
+    assert!(t <= 20);
+    assert!(
+        t >= 20 - 4,
+        "EveryN(4) may lose at most one unsynced group, kept {t}/20"
+    );
+    assert_eq!(contents(&db), model_after(t), "what survives is a prefix");
+}
+
+#[test]
+fn bit_flip_in_the_unsynced_tail_is_caught_by_crc() {
+    // Group commit leaves a multi-frame unsynced region for the flip to
+    // land in; the CRC must reject the damaged frame and keep the prefix.
+    let storage = FaultStorage::new(
+        FaultPlan {
+            bit_flip_on_crash: true,
+            ..FaultPlan::default()
+        },
+        0xf11b,
+    );
+    let acked = run_workload(&storage, 15, Durability::EveryN(5), None);
+    assert_eq!(acked, 15);
+    storage.crash_now();
+
+    let db = open(&storage.crash_view(), Durability::EveryN(5)).unwrap();
+    let t = db.last_commit_ts();
+    assert!(t <= 15, "a flipped frame must not replay");
+    assert_eq!(contents(&db), model_after(t));
+}
+
+/// Exhaustive crash-point sweep over a small single-writer workload with
+/// mid-run checkpoints: every write site (segment headers, frames,
+/// checkpoint bytes) gets its turn to die mid-append.
+#[test]
+fn crash_sweep_every_write_site_single_writer() {
+    const COMMITS: u64 = 12;
+    let dry = FaultStorage::unfaulted();
+    assert_eq!(
+        run_workload(&dry, COMMITS, Durability::Always, Some(5)),
+        COMMITS
+    );
+    let total = dry.appends();
+    assert!(total > COMMITS, "sweep covers more than just frame appends");
+
+    // `+ 2` covers the no-crash case (crash point past the last append).
+    for n in 0..total + 2 {
+        let storage = FaultStorage::new(
+            FaultPlan {
+                crash_at_append: Some(n),
+                ..FaultPlan::default()
+            },
+            0x5eed ^ n,
+        );
+        let acked = run_workload(&storage, COMMITS, Durability::Always, Some(5));
+        let db = match open(&storage.crash_view(), Durability::Always) {
+            Ok(db) => db,
+            Err(e) => panic!("crash point {n}: recovery must degrade gracefully, got {e}"),
+        };
+        let t = db.last_commit_ts();
+        assert!(
+            t >= acked,
+            "crash point {n}: lost acked commit ({t} < {acked})"
+        );
+        assert!(
+            t <= acked + 1,
+            "crash point {n}: more than the one in-flight commit appeared"
+        );
+        assert_eq!(
+            contents(&db),
+            model_after(t),
+            "crash point {n}: recovered state is not the prefix fold"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stress tier
+// ---------------------------------------------------------------------
+
+/// Concurrent writers on disjoint key ranges plus a checkpointer thread;
+/// returns per-writer acked-commit counts. Key `t * 1_000_000 + j` holds
+/// value `j`, so the recovered image decomposes per writer.
+fn run_concurrent(storage: &FaultStorage, writers: usize, per: u64) -> Vec<u64> {
+    let Ok(db) = open(storage, Durability::Always) else {
+        return vec![0; writers];
+    };
+    let db = &db;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..writers)
+            .map(|t| {
+                scope.spawn(move || {
+                    let Ok(mut session) = db.session() else {
+                        return 0u64;
+                    };
+                    let mut acked = 0;
+                    for j in 0..per {
+                        let key = t as u64 * 1_000_000 + j;
+                        match session.insert(key, j) {
+                            Ok(()) => acked += 1,
+                            Err(_) => break,
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+        let checkpointer = scope.spawn(move || {
+            for _ in 0..3 {
+                std::thread::sleep(Duration::from_micros(300));
+                if db.checkpoint().is_err() {
+                    break;
+                }
+            }
+        });
+        let acked: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        checkpointer.join().unwrap();
+        acked
+    })
+}
+
+/// The headline property test: sweep seeded crash points across fault
+/// plans while writers commit concurrently. After every crash, each
+/// writer's recovered keys must form a gapless prefix `0..k_t`, with
+/// `k_t >= acked_t` (fsync=Always durability) and at most one in-flight
+/// commit materialising across all writers.
+#[test]
+#[ignore = "stress tier: seeded crash-point sweep, run with --ignored in release"]
+fn crash_sweep_under_concurrent_writers_stress() {
+    const WRITERS: usize = 3;
+    const PER: u64 = 120;
+
+    let dry = FaultStorage::unfaulted();
+    let full = run_concurrent(&dry, WRITERS, PER);
+    assert_eq!(full, vec![PER; WRITERS], "dry run must not fail");
+    let total = dry.appends();
+
+    let plans = [
+        FaultPlan::default(),
+        FaultPlan {
+            drop_unsynced: true,
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            bit_flip_on_crash: true,
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            drop_unsynced: true,
+            bit_flip_on_crash: true,
+            ..FaultPlan::default()
+        },
+    ];
+
+    let stride = (total / 48).max(1);
+    for seed in [0x51de_0001u64, 0x51de_0002] {
+        for (pi, base) in plans.iter().enumerate() {
+            // Stagger the sweep start per plan/seed so the union of runs
+            // visits more distinct write sites than any single pass.
+            let mut n = (pi as u64 + seed % 5) % stride;
+            while n < total + 2 {
+                let plan = FaultPlan {
+                    crash_at_append: Some(n),
+                    ..base.clone()
+                };
+                let storage = FaultStorage::new(plan, seed ^ n);
+                let acked = run_concurrent(&storage, WRITERS, PER);
+
+                let db = match open(&storage.crash_view(), Durability::Always) {
+                    Ok(db) => db,
+                    Err(e) => panic!("plan {pi} seed {seed:#x} crash {n}: recovery failed: {e}"),
+                };
+                let snapshot = contents(&db);
+
+                let mut per_writer: Vec<Vec<u64>> = vec![Vec::new(); WRITERS];
+                for (key, value) in snapshot {
+                    let t = (key / 1_000_000) as usize;
+                    let j = key % 1_000_000;
+                    assert!(t < WRITERS, "foreign key {key} recovered");
+                    assert_eq!(value, j, "plan {pi} seed {seed:#x} crash {n}: value torn");
+                    per_writer[t].push(j);
+                }
+                let mut extra = 0u64;
+                for (t, js) in per_writer.iter().enumerate() {
+                    for (expect, got) in js.iter().enumerate() {
+                        assert_eq!(
+                            *got, expect as u64,
+                            "plan {pi} seed {seed:#x} crash {n}: writer {t} has a gap"
+                        );
+                    }
+                    let k_t = js.len() as u64;
+                    assert!(
+                        k_t >= acked[t],
+                        "plan {pi} seed {seed:#x} crash {n}: writer {t} lost an acked \
+                         commit ({k_t} < {})",
+                        acked[t]
+                    );
+                    extra += k_t - acked[t];
+                }
+                assert!(
+                    extra <= 1,
+                    "plan {pi} seed {seed:#x} crash {n}: {extra} in-flight commits \
+                     materialised (commit mutex allows at most one)"
+                );
+                n += stride;
+            }
+        }
+    }
+}
