@@ -26,6 +26,10 @@
 //! [`Durability::Off`] keeps today's in-memory behavior: writes go
 //! straight through the lock-free session path — no logging, no commit
 //! mutex, no fsync — and only an explicit checkpoint persists anything.
+//! Since `Off` commits never touch the commit clock, each `Off`
+//! checkpoint advances it by one instead, so successive checkpoints get
+//! distinct (monotone) file names and the newest-valid fallback keeps
+//! real redundancy.
 //!
 //! The raw [`Database`] stays reachable ([`DurableDatabase::database`])
 //! for reads, pools and diagnostics, but a *write* through it bypasses
@@ -308,6 +312,10 @@ where
             let mut session = db.session()?;
             if let Some(c) = &ckpt {
                 last_ts = c.ts;
+                // The checkpoint carries the tx-id high-water mark, so
+                // tx_id stays monotone across recoveries even when
+                // truncation has emptied the WAL tail.
+                next_tx = next_tx.max(c.next_tx);
                 report.checkpoint_ts = Some(c.ts);
                 report.checkpoint_entries = c.entries.len();
                 let mut pairs = Vec::with_capacity(c.entries.len());
@@ -329,6 +337,9 @@ where
                 });
             }
             for b in &replay.batches {
+                // Even checkpoint-covered (skipped) batches advance the
+                // tx-id high-water mark.
+                next_tx = next_tx.max(b.tx_id + 1);
                 if b.commit_ts <= last_ts {
                     report.skipped += 1;
                     continue;
@@ -348,7 +359,6 @@ where
                 });
                 report.replayed += 1;
                 last_ts = b.commit_ts;
-                next_tx = next_tx.max(b.tx_id + 1);
             }
         }
 
@@ -384,6 +394,8 @@ impl<P: TreeParams, M: VersionMaintenance> DurableDatabase<P, M> {
     }
 
     /// `commit_ts` of the most recent durable commit (0 = none yet).
+    /// Under [`Durability::Off`] this advances per *checkpoint*, not per
+    /// commit (see [`DurableDatabase::checkpoint`]).
     pub fn last_commit_ts(&self) -> u64 {
         self.clock().last_ts
     }
@@ -437,19 +449,30 @@ where
     /// proceed — precise GC keeps the pinned version alive at zero cost
     /// to them. Needs a free pid for the reading session; parks FIFO
     /// until one frees.
+    ///
+    /// Under [`Durability::Off`] commits bypass the commit clock, so the
+    /// clock is advanced *here* instead: each checkpoint gets a fresh,
+    /// strictly larger `commit_ts`, which keeps successive checkpoint
+    /// file names distinct (the newest-valid fallback needs the previous
+    /// image to still exist) — `last_commit_ts` then counts checkpoints
+    /// rather than commits.
     pub fn checkpoint(&self) -> Result<u64, DurableError> {
         let mut session = self.db.pool().acquire();
         // Pin the snapshot at a known clock value: no durable commit can
         // land between reading `last_ts` and acquiring the version.
-        let clock = self.clock();
+        let mut clock = self.clock();
+        if self.wal.is_none() {
+            clock.last_ts += 1;
+        }
         let ts = clock.last_ts;
+        let next_tx = clock.next_tx;
         let guard = session.begin_read();
         drop(clock);
 
         // Writers proceed from here; the walk goes at its own pace.
         let mut kb = Vec::new();
         let mut vb = Vec::new();
-        checkpoint::write_checkpoint(&*self.storage, ts, |w| {
+        checkpoint::write_checkpoint(&*self.storage, ts, next_tx, |w| {
             guard.snapshot().for_each(|k, v| {
                 kb.clear();
                 vb.clear();
@@ -582,8 +605,12 @@ where
             ops: encode_ops::<P>(&self.ops),
         };
         if let Err(e) = wal.append(&batch) {
-            // Nothing visible, nothing durable: release the speculative
-            // version and leave the database exactly as it was.
+            // The log rolled the frame back (or poisoned itself so no
+            // later append can bury it): nothing visible, nothing the
+            // next recovery would replay as acked. Release the
+            // speculative version and leave the database as it was;
+            // `commit_ts` is safe to reuse because the failed frame is
+            // off the log.
             db.forest().release(new_root);
             db.finish_txn(pid, &mut self.inner.released);
             self.inner.aborts += 1;
@@ -883,6 +910,112 @@ mod tests {
         let mut s = db.session().unwrap();
         assert_eq!(s.get(&1), Some(1), "checkpointed commit survives");
         assert_eq!(s.get(&2), None, "post-checkpoint Off commit is lost");
+    }
+
+    #[test]
+    fn failed_fsync_does_not_resurrect_the_aborted_commit() {
+        use mvcc_wal::FaultPlan;
+        // Commit A's fsync fails after its frame was appended: the log
+        // must roll the frame back so commit B can take the same
+        // commit_ts. Recovery must yield exactly B — the old bug replayed
+        // A and skipped B.
+        let storage = FaultStorage::new(
+            FaultPlan {
+                transient_sync_failures: 1,
+                ..FaultPlan::default()
+            },
+            29,
+        );
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig::default(),
+        )
+        .unwrap();
+        let mut s = db.session().unwrap();
+        let err = s.insert(1, 10).expect_err("first commit's fsync fails");
+        assert!(matches!(err, DurableError::Wal(WalError::Io { .. })));
+        s.insert(2, 20).unwrap();
+        assert_eq!(db.last_commit_ts(), 1);
+        drop(s);
+        drop(db);
+
+        let db = open(&storage, Durability::Always);
+        assert_eq!(db.recovery().replayed, 1);
+        let mut s = db.session().unwrap();
+        assert_eq!(s.get(&1), None, "the failed commit must not come back");
+        assert_eq!(s.get(&2), Some(20), "the acked commit must survive");
+    }
+
+    #[test]
+    fn off_checkpoints_rotate_names_and_keep_fallback_redundancy() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db = open(&storage, Durability::Off);
+            let mut s = db.session().unwrap();
+            s.insert(1, 1).unwrap();
+            let ts1 = db.checkpoint().unwrap();
+            s.insert(2, 2).unwrap();
+            let ts2 = db.checkpoint().unwrap();
+            assert!(ts2 > ts1, "Off checkpoints must get distinct names");
+            // Both published images exist: KEEP_CHECKPOINTS redundancy.
+            let cks: Vec<String> = storage
+                .list()
+                .unwrap()
+                .into_iter()
+                .filter(|n| n.ends_with(".ck"))
+                .collect();
+            assert_eq!(cks.len(), 2, "previous checkpoint destroyed: {cks:?}");
+        }
+        // Corrupt the newest: recovery falls back to the previous image.
+        let newest = storage
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.ends_with(".ck"))
+            .max()
+            .unwrap();
+        storage.truncate(&newest, 10).unwrap();
+        let db = open(&storage, Durability::Off);
+        let mut s = db.session().unwrap();
+        assert_eq!(s.get(&1), Some(1), "fallback image restores commit 1");
+        assert_eq!(s.get(&2), None, "newest (corrupt) image is not used");
+    }
+
+    #[test]
+    fn tx_ids_stay_monotone_across_checkpoint_recovery() {
+        // Tiny segments so every frame seals and the checkpoint leaves an
+        // empty WAL tail — next_tx must then come from the checkpoint.
+        let cfg = || DurableConfig {
+            segment_bytes: 1,
+            ..DurableConfig::default()
+        };
+        let storage = FaultStorage::unfaulted();
+        {
+            let db: DurableDatabase<U64Map> =
+                DurableDatabase::recover_storage(Arc::new(storage.clone()), 2, cfg()).unwrap();
+            let mut s = db.session().unwrap();
+            for k in 0..3u64 {
+                s.insert(k, k).unwrap(); // tx_id 1..=3
+            }
+            db.checkpoint().unwrap();
+        }
+        {
+            let db: DurableDatabase<U64Map> =
+                DurableDatabase::recover_storage(Arc::new(storage.clone()), 2, cfg()).unwrap();
+            assert_eq!(db.recovery().replayed, 0, "tail fully truncated");
+            db.session().unwrap().insert(9, 9).unwrap(); // must be tx_id 4
+        }
+        let (_, replay) = mvcc_wal::Wal::open(
+            Arc::new(storage.clone()),
+            mvcc_wal::WalConfig {
+                segment_bytes: 1,
+                ..mvcc_wal::WalConfig::default()
+            },
+        )
+        .unwrap();
+        let tx: Vec<u64> = replay.batches.iter().map(|b| b.tx_id).collect();
+        assert_eq!(tx, vec![4], "tx_id restarted instead of staying monotone");
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! previous one (plus a longer WAL replay), never to a failure.
 //!
 //! ```text
-//! checkpoint := b"MVCKPT01" [ts: u64 le] [count: u64 le] entry*
+//! checkpoint := b"MVCKPT02" [ts: u64 le] [next_tx: u64 le]
+//!               [count: u64 le] entry*
 //!               [crc32(everything before): u32 le]
 //! entry      := [klen: u32 le] key [vlen: u32 le] value
 //! ```
@@ -24,7 +25,7 @@
 use crate::frame::{crc32, Reader};
 use crate::{io_err, Storage, WalError};
 
-const CKPT_MAGIC: &[u8; 8] = b"MVCKPT01";
+const CKPT_MAGIC: &[u8; 8] = b"MVCKPT02";
 /// Published checkpoints kept after a successful write (newest first);
 /// older ones are pruned.
 const KEEP_CHECKPOINTS: usize = 2;
@@ -51,6 +52,11 @@ pub struct Checkpoint {
     /// The commit timestamp the image is a snapshot of: every batch with
     /// `commit_ts <= ts` is reflected, none after.
     pub ts: u64,
+    /// The transaction-id high-water mark at `ts`: the next `tx_id` the
+    /// commit clock would assign. Recovery takes the max of this and the
+    /// replayed tail so `tx_id` stays monotone even when checkpoint
+    /// truncation has left the WAL tail empty.
+    pub next_tx: u64,
     /// The full key/value contents at `ts`, in the order the writer
     /// emitted them (key order, for the transactional layer's walk).
     pub entries: Vec<(Vec<u8>, Vec<u8>)>,
@@ -92,6 +98,7 @@ impl CheckpointWriter {
 pub fn write_checkpoint(
     storage: &dyn Storage,
     ts: u64,
+    next_tx: u64,
     fill: impl FnOnce(&mut CheckpointWriter) -> Result<(), WalError>,
 ) -> Result<String, WalError> {
     let mut w = CheckpointWriter {
@@ -100,10 +107,11 @@ pub fn write_checkpoint(
     };
     w.buf.extend_from_slice(CKPT_MAGIC);
     w.buf.extend_from_slice(&ts.to_le_bytes());
+    w.buf.extend_from_slice(&next_tx.to_le_bytes());
     w.buf.extend_from_slice(&0u64.to_le_bytes()); // count, patched below
     fill(&mut w)?;
     let count = w.count;
-    w.buf[16..24].copy_from_slice(&count.to_le_bytes());
+    w.buf[24..32].copy_from_slice(&count.to_le_bytes());
     let crc = crc32(&w.buf);
     w.buf.extend_from_slice(&crc.to_le_bytes());
 
@@ -152,7 +160,7 @@ fn prune(storage: &dyn Storage) -> Result<(), WalError> {
 }
 
 fn decode(data: &[u8]) -> Option<Checkpoint> {
-    if data.len() < CKPT_MAGIC.len() + 16 + 4 || &data[..8] != CKPT_MAGIC {
+    if data.len() < CKPT_MAGIC.len() + 24 + 4 || &data[..8] != CKPT_MAGIC {
         return None;
     }
     let (body, trailer) = data.split_at(data.len() - 4);
@@ -162,6 +170,7 @@ fn decode(data: &[u8]) -> Option<Checkpoint> {
     }
     let mut r = Reader::new(&body[8..]);
     let ts = r.u64()?;
+    let next_tx = r.u64()?;
     let count = r.u64()?;
     let mut entries = Vec::with_capacity((count as usize).min(body.len()));
     for _ in 0..count {
@@ -174,7 +183,11 @@ fn decode(data: &[u8]) -> Option<Checkpoint> {
     if !r.is_empty() {
         return None;
     }
-    Some(Checkpoint { ts, entries })
+    Some(Checkpoint {
+        ts,
+        next_tx,
+        entries,
+    })
 }
 
 /// Load the newest valid published checkpoint, falling back across
@@ -211,7 +224,7 @@ mod tests {
     use crate::FaultStorage;
 
     fn write(storage: &FaultStorage, ts: u64, n: u64) -> String {
-        write_checkpoint(storage, ts, |w| {
+        write_checkpoint(storage, ts, ts + 1, |w| {
             for i in 0..n {
                 w.entry(&i.to_le_bytes(), format!("v{i}@{ts}").as_bytes());
             }
@@ -227,6 +240,7 @@ mod tests {
         write(&storage, 25, 5);
         let ckpt = load_latest(&storage).unwrap().expect("checkpoint");
         assert_eq!(ckpt.ts, 25);
+        assert_eq!(ckpt.next_tx, 26, "tx high-water mark round-trips");
         assert_eq!(ckpt.entries.len(), 5);
         assert_eq!(ckpt.entries[2].1, b"v2@25");
     }
@@ -270,9 +284,10 @@ mod tests {
     #[test]
     fn empty_checkpoint_roundtrips() {
         let storage = FaultStorage::unfaulted();
-        write_checkpoint(&storage, 0, |_| Ok(())).unwrap();
+        write_checkpoint(&storage, 0, 1, |_| Ok(())).unwrap();
         let ckpt = load_latest(&storage).unwrap().expect("empty checkpoint");
         assert_eq!(ckpt.ts, 0);
+        assert_eq!(ckpt.next_tx, 1);
         assert!(ckpt.entries.is_empty());
     }
 }

@@ -1,5 +1,6 @@
 //! Fault-injection storage: an in-memory [`Storage`] double that can
-//! tear writes, drop unsynced bytes, flip bits and die at any write site.
+//! tear writes, fail fsyncs, drop unsynced bytes, flip bits and die at
+//! any write or sync site.
 //!
 //! The crash model mirrors a real kernel's: an `append` lands in the
 //! "page cache" (the in-memory buffer) immediately, and `sync` advances
@@ -46,6 +47,14 @@ pub struct FaultPlan {
     /// The Nth `read` call returns only a seeded prefix of the file — a
     /// short read the replay path must treat as a torn tail.
     pub short_read_at: Option<u64>,
+    /// Crash *during* the Nth `sync` call (0-based): the durable
+    /// watermark does not advance, the call fails, and the storage is
+    /// frozen — the fsync-failure analogue of `crash_at_append`.
+    pub crash_at_sync: Option<u64>,
+    /// The first N `sync` calls fail transiently (the watermark does not
+    /// advance); syncs after that succeed. Exercises the post-append
+    /// rollback path in [`crate::Wal::append`].
+    pub transient_sync_failures: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -60,6 +69,7 @@ struct Inner {
     plan: FaultPlan,
     appends: u64,
     reads: u64,
+    syncs: u64,
     crashed: bool,
     rng: u64,
 }
@@ -101,6 +111,7 @@ impl FaultStorage {
                 plan,
                 appends: 0,
                 reads: 0,
+                syncs: 0,
                 crashed: false,
                 rng: seed | 1,
             })),
@@ -121,6 +132,12 @@ impl FaultStorage {
     /// write-site count, then sweep `crash_at_append` over `0..count`.
     pub fn appends(&self) -> u64 {
         self.lock().appends
+    }
+
+    /// Total `sync` calls observed so far (crashed or not) — the
+    /// `crash_at_sync` analogue of [`FaultStorage::appends`].
+    pub fn syncs(&self) -> u64 {
+        self.lock().syncs
     }
 
     /// Has an injected crash frozen this storage?
@@ -170,6 +187,7 @@ impl FaultStorage {
                 plan: FaultPlan::default(),
                 appends: 0,
                 reads: 0,
+                syncs: 0,
                 crashed: false,
                 rng: seed | 1,
             })),
@@ -213,6 +231,17 @@ impl Storage for FaultStorage {
     fn sync(&self, name: &str) -> io::Result<()> {
         let mut inner = self.lock();
         if inner.crashed {
+            return Err(crashed_err());
+        }
+        let n = inner.syncs;
+        inner.syncs += 1;
+        if n < inner.plan.transient_sync_failures {
+            return Err(transient_err());
+        }
+        if inner.plan.crash_at_sync == Some(n) {
+            // The watermark never advances: whatever was unsynced is at
+            // the mercy of `drop_unsynced` at crash-view time.
+            inner.crashed = true;
             return Err(crashed_err());
         }
         match inner.files.get_mut(name) {
@@ -382,6 +411,27 @@ mod tests {
         assert!(s.append("f", b"x").is_err());
         s.append("f", b"x").unwrap();
         assert_eq!(s.read("f").unwrap(), b"x", "failed attempts wrote nothing");
+    }
+
+    #[test]
+    fn sync_faults_fail_without_advancing_the_watermark() {
+        let s = FaultStorage::new(
+            FaultPlan {
+                transient_sync_failures: 1,
+                crash_at_sync: Some(1),
+                drop_unsynced: true,
+                ..FaultPlan::default()
+            },
+            21,
+        );
+        s.append("f", b"data").unwrap();
+        assert!(s.sync("f").is_err(), "sync 0 fails transiently");
+        assert!(!s.crashed());
+        assert!(s.sync("f").is_err(), "sync 1 crashes");
+        assert!(s.crashed());
+        assert_eq!(s.syncs(), 2);
+        // Neither sync advanced the watermark: power loss drops it all.
+        assert_eq!(s.crash_view().read("f").unwrap(), b"");
     }
 
     #[test]

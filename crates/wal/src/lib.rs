@@ -158,6 +158,13 @@ pub enum WalError {
         /// What failed to validate.
         reason: &'static str,
     },
+    /// A post-append failure (fsync or segment roll) could not be rolled
+    /// back, so the log's tail holds a frame that was never acknowledged
+    /// and cannot be removed. The log refuses all further appends —
+    /// writing past that frame could resurrect the unacknowledged commit
+    /// after a crash. Re-open the log ([`Wal::open`]) to repair and
+    /// resume.
+    Poisoned,
 }
 
 impl std::fmt::Display for WalError {
@@ -173,6 +180,13 @@ impl std::fmt::Display for WalError {
             } => {
                 write!(f, "corrupt record in {name:?} at byte {offset}: {reason}")
             }
+            WalError::Poisoned => {
+                write!(
+                    f,
+                    "write-ahead log poisoned by an unrecoverable append failure; \
+                     re-open to repair"
+                )
+            }
         }
     }
 }
@@ -181,7 +195,7 @@ impl std::error::Error for WalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WalError::Io { source, .. } => Some(source),
-            WalError::Corrupt { .. } => None,
+            WalError::Corrupt { .. } | WalError::Poisoned => None,
         }
     }
 }

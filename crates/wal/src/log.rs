@@ -90,6 +90,11 @@ struct WalInner {
     appends_since_sync: u64,
     /// Reusable frame-encoding buffer.
     scratch: Vec<u8>,
+    /// Set when a post-append failure could not be rolled back: the tail
+    /// holds an unacknowledged frame we cannot remove, so every further
+    /// append (which would write *past* it and make it replayable as a
+    /// committed prefix) is refused with [`WalError::Poisoned`].
+    poisoned: bool,
 }
 
 /// An append-only write-ahead log over a [`Storage`].
@@ -217,6 +222,7 @@ impl Wal {
                 cur,
                 appends_since_sync: 0,
                 scratch: Vec::new(),
+                poisoned: false,
             }),
         };
         Ok((wal, replay))
@@ -246,45 +252,89 @@ impl Wal {
 
     /// Append one committed batch, honoring the fsync policy. On success
     /// the batch is in the log (and durable, under `FsyncPolicy::Always`);
-    /// on `Err` the log is exactly as it was — partial bytes from failed
-    /// attempts are rolled back (or, if even the rollback failed, left as
-    /// a torn tail that the next recovery truncates).
+    /// on `Err` the log is exactly as it was: partial bytes from failed
+    /// append attempts are rolled back, and a frame whose *post*-append
+    /// fsync or segment roll failed is truncated back off the segment. If
+    /// even that rollback fails the log poisons itself — every further
+    /// append returns [`WalError::Poisoned`] — so an unacknowledged frame
+    /// can never end up buried under acknowledged ones (re-opening the
+    /// log repairs and resumes).
     pub fn append(&self, batch: &WalBatch) -> Result<(), WalError> {
-        let mut inner = self.lock();
-        let inner = &mut *inner;
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        if inner.poisoned {
+            return Err(WalError::Poisoned);
+        }
         inner.scratch.clear();
         batch.encode_frame(&mut inner.scratch);
         let name = inner.cur.name();
+        let prev = inner.cur.clone();
+        let prev_since_sync = inner.appends_since_sync;
         append_retry(&self.storage, &self.cfg.retry, &name, &inner.scratch)?;
         inner.cur.bytes += inner.scratch.len() as u64;
         inner.cur.batches += 1;
         inner.cur.last_ts = batch.commit_ts;
         inner.appends_since_sync += 1;
 
-        let flush = match self.cfg.fsync {
-            FsyncPolicy::Always => true,
-            FsyncPolicy::EveryN(n) => inner.appends_since_sync >= n.max(1),
-            FsyncPolicy::Off => false,
-        };
-        if flush {
-            self.storage
-                .sync(&name)
-                .map_err(|e| io_err("sync", &name, e))?;
-            inner.appends_since_sync = 0;
-        }
-
-        if inner.cur.bytes >= self.cfg.segment_bytes {
-            // Seal and roll. Sync the sealed segment first so truncation
-            // bookkeeping never outruns durability.
-            if !flush && self.cfg.fsync != FsyncPolicy::Off {
+        // The frame is in the log; fsync it per policy and roll the
+        // segment if full. Any failure past this point must not surface
+        // with the frame still appended (the caller treats `Err` as "the
+        // commit did not happen", so a lingering frame would be
+        // resurrected by the next recovery).
+        let res = (|| -> Result<(), WalError> {
+            let flush = match self.cfg.fsync {
+                FsyncPolicy::Always => true,
+                FsyncPolicy::EveryN(n) => inner.appends_since_sync >= n.max(1),
+                FsyncPolicy::Off => false,
+            };
+            if flush {
                 self.storage
                     .sync(&name)
                     .map_err(|e| io_err("sync", &name, e))?;
                 inner.appends_since_sync = 0;
             }
-            let next = Self::create_segment(&self.storage, &self.cfg.retry, inner.cur.seq + 1)?;
-            let sealed = std::mem::replace(&mut inner.cur, next);
-            inner.sealed.push(sealed);
+
+            if inner.cur.bytes >= self.cfg.segment_bytes {
+                // Seal and roll. Sync the sealed segment first so
+                // truncation bookkeeping never outruns durability.
+                if !flush && self.cfg.fsync != FsyncPolicy::Off {
+                    self.storage
+                        .sync(&name)
+                        .map_err(|e| io_err("sync", &name, e))?;
+                    inner.appends_since_sync = 0;
+                }
+                let next = Self::create_segment(&self.storage, &self.cfg.retry, inner.cur.seq + 1)?;
+                let sealed = std::mem::replace(&mut inner.cur, next);
+                inner.sealed.push(sealed);
+            }
+            Ok(())
+        })();
+
+        if let Err(e) = res {
+            // Take the frame back off the segment (and remove any
+            // partially created next segment) so `Err` means the log is
+            // unchanged. If the cleanup itself fails the tail is in a
+            // state we can no longer reason about: poison the log.
+            let next_name = segment_name(prev.seq + 1);
+            let cleanup = (|| -> io::Result<()> {
+                self.storage.truncate(&name, prev.bytes)?;
+                match self.storage.len(&next_name) {
+                    Ok(_) => self.storage.remove(&next_name),
+                    Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(()),
+                    Err(err) => Err(err),
+                }
+            })();
+            match cleanup {
+                Ok(()) => {
+                    inner.cur = prev;
+                    // A successful mid-path sync may be forgotten here;
+                    // that only schedules the next group fsync early,
+                    // which is always safe.
+                    inner.appends_since_sync = prev_since_sync;
+                }
+                Err(_) => inner.poisoned = true,
+            }
+            return Err(e);
         }
         Ok(())
     }
@@ -293,6 +343,9 @@ impl Wal {
     /// `EveryN` group).
     pub fn sync(&self) -> Result<(), WalError> {
         let mut inner = self.lock();
+        if inner.poisoned {
+            return Err(WalError::Poisoned);
+        }
         let name = inner.cur.name();
         self.storage
             .sync(&name)
@@ -527,6 +580,57 @@ mod tests {
             WalError::Io { op: "append", .. } => {}
             other => panic!("expected append Io error, got {other}"),
         }
+    }
+
+    #[test]
+    fn failed_fsync_rolls_the_frame_back_off_the_log() {
+        // The frame append succeeds but its fsync fails: `append` must
+        // return Err with the log *unchanged*, so the caller may safely
+        // reuse the commit_ts — the failed frame must never replay.
+        let storage = FaultStorage::new(
+            FaultPlan {
+                transient_sync_failures: 1,
+                ..FaultPlan::default()
+            },
+            19,
+        );
+        let (wal, _) = open_mem(&storage, WalConfig::default());
+        let err = wal
+            .append(&batch(1))
+            .expect_err("sync was injected to fail");
+        assert!(matches!(err, WalError::Io { op: "sync", .. }), "{err}");
+        // Same commit_ts again, as the transactional layer would do.
+        wal.append(&batch(1)).unwrap();
+        drop(wal);
+        let (_, replay) = open_mem(&storage, WalConfig::default());
+        assert!(replay.torn.is_none());
+        let ts: Vec<u64> = replay.batches.iter().map(|b| b.commit_ts).collect();
+        assert_eq!(ts, vec![1], "exactly one ts=1 frame survives");
+    }
+
+    #[test]
+    fn unrollbackable_fsync_failure_poisons_the_log() {
+        // The fsync crashes the storage, so the rollback truncate fails
+        // too: the log must refuse all further appends (the orphan frame
+        // cannot be buried under acknowledged ones).
+        let storage = FaultStorage::new(
+            FaultPlan {
+                crash_at_sync: Some(0),
+                ..FaultPlan::default()
+            },
+            23,
+        );
+        let (wal, _) = open_mem(&storage, WalConfig::default());
+        let err = wal.append(&batch(1)).expect_err("sync crashes");
+        assert!(matches!(err, WalError::Io { op: "sync", .. }), "{err}");
+        assert!(matches!(wal.append(&batch(1)), Err(WalError::Poisoned)));
+        assert!(matches!(wal.sync(), Err(WalError::Poisoned)));
+        // Recovery repairs: at most the one orphan frame replays, and the
+        // reopened log accepts appends again.
+        let view = storage.crash_view();
+        let (wal, replay) = open_mem(&view, WalConfig::default());
+        assert!(replay.batches.len() <= 1);
+        wal.append(&batch(replay.batches.len() as u64 + 1)).unwrap();
     }
 
     #[test]

@@ -71,6 +71,16 @@ impl DirStorage {
         self.dir.join(name)
     }
 
+    /// Fsync the directory itself so file creations, renames and removals
+    /// (directory-entry metadata, not file data) survive a crash. Without
+    /// this a published checkpoint rename or a fresh WAL segment can
+    /// vanish on power loss even though every *file* was fsynced.
+    fn sync_dir(&self) -> io::Result<()> {
+        #[cfg(unix)]
+        File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
     fn with_handle<R>(
         &self,
         name: &str,
@@ -78,10 +88,14 @@ impl DirStorage {
     ) -> io::Result<R> {
         let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
         if !handles.contains_key(name) {
-            let file = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(self.path(name))?;
+            let path = self.path(name);
+            let created = !path.exists();
+            let file = OpenOptions::new().create(true).append(true).open(path)?;
+            if created {
+                // The new file's directory entry must be durable before
+                // any acked bytes inside it.
+                self.sync_dir()?;
+            }
             handles.insert(name.to_string(), file);
         }
         f(handles.get_mut(name).expect("inserted above"))
@@ -121,13 +135,17 @@ impl Storage for DirStorage {
 
     fn remove(&self, name: &str) -> io::Result<()> {
         self.drop_handle(name);
-        std::fs::remove_file(self.path(name))
+        std::fs::remove_file(self.path(name))?;
+        self.sync_dir()
     }
 
     fn rename(&self, from: &str, to: &str) -> io::Result<()> {
         self.drop_handle(from);
         self.drop_handle(to);
-        std::fs::rename(self.path(from), self.path(to))
+        std::fs::rename(self.path(from), self.path(to))?;
+        // The rename is the publication point (checkpoints): make the
+        // directory entry durable before reporting success.
+        self.sync_dir()
     }
 
     fn list(&self) -> io::Result<Vec<String>> {

@@ -295,6 +295,58 @@ fn crash_sweep_every_write_site_single_writer() {
     }
 }
 
+/// Fsync-failure crash sweep: every sync site (frame flushes and
+/// checkpoint seals) dies in turn, with and without power loss on top.
+/// A commit whose fsync failed is never acked, so it must either vanish
+/// (power loss) or count as the single in-flight commit — and the WAL's
+/// rollback/poisoning must keep later recoveries prefix-consistent.
+#[test]
+fn crash_sweep_every_sync_site_single_writer() {
+    const COMMITS: u64 = 12;
+    let dry = FaultStorage::unfaulted();
+    assert_eq!(
+        run_workload(&dry, COMMITS, Durability::Always, Some(5)),
+        COMMITS
+    );
+    let total = dry.syncs();
+    assert!(total >= COMMITS, "fsync=Always must sync every commit");
+
+    for drop_unsynced in [false, true] {
+        // `+ 1` covers the no-crash case (crash point past the last sync).
+        for n in 0..total + 1 {
+            let storage = FaultStorage::new(
+                FaultPlan {
+                    crash_at_sync: Some(n),
+                    drop_unsynced,
+                    ..FaultPlan::default()
+                },
+                0xf5ec ^ n,
+            );
+            let acked = run_workload(&storage, COMMITS, Durability::Always, Some(5));
+            let db = match open(&storage.crash_view(), Durability::Always) {
+                Ok(db) => db,
+                Err(e) => {
+                    panic!("sync crash {n} (drop={drop_unsynced}): recovery failed: {e}")
+                }
+            };
+            let t = db.last_commit_ts();
+            assert!(
+                t >= acked,
+                "sync crash {n} (drop={drop_unsynced}): lost acked commit ({t} < {acked})"
+            );
+            assert!(
+                t <= acked + 1,
+                "sync crash {n} (drop={drop_unsynced}): more than one in-flight commit"
+            );
+            assert_eq!(
+                contents(&db),
+                model_after(t),
+                "sync crash {n} (drop={drop_unsynced}): recovered state is not the prefix fold"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Stress tier
 // ---------------------------------------------------------------------
