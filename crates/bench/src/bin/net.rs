@@ -1,0 +1,165 @@
+//! Network front-end benchmark: admission-wait tails when connections
+//! outnumber pids 4×, sync-thread vs async-admission.
+//!
+//! Both configurations offer the *same* open-loop Poisson load (per
+//! client, exponential gaps around `MVCC_NET_MEAN_US`) against the same
+//! router shape, and both report the tail of the time a request spent
+//! waiting for a session:
+//!
+//! * `sync_thread` — one OS thread per client blocking in
+//!   `Router::session` (the PR-3 path): the wait is measured around the
+//!   blocking acquire, and every waiter costs a parked thread.
+//! * `async_admission` — the same clients as TCP connections against an
+//!   `mvcc-net` server: requests park as futures in the shard admission
+//!   queues (server-side wait samples), and the only thread is the
+//!   server's poll loop. Client-observed round-trip time is reported
+//!   alongside, since the wire adds loopback syscalls on top.
+//!
+//! Results land in `BENCH_net.json` at the repo root (companion to
+//! `BENCH_oversub.json`).
+//!
+//! ```sh
+//! MVCC_PIDS=4 MVCC_SHARDS=2 MVCC_NET_CONNS=32 MVCC_NET_REQS=200 \
+//!     cargo run --release -p mvcc-bench --bin net
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mvcc_bench::env_u64;
+use mvcc_bench::json::{self, JsonWriter};
+use mvcc_core::Router;
+use mvcc_ftree::U64Map;
+use mvcc_net::{Client, Server};
+use mvcc_workloads::oversub::{run_oversubscribed_with, Arrivals, LatencySummary};
+
+fn summary_json(name: &str, s: &LatencySummary, jw: &mut JsonWriter) {
+    jw.begin_object(name);
+    jw.field_u64("count", s.count);
+    jw.field_u64("mean", s.mean_ns);
+    jw.field_u64("p50", s.p50_ns);
+    jw.field_u64("p90", s.p90_ns);
+    jw.field_u64("p99", s.p99_ns);
+    jw.field_u64("p999", s.p999_ns);
+    jw.field_u64("max", s.max_ns);
+    jw.end_object();
+}
+
+fn throughput_rps(requests: u64, elapsed: Duration) -> u64 {
+    (requests as f64 / elapsed.as_secs_f64()) as u64
+}
+
+fn main() {
+    let pids = env_u64("MVCC_PIDS", 4) as usize;
+    let shards = env_u64("MVCC_SHARDS", 2) as usize;
+    let capacity = shards * pids;
+    let conns = env_u64("MVCC_NET_CONNS", 4 * capacity as u64) as usize;
+    let reqs = env_u64("MVCC_NET_REQS", 200) as usize;
+    let mean = Duration::from_micros(env_u64("MVCC_NET_MEAN_US", 200));
+    let seed = env_u64("MVCC_NET_SEED", 0x5EED);
+    let arrivals = Arrivals::OpenPoisson { mean, seed };
+
+    println!(
+        "net front end: {conns} clients over {shards}x{pids} pids \
+         ({:.1}x oversubscribed), {reqs} reqs/client, Poisson mean {mean:?}",
+        conns as f64 / capacity as f64,
+    );
+
+    // --- sync-thread path: blocking acquire per client thread -----------
+    let router: Router<U64Map> = Router::new(shards, pids);
+    let sync = run_oversubscribed_with(
+        conns,
+        reqs,
+        arrivals,
+        |c| router.session(&c),
+        |s, c, i| {
+            let k = (c * reqs + i) as u64;
+            s.insert(k, k);
+            s.get(&k);
+        },
+    );
+    assert_eq!(router.sessions_leased(), 0, "all shard pids returned");
+    println!("  sync_thread     wait {}", sync.wait);
+
+    // --- async-admission path: the same load over the wire --------------
+    let router = Arc::new(Router::<U64Map>::new(shards, pids));
+    let handle = Server::start(Arc::clone(&router), "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.addr();
+
+    let t0 = Instant::now();
+    let rtts: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let schedule = arrivals.schedule(c, reqs).expect("open loop");
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut rtts = Vec::with_capacity(reqs);
+                    let base = Instant::now();
+                    for (i, due) in schedule.into_iter().enumerate() {
+                        if let Some(slack) = (base + due).checked_duration_since(Instant::now()) {
+                            std::thread::sleep(slack);
+                        }
+                        let k = (c * reqs + i) as u64;
+                        let t = Instant::now();
+                        client.put(k, k).expect("put");
+                        rtts.push(t.elapsed().as_nanos() as u64);
+                    }
+                    rtts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let net_elapsed = t0.elapsed();
+
+    let mut wait_samples = handle.server().take_wait_samples();
+    let stats = handle.server().stats();
+    handle.shutdown().expect("clean server shutdown");
+    assert_eq!(router.sessions_leased(), 0, "no pids leaked by the server");
+    assert_eq!(stats.fifo_violations, 0, "admission stayed FIFO");
+
+    let async_wait = LatencySummary::from_ns(&mut wait_samples);
+    let mut all_rtts: Vec<u64> = rtts.into_iter().flatten().collect();
+    let total_reqs = all_rtts.len() as u64;
+    let rtt = LatencySummary::from_ns(&mut all_rtts);
+    println!("  async_admission wait {async_wait}");
+    println!("  async_admission rtt  {rtt}");
+
+    let mut jw = JsonWriter::bench("net_front_end");
+    jw.field_u64("pids", pids as u64);
+    jw.field_u64("shards", shards as u64);
+    jw.field_u64("conns", conns as u64);
+    jw.field_u64("reqs_per_conn", reqs as u64);
+    jw.field_u128("poisson_mean_us", mean.as_micros());
+    jw.field_u64("seed", seed);
+    jw.field_u64(
+        "host_threads",
+        std::thread::available_parallelism().map_or(0, |n| n.get()) as u64,
+    );
+    jw.begin_object("configs");
+
+    jw.begin_object("sync_thread");
+    jw.field_u64("clients", sync.clients as u64);
+    jw.field_u64("requests", sync.acquires);
+    jw.field_u128("elapsed_ms", sync.elapsed.as_millis());
+    jw.field_u64(
+        "throughput_rps",
+        throughput_rps(sync.acquires, sync.elapsed),
+    );
+    summary_json("wait_ns", &sync.wait, &mut jw);
+    jw.end_object();
+
+    jw.begin_object("async_admission");
+    jw.field_u64("clients", conns as u64);
+    jw.field_u64("requests", total_reqs);
+    jw.field_u128("elapsed_ms", net_elapsed.as_millis());
+    jw.field_u64("throughput_rps", throughput_rps(total_reqs, net_elapsed));
+    jw.field_u64("served", stats.requests);
+    jw.field_u64("fifo_violations", stats.fifo_violations);
+    summary_json("wait_ns", &async_wait, &mut jw);
+    summary_json("rtt_ns", &rtt, &mut jw);
+    jw.end_object();
+
+    jw.end_object();
+    json::write_repo_root("BENCH_net.json", &jw.finish());
+}

@@ -43,6 +43,7 @@ fn report_json(name: &str, r: &OversubReport, jw: &mut JsonWriter) {
     jw.field_u64("p50", w.p50_ns);
     jw.field_u64("p90", w.p90_ns);
     jw.field_u64("p99", w.p99_ns);
+    jw.field_u64("p999", w.p999_ns);
     jw.field_u64("max", w.max_ns);
     jw.end_object();
     jw.end_object();

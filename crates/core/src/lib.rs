@@ -168,7 +168,7 @@ pub use mvcc_vm as vm;
 /// the pool is exhausted or the requested pid is already leased.
 pub use mvcc_vm::LeaseError as SessionError;
 pub use mvcc_wal as wal;
-pub use pool::{AcquireTimeout, Router, SessionPool};
+pub use pool::{AcquireFuture, AcquireState, AcquireTimeout, Router, SessionPool};
 pub use session::{Session, SessionReadGuard, WriteTxn};
 
 #[inline]

@@ -24,6 +24,36 @@
 //! naming in the paper's VM problem): the bound stays, a queue and a
 //! hash in front of it hide it from callers.
 //!
+//! # Async admission
+//!
+//! [`SessionPool::acquire`] parks an OS thread per waiter, which caps
+//! concurrent logical sessions at thread-count scale. The async face of
+//! the same queue — [`SessionPool::acquire_async`] returning an
+//! [`AcquireFuture`], with [`SessionPool::poll_acquire`] as the
+//! poll-level form — parks a [`std::task::Waker`] instead, so thousands
+//! of pending admissions cost a queue entry each, not a stack. The
+//! contract, point by point:
+//!
+//! * **One queue, one order.** Sync and async waiters draw tickets from
+//!   the same monotone dispenser and are served strictly
+//!   first-come-first-served; mixing the two modes cannot reorder
+//!   admission.
+//! * **One wake per release.** A dropping [`Session`] wakes exactly the
+//!   front waiter (unpark for a thread, `Waker::wake` for a task) — no
+//!   thundering herd in either mode.
+//! * **Cancellation hands off.** Dropping a pending [`AcquireFuture`]
+//!   surrenders its ticket; if the dropped waiter was the front (so a
+//!   release's single wake may have been spent on it), the wake is
+//!   forwarded to the next waiter. A cancelled admission can never
+//!   strand the queue or leak a pid.
+//! * **Re-poll replaces the waker.** A future migrating between tasks
+//!   keeps exactly one registered waker — the most recent poll's.
+//!
+//! No executor ships with the pool (and none is required): [`block_on`]
+//! drives one future from sync code, and the `mvcc-net` crate's
+//! readiness loop multiplexes thousands of connection-bound admissions
+//! onto one thread.
+//!
 //! # Fairness
 //!
 //! Waiters in [`SessionPool::acquire`] are served strictly
@@ -61,8 +91,11 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::future::Future;
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, MutexGuard};
+use std::pin::Pin;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::task::{Context, Poll, Waker};
 use std::thread::Thread;
 use std::time::{Duration, Instant};
 
@@ -107,12 +140,38 @@ pub(crate) struct WaitQueue {
     inner: Mutex<QueueInner>,
 }
 
+/// How a queued waiter is told "you are front; re-check for a pid".
+///
+/// The sync path ([`SessionPool::acquire`]) parks an OS thread and is
+/// woken by `unpark`; the async path ([`SessionPool::poll_acquire`])
+/// registers the polling task's [`Waker`]. Both share one queue, one
+/// ticket dispenser and therefore one strict FIFO order — a release
+/// wakes whichever kind is at the front, exactly once.
+enum WakeHandle {
+    /// A parked client thread (`unpark`'s saved-permit semantics close
+    /// the wake/park race for this arm).
+    Thread(Thread),
+    /// An async task; `Waker::wake_by_ref` schedules its next poll. A
+    /// woken-but-not-yet-polled future that is dropped forwards the
+    /// stolen wake from its `Drop` (see [`AcquireState`]).
+    Task(Waker),
+}
+
+impl WakeHandle {
+    fn wake(&self) {
+        match self {
+            WakeHandle::Thread(t) => t.unpark(),
+            WakeHandle::Task(w) => w.wake_by_ref(),
+        }
+    }
+}
+
 struct Waiter {
     /// Ticket from the monotone dispenser; FIFO position key.
     ticket: u64,
-    /// The parked client thread, woken by `unpark` when it reaches the
-    /// front (or was front already) and should re-check for a pid.
-    thread: Thread,
+    /// Woken when this waiter reaches the front (or was front already)
+    /// and should re-check for a pid.
+    wake: WakeHandle,
 }
 
 struct QueueInner {
@@ -124,9 +183,9 @@ struct QueueInner {
 
 impl QueueInner {
     /// Wake the waiter currently at the front, if any.
-    fn unpark_front(&self) {
+    fn wake_front(&self) {
         if let Some(w) = self.queue.front() {
-            w.thread.unpark();
+            w.wake.wake();
         }
     }
 }
@@ -148,16 +207,30 @@ impl WaitQueue {
     }
 
     /// A pid freed: wake the front waiter to claim it. Taking the queue
-    /// lock is load-bearing even though `unpark` itself never loses a
-    /// wake: it orders this notify against waiters mid-enqueue, so the
-    /// front we see is the front that exists.
+    /// lock is load-bearing even though `unpark`/`wake` itself never
+    /// loses a wake: it orders this notify against waiters mid-enqueue,
+    /// so the front we see is the front that exists.
     pub(crate) fn notify(&self) {
-        self.lock().unpark_front();
+        self.lock().wake_front();
     }
 
     /// Parked/arriving waiters (racy snapshot, diagnostics and tests).
     fn len(&self) -> usize {
         self.lock().queue.len()
+    }
+
+    /// Surrender `ticket`'s place in the queue (timeout expiry or an
+    /// [`AcquireFuture`] dropped while pending). If the abandoned slot
+    /// was the front, a release may already have targeted it — forward
+    /// that possibly-stolen wake to the new front so the queue cannot
+    /// stall.
+    fn cancel(&self, ticket: u64) {
+        let mut inner = self.lock();
+        let was_front = inner.queue.front().map(|w| w.ticket) == Some(ticket);
+        inner.queue.retain(|w| w.ticket != ticket);
+        if was_front {
+            inner.wake_front();
+        }
     }
 }
 
@@ -243,7 +316,7 @@ impl<'db, P: TreeParams, M: VersionMaintenance> SessionPool<'db, P, M> {
         inner.next_ticket += 1;
         inner.queue.push_back(Waiter {
             ticket: me,
-            thread: std::thread::current(),
+            wake: WakeHandle::Thread(std::thread::current()),
         });
         loop {
             // Only the queue's front may take a pid: FIFO by construction.
@@ -253,7 +326,7 @@ impl<'db, P: TreeParams, M: VersionMaintenance> SessionPool<'db, P, M> {
                     // Several pids may have freed while we were parked
                     // (their wakes all targeted us, coalescing into one
                     // permit); hand the new front its chance immediately.
-                    inner.unpark_front();
+                    inner.wake_front();
                     drop(inner);
                     return Ok(Session::new(db, pid));
                 }
@@ -264,15 +337,9 @@ impl<'db, P: TreeParams, M: VersionMaintenance> SessionPool<'db, P, M> {
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
-                        let mut inner = wq.lock();
-                        let was_front = inner.queue.front().map(|w| w.ticket) == Some(me);
-                        inner.queue.retain(|w| w.ticket != me);
-                        // If our abandoned slot was blocking the queue's
-                        // progress, let the new front re-check.
-                        if was_front {
-                            inner.unpark_front();
-                        }
-                        drop(inner);
+                        // Surrender the slot; if it was blocking the
+                        // queue's progress the new front gets re-checked.
+                        wq.cancel(me);
                         return Err(AcquireTimeout {
                             waited: start.elapsed(),
                         });
@@ -281,6 +348,222 @@ impl<'db, P: TreeParams, M: VersionMaintenance> SessionPool<'db, P, M> {
                 }
             }
             inner = wq.lock();
+        }
+    }
+
+    /// Begin an **async** lease: a [`Future`] resolving to a [`Session`]
+    /// once this waiter reaches the front of the same FIFO ticket queue
+    /// [`SessionPool::acquire`] parks on — sync and async waiters are
+    /// served in one strict arrival order.
+    ///
+    /// The future is executor-agnostic (no runtime dependency): it
+    /// parks a [`Waker`], and a dropping [`Session`] wakes exactly the
+    /// front waiter through the pid pool's release hook — one wake per
+    /// release, whether the front is a parked thread or a task.
+    /// Dropping the future while it is still queued surrenders its
+    /// ticket and forwards any wake that already targeted it to the
+    /// next waiter, so cancellation can never strand the queue.
+    ///
+    /// ```
+    /// use mvcc_core::Database;
+    /// use mvcc_core::ftree::U64Map;
+    ///
+    /// let db: Database<U64Map> = Database::new(1);
+    /// let pool = db.pool();
+    /// // A trivial single-future executor is enough to drive it:
+    /// let mut session = mvcc_core::pool::block_on(pool.acquire_async());
+    /// session.insert(1, 1);
+    /// ```
+    pub fn acquire_async(&self) -> AcquireFuture<'db, P, M> {
+        AcquireFuture {
+            pool: *self,
+            state: AcquireState::default(),
+        }
+    }
+
+    /// Poll-level async acquire: the manual, state-explicit form of
+    /// [`SessionPool::acquire_async`] (which is a thin wrapper holding
+    /// the [`AcquireState`] for you).
+    ///
+    /// The first poll enqueues a ticket into the FIFO wait queue and
+    /// records it in `state`; subsequent polls refresh the stored
+    /// [`Waker`] (re-polling from a different task is fine — the newest
+    /// waker wins). Returns `Ready(session)` only when this ticket is
+    /// the queue's front **and** a pid leases, preserving strict
+    /// arrival order against every other waiter, sync or async.
+    ///
+    /// `state` must be dropped (or re-polled to `Ready`) for the ticket
+    /// to leave the queue; see [`AcquireState`] for the cancellation
+    /// contract.
+    ///
+    /// # Panics
+    /// If `state` is already registered with a different database's
+    /// pool.
+    pub fn poll_acquire(
+        &self,
+        cx: &mut Context<'_>,
+        state: &mut AcquireState,
+    ) -> Poll<Session<'db, P, M>> {
+        let db = self.db;
+        let wq = &db.waiters;
+        let mut inner = wq.lock();
+        let me = match (&state.queue, state.ticket) {
+            (Some(queue), Some(ticket)) => {
+                assert!(
+                    Arc::ptr_eq(queue, wq),
+                    "AcquireState is registered with a different pool"
+                );
+                // Waker replacement: a future may migrate between tasks
+                // (e.g. `select!`-style composition); the wake must go
+                // to whoever polled last.
+                let w = inner
+                    .queue
+                    .iter_mut()
+                    .find(|w| w.ticket == ticket)
+                    .expect("registered ticket is always in the queue");
+                match &w.wake {
+                    WakeHandle::Task(old) if old.will_wake(cx.waker()) => {}
+                    _ => w.wake = WakeHandle::Task(cx.waker().clone()),
+                }
+                ticket
+            }
+            _ => {
+                let ticket = inner.next_ticket;
+                inner.next_ticket += 1;
+                inner.queue.push_back(Waiter {
+                    ticket,
+                    wake: WakeHandle::Task(cx.waker().clone()),
+                });
+                state.queue = Some(Arc::clone(wq));
+                state.ticket = Some(ticket);
+                ticket
+            }
+        };
+        // Only the queue's front may take a pid: FIFO by construction
+        // (same discipline as the sync path — the two share the queue).
+        if inner.queue.front().map(|w| w.ticket) == Some(me) {
+            if let Ok(pid) = db.pids.lease() {
+                inner.queue.pop_front();
+                // The ticket outlives resolution (admission-order
+                // audits); only the queue handle is cleared.
+                state.queue = None;
+                // Coalesced permits: several pids may have freed while
+                // we were pending; hand the new front its chance.
+                inner.wake_front();
+                drop(inner);
+                return Poll::Ready(Session::new(db, pid));
+            }
+        }
+        Poll::Pending
+    }
+}
+
+/// Queue-registration state for [`SessionPool::poll_acquire`]: which
+/// ticket (if any) this waiter holds in the FIFO wait queue.
+///
+/// `Default::default()` is unregistered; the first `poll_acquire` with
+/// it enqueues a ticket. Dropping a registered state **surrenders the
+/// ticket**: the slot leaves the queue, and if it was the front — a
+/// release may already have spent its one wake on it — the wake is
+/// forwarded to the new front. That is the pool-checkout handoff
+/// contract that makes cancellation (dropping an [`AcquireFuture`]
+/// mid-wait) safe: no pid is leaked and no wake is lost.
+#[derive(Default)]
+pub struct AcquireState {
+    /// The wait queue this state is registered with, while queued.
+    /// Holding it by `Arc` keeps cancel-on-drop sound even if the state
+    /// outlives the pool handle; `None` before the first poll and after
+    /// resolution.
+    queue: Option<Arc<WaitQueue>>,
+    /// The FIFO ticket drawn by the first poll. Deliberately *not*
+    /// cleared on resolution: tickets are handed out in arrival order,
+    /// so a granted ticket is the admission-order audit trail (the
+    /// `mvcc-net` server asserts per-shard monotonicity with it).
+    ticket: Option<u64>,
+}
+
+impl AcquireState {
+    /// The FIFO ticket drawn by the first poll (`None` only before it).
+    /// Tickets are handed out in arrival order and survive resolution,
+    /// so admission order can be audited against them.
+    pub fn ticket(&self) -> Option<u64> {
+        self.ticket
+    }
+}
+
+impl Drop for AcquireState {
+    fn drop(&mut self) {
+        if let (Some(wq), Some(ticket)) = (self.queue.take(), self.ticket) {
+            wq.cancel(ticket);
+        }
+    }
+}
+
+impl std::fmt::Debug for AcquireState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AcquireState")
+            .field("ticket", &self.ticket())
+            .finish()
+    }
+}
+
+/// The future returned by [`SessionPool::acquire_async`]: resolves to a
+/// [`Session`] in strict FIFO order with every other waiter on the same
+/// database. See [`SessionPool::poll_acquire`] for the polling contract
+/// and [`AcquireState`] for what dropping a pending future does.
+pub struct AcquireFuture<'db, P: TreeParams, M: VersionMaintenance = PswfVm> {
+    pool: SessionPool<'db, P, M>,
+    state: AcquireState,
+}
+
+impl<'db, P: TreeParams, M: VersionMaintenance> AcquireFuture<'db, P, M> {
+    /// The FIFO ticket drawn by this future's first poll (`None` only
+    /// before it; the ticket survives resolution for admission-order
+    /// audits).
+    pub fn ticket(&self) -> Option<u64> {
+        self.state.ticket()
+    }
+}
+
+impl<'db, P: TreeParams, M: VersionMaintenance> Future for AcquireFuture<'db, P, M> {
+    type Output = Session<'db, P, M>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // No self-references: the future is plain data (pool handle +
+        // ticket state), hence `Unpin` and safe to project by value.
+        let this = self.get_mut();
+        this.pool.poll_acquire(cx, &mut this.state)
+    }
+}
+
+impl<P: TreeParams, M: VersionMaintenance> std::fmt::Debug for AcquireFuture<'_, P, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AcquireFuture")
+            .field("ticket", &self.ticket())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+/// Drive one future to completion on the current thread, parking
+/// between polls — the minimal executor. Enough to use
+/// [`SessionPool::acquire_async`] from synchronous code and tests; the
+/// `mvcc-net` server brings its own readiness loop instead.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    /// Waker that unparks the blocked thread.
+    struct ThreadWaker(Thread);
+    impl std::task::Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
         }
     }
 }
@@ -556,6 +839,55 @@ mod tests {
         ));
         drop(held);
         assert!(pool.try_acquire().is_ok());
+    }
+
+    #[test]
+    fn acquire_async_resolves_immediately_on_a_free_pid() {
+        let db: Database<U64Map> = Database::new(1);
+        let pool = db.pool();
+        let mut session = block_on(pool.acquire_async());
+        session.insert(1, 10);
+        drop(session);
+        assert_eq!(db.sessions_leased(), 0);
+        assert_eq!(pool.waiters(), 0);
+    }
+
+    #[test]
+    fn acquire_async_waits_for_release_and_is_woken_once() {
+        let db: Database<U64Map> = Database::new(1);
+        let pool = db.pool();
+        let held = pool.acquire();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let mut session = block_on(pool.acquire_async());
+                session.insert(2, 20);
+                session.pid()
+            });
+            while pool.waiters() == 0 {
+                std::thread::yield_now();
+            }
+            let freed = held.pid();
+            drop(held);
+            assert_eq!(waiter.join().unwrap(), freed, "waiter got the freed pid");
+        });
+        assert_eq!(db.sessions_leased(), 0);
+    }
+
+    #[test]
+    fn acquire_state_ticket_reports_queue_position() {
+        let db: Database<U64Map> = Database::new(1);
+        let pool = db.pool();
+        let held = pool.acquire();
+        let mut fut = pool.acquire_async();
+        assert_eq!(fut.ticket(), None, "not queued before the first poll");
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        assert!(fut.ticket().is_some(), "first poll queues a ticket");
+        assert_eq!(pool.waiters(), 1);
+        drop(fut);
+        assert_eq!(pool.waiters(), 0, "dropped future surrendered its slot");
+        drop(held);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! A minimal blocking client for the wire protocol — one request, one
+//! reply, in order.
+//!
+//! The client is deliberately synchronous: benches and tests spawn one
+//! per simulated connection, and the interesting asynchrony lives on
+//! the *server* side (admission queues, not client threads). Each call
+//! writes one frame and blocks on `read_exact` until the reply frame
+//! arrives.
+//!
+//! Server-side typed errors surface as [`ClientError::Server`]; framing
+//! violations in either direction surface as [`ClientError::Proto`].
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{self, ErrorCode, ProtoError, Request, Response, TxnOp, MAX_FRAME};
+
+/// What a request can fail with, from the client's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, early close).
+    Io(io::Error),
+    /// The server's bytes violated the framing/codec rules.
+    Proto(ProtoError),
+    /// The server answered with a typed error reply.
+    Server { code: ErrorCode, message: String },
+    /// The reply decoded fine but was the wrong shape for the request
+    /// (e.g. `TxnOk` answering a `GET`) — a server bug, not an IO one.
+    UnexpectedReply(Response),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::UnexpectedReply(resp) => {
+                write!(f, "reply shape does not match the request: {resp:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    stream: TcpStream,
+    /// Reused request-frame scratch.
+    out: Vec<u8>,
+    /// Reused reply-frame scratch.
+    inbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect (blocking mode, Nagle off — same reasoning as the
+    /// server side: small frames, latency-bound turns).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            out: Vec::new(),
+            inbuf: Vec::new(),
+        })
+    }
+
+    /// Read `key` at the server's current snapshot.
+    pub fn get(&mut self, key: u64) -> Result<Option<u64>, ClientError> {
+        match self.call(&Request::Get { key })? {
+            Response::Value { value } => Ok(value),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Write `key = value` as a single-op transaction.
+    pub fn put(&mut self, key: u64, value: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Put { key, value })? {
+            Response::Done => Ok(()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Delete `key`, returning the removed value if it existed.
+    pub fn del(&mut self, key: u64) -> Result<Option<u64>, ClientError> {
+        match self.call(&Request::Del { key })? {
+            Response::Removed { prev } => Ok(prev),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Apply `ops` as one atomic transaction. Every key must route to
+    /// the same shard or the server answers
+    /// [`ErrorCode::CrossShardTxn`] (surfaced as
+    /// [`ClientError::Server`]) without applying anything.
+    pub fn txn(&mut self, ops: Vec<TxnOp>) -> Result<u16, ClientError> {
+        match self.call(&Request::Txn { ops })? {
+            Response::TxnOk { applied } => Ok(applied),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// One request/reply turn with any [`Request`]. Typed error replies
+    /// become [`ClientError::Server`]; callers that want the raw
+    /// [`Response`] (benches, tests probing error paths) can match on
+    /// that variant.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Write one request frame without waiting for the reply — the
+    /// pipelining half of [`Client::call`]; pair with [`Client::recv`].
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.out.clear();
+        proto::encode_request(req, &mut self.out);
+        self.stream.write_all(&self.out)?;
+        Ok(())
+    }
+
+    /// Block until the next reply frame arrives and decode it.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::Oversize { len }.into());
+        }
+        self.inbuf.resize(len, 0);
+        self.stream.read_exact(&mut self.inbuf)?;
+        Ok(proto::decode_response(&self.inbuf)?)
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}

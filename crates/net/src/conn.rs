@@ -1,0 +1,240 @@
+//! Per-connection state: nonblocking reads into a frame buffer, parsed
+//! requests queued for admission, responses staged for nonblocking
+//! writes.
+//!
+//! A connection is plain data — no lifetimes, no futures. The server
+//! pairs each `Conn` with at most one in-flight admission future; the
+//! connection itself only moves bytes and frames:
+//!
+//! ```text
+//! socket --read--> rbuf --split_frame/decode--> requests (VecDeque)
+//! responses --encode--> wbuf --write--> socket
+//! ```
+//!
+//! Backpressure is structural: reads stop while [`Conn::parsed_backlog`]
+//! or the write buffer is over budget, so a client that pipelines
+//! faster than its requests are admitted holds bytes in *its* socket,
+//! not in server memory.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::proto::{self, ProtoError, Request, Response};
+
+/// Stop reading a connection once this many parsed requests await
+/// admission (the client is pipelining past its turn).
+const MAX_PARSED_BACKLOG: usize = 64;
+
+/// Stop reading while more than this many response bytes are unflushed.
+const MAX_WRITE_BACKLOG: usize = 256 * 1024;
+
+/// Per-read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Why a connection ended (diagnostics; the server counts these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hangup {
+    /// Peer closed or reset the socket.
+    Eof,
+    /// Socket error.
+    Io(String),
+    /// The byte stream violated the protocol; a typed error reply was
+    /// staged before closing.
+    Proto(ProtoError),
+}
+
+/// One client connection's IO state.
+pub struct Conn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (`rpos..` is live; compacted when the
+    /// consumed prefix dominates).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Staged outbound bytes (`wpos..` is unsent).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Parsed requests awaiting admission, in arrival order.
+    requests: VecDeque<Request>,
+    /// Set once the stream is beyond recovery: flush what is staged,
+    /// then drop the connection.
+    closing: Option<Hangup>,
+}
+
+impl Conn {
+    /// Adopt an accepted stream (switches it to nonblocking mode).
+    pub fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        // Frames are small; Nagle would add 40ms stalls to every
+        // request/response turn on loopback.
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            requests: VecDeque::new(),
+            closing: None,
+        })
+    }
+
+    /// Parsed requests awaiting admission.
+    pub fn parsed_backlog(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Next request to admit, front of the arrival order.
+    pub fn pop_request(&mut self) -> Option<Request> {
+        self.requests.pop_front()
+    }
+
+    /// Stage a response for writing.
+    pub fn push_response(&mut self, resp: &Response) {
+        proto::encode_response(resp, &mut self.wbuf);
+    }
+
+    /// Stage a typed error reply and mark the stream for close-after-
+    /// flush (protocol errors desynchronize framing; see `proto` docs).
+    pub fn fail(&mut self, err: ProtoError) {
+        let code = match err {
+            ProtoError::Oversize { .. } | ProtoError::TooManyOps { .. } => {
+                proto::ErrorCode::Oversize
+            }
+            ProtoError::BadVersion { .. } => proto::ErrorCode::BadVersion,
+            ProtoError::BadKind { .. } => proto::ErrorCode::BadOpcode,
+            _ => proto::ErrorCode::Malformed,
+        };
+        self.push_response(&Response::Error {
+            code,
+            message: err.to_string(),
+        });
+        self.closing = Some(Hangup::Proto(err));
+    }
+
+    /// Has this connection ended? (After a final flush attempt.)
+    pub fn hangup(&self) -> Option<&Hangup> {
+        self.closing.as_ref()
+    }
+
+    /// Nothing staged, nothing parsed, nothing mid-frame?
+    pub fn is_idle(&self) -> bool {
+        self.requests.is_empty() && self.wbuf.len() == self.wpos && self.rbuf.len() == self.rpos
+    }
+
+    /// Pull whatever the socket has (until `WouldBlock`), split and
+    /// decode complete frames into the request queue. Returns whether
+    /// any byte or frame moved (the loop's progress signal).
+    pub fn fill(&mut self) -> bool {
+        if self.closing.is_some() {
+            return false;
+        }
+        let mut progress = false;
+        // Backpressure: don't read while admission or writes lag.
+        while self.requests.len() < MAX_PARSED_BACKLOG
+            && self.wbuf.len() - self.wpos < MAX_WRITE_BACKLOG
+        {
+            let old = self.rbuf.len();
+            self.rbuf.resize(old + READ_CHUNK, 0);
+            match self.stream.read(&mut self.rbuf[old..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(old);
+                    self.closing = Some(Hangup::Eof);
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(old + n);
+                    progress = true;
+                    if n < READ_CHUNK {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.rbuf.truncate(old);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.rbuf.truncate(old);
+                }
+                Err(e) => {
+                    self.rbuf.truncate(old);
+                    self.closing = Some(Hangup::Io(e.to_string()));
+                    break;
+                }
+            }
+        }
+        // Split and decode every complete frame.
+        while self.closing.is_none() {
+            match proto::split_frame(&self.rbuf[self.rpos..]) {
+                Ok(Some((payload, consumed))) => {
+                    match proto::decode_request(payload) {
+                        Ok(req) => self.requests.push_back(req),
+                        Err(e) => {
+                            self.fail(e);
+                            break;
+                        }
+                    }
+                    self.rpos += consumed;
+                    progress = true;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.fail(e);
+                    break;
+                }
+            }
+        }
+        // Compact once the dead prefix dominates the buffer.
+        if self.rpos > 0 && self.rpos * 2 >= self.rbuf.len() {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        progress
+    }
+
+    /// Push staged response bytes to the socket (until `WouldBlock` or
+    /// empty). Returns whether any byte moved.
+    pub fn flush(&mut self) -> bool {
+        let mut progress = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.closing = Some(Hangup::Eof);
+                    break;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    if self.closing.is_none() {
+                        self.closing = Some(Hangup::Io(e.to_string()));
+                    }
+                    break;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() && self.wpos > 0 {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        progress
+    }
+
+    /// Are all staged response bytes on the wire?
+    pub fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn")
+            .field("parsed_backlog", &self.parsed_backlog())
+            .field("unflushed", &(self.wbuf.len() - self.wpos))
+            .field("closing", &self.closing)
+            .finish()
+    }
+}

@@ -1,0 +1,146 @@
+//! The hand-rolled executor underneath the server: a ready set fed by
+//! per-connection [`Waker`]s.
+//!
+//! There is no task heap and no runtime here — the server's poll loop
+//! *is* the executor. Each connection with a request parked in the
+//! session admission queue holds one `AcquireFuture`; the waker handed
+//! to that future, when woken by a session release, pushes the
+//! connection's id into a shared [`ReadySet`]. The loop drains the set
+//! each iteration and re-polls exactly the woken futures — so one
+//! session release translates into one future poll, mirroring the
+//! pool's one-wake-per-release invariant at the connection layer.
+//!
+//! Wakes can arrive from any thread (a sync `Session` dropped elsewhere
+//! releases the same pids), so the set is a mutex-guarded id vector
+//! with a dedup bitmask; the loop never blocks on it.
+//!
+//! For driving a single future from synchronous code (tests, simple
+//! clients), use [`block_on`] — re-exported from `mvcc_core::pool`,
+//! where the admission futures live.
+
+use std::sync::{Arc, Mutex};
+use std::task::{Wake, Waker};
+
+pub use mvcc_core::pool::block_on;
+
+/// Connection ids whose admission futures have been woken and must be
+/// re-polled. Shared between the poll loop (drains) and every
+/// connection waker (inserts, possibly from other threads).
+pub struct ReadySet {
+    inner: Mutex<ReadyInner>,
+}
+
+struct ReadyInner {
+    /// Woken ids in wake order (FIFO re-poll keeps admission audits
+    /// deterministic).
+    ids: Vec<usize>,
+    /// `queued[id]` — id already in `ids`? Dedups redundant wakes
+    /// (coalesced permits, waker clones) without growing `ids`.
+    queued: Vec<bool>,
+}
+
+impl ReadySet {
+    pub fn new() -> Arc<ReadySet> {
+        Arc::new(ReadySet {
+            inner: Mutex::new(ReadyInner {
+                ids: Vec::new(),
+                queued: Vec::new(),
+            }),
+        })
+    }
+
+    /// Mark `id` ready (idempotent until drained).
+    pub fn push(&self, id: usize) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.queued.len() <= id {
+            inner.queued.resize(id + 1, false);
+        }
+        if !inner.queued[id] {
+            inner.queued[id] = true;
+            inner.ids.push(id);
+        }
+    }
+
+    /// Take the woken ids, in wake order. `out` is reused across loop
+    /// iterations (cleared here) so the hot path allocates nothing.
+    pub fn drain_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::swap(&mut inner.ids, out);
+        for &id in out.iter() {
+            inner.queued[id] = false;
+        }
+    }
+
+    /// Is anything woken? (Cheap idle check before sleeping.)
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ids
+            .is_empty()
+    }
+}
+
+/// The waker for one connection's admission future: wake = "push my
+/// connection id into the ready set".
+struct ConnWaker {
+    ready: Arc<ReadySet>,
+    id: usize,
+}
+
+impl Wake for ConnWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// Build the [`Waker`] that re-schedules connection `id`.
+pub fn conn_waker(ready: &Arc<ReadySet>, id: usize) -> Waker {
+    Waker::from(Arc::new(ConnWaker {
+        ready: Arc::clone(ready),
+        id,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakes_dedup_until_drained() {
+        let ready = ReadySet::new();
+        let w3 = conn_waker(&ready, 3);
+        let w1 = conn_waker(&ready, 1);
+        w3.wake_by_ref();
+        w3.wake_by_ref(); // dedup
+        w1.wake_by_ref();
+        let mut out = Vec::new();
+        ready.drain_into(&mut out);
+        assert_eq!(out, vec![3, 1], "wake order preserved, dupes dropped");
+        assert!(ready.is_empty());
+        // After a drain the id can be woken again.
+        w3.wake();
+        ready.drain_into(&mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn wakes_cross_threads() {
+        let ready = ReadySet::new();
+        std::thread::scope(|s| {
+            for id in 0..8 {
+                let w = conn_waker(&ready, id);
+                s.spawn(move || w.wake());
+            }
+        });
+        let mut out = Vec::new();
+        ready.drain_into(&mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+}

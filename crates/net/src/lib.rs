@@ -1,0 +1,64 @@
+//! `mvcc-net` — a wire-protocol front end over the MVCC router, built
+//! on **async session admission**.
+//!
+//! The crate answers one question: how do thousands of client
+//! connections share a [`Router`]'s `N×P` session pids without a
+//! thread per connection? The answer is the admission layer added to
+//! `mvcc-core::pool` — [`SessionPool::poll_acquire`] parks a waiter in
+//! the same FIFO ticket queue the blocking `acquire` path uses, at the
+//! cost of a queue entry instead of a parked thread. This crate
+//! supplies everything around that future:
+//!
+//! - [`proto`] — the length-prefixed binary protocol (GET/PUT/DEL and
+//!   atomic TXN batches, versioned payloads, typed error replies);
+//! - [`conn`] — per-connection nonblocking buffer management with
+//!   structural backpressure;
+//! - [`executor`] — the ready-set mini executor the server loop is
+//!   built on (one session release → one future re-poll);
+//! - [`server`] — the single-threaded poll loop multiplexing every
+//!   connection onto the router, with FIFO admission auditing;
+//! - [`client`] — a small blocking client for tests, benches and
+//!   examples.
+//!
+//! Everything is `std`-only: nonblocking `std::net` sockets, a scan
+//! poll loop, and hand-rolled wakers — no tokio, no epoll binding, in
+//! keeping with the repo's no-external-dependencies rule.
+//!
+//! # A round trip
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mvcc_net::{Client, Server, TxnOp};
+//! use mvcc_core::Router;
+//! use mvcc_ftree::U64Map;
+//!
+//! // Two shards, two pids each, fronted by a server on an ephemeral
+//! // loopback port.
+//! let router: Arc<Router<U64Map>> = Arc::new(Router::new(2, 2));
+//! let handle = Server::start(Arc::clone(&router), "127.0.0.1:0").unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.put(7, 700).unwrap();
+//! assert_eq!(client.get(7).unwrap(), Some(700));
+//! client.txn(vec![TxnOp::Put { key: 7, value: 701 }]).unwrap();
+//! assert_eq!(client.del(7).unwrap(), Some(701));
+//! assert_eq!(client.get(7).unwrap(), None);
+//!
+//! drop(client);
+//! handle.shutdown().unwrap();
+//! assert_eq!(router.sessions_leased(), 0); // nothing leaked
+//! ```
+//!
+//! [`Router`]: mvcc_core::Router
+//! [`SessionPool::poll_acquire`]: mvcc_core::SessionPool::poll_acquire
+
+pub mod client;
+pub mod conn;
+pub mod executor;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use executor::block_on;
+pub use proto::{ErrorCode, ProtoError, Request, Response, TxnOp};
+pub use server::{Server, ServerHandle, ServerStats};

@@ -1,0 +1,584 @@
+//! The wire protocol: length-prefixed binary frames, versioned header,
+//! typed error replies.
+//!
+//! # Framing
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! frame   := len: u32 LE ++ payload        (len = payload byte count)
+//! payload := version: u8 ++ kind: u8 ++ body
+//! ```
+//!
+//! `len` covers the payload only (not itself) and must not exceed
+//! [`MAX_FRAME`]; an oversize length is a protocol error, not an
+//! allocation — the peer is desynchronized or hostile, and the
+//! connection closes after a typed error reply. `version` is
+//! [`PROTO_VERSION`] in both directions; a mismatch is [`ErrorCode::
+//! BadVersion`]. All integers are little-endian.
+//!
+//! # Requests
+//!
+//! `kind` is the opcode; keys and values are `u64`:
+//!
+//! ```text
+//! GET (0x01)  body := key: u64
+//! PUT (0x02)  body := key: u64 ++ value: u64
+//! DEL (0x03)  body := key: u64
+//! TXN (0x04)  body := count: u16 ++ count × op
+//!             op   := 0x00 ++ key: u64 ++ value: u64   (put)
+//!                   | 0x01 ++ key: u64                 (del)
+//! ```
+//!
+//! `TXN` applies its ops as **one atomic write transaction** on the
+//! shard its first key routes to; every key in the batch must route to
+//! that same shard (shards are independent databases — cross-shard
+//! atomicity does not exist), otherwise the server answers
+//! [`ErrorCode::CrossShardTxn`] and applies nothing.
+//!
+//! # Responses
+//!
+//! `kind` is the status:
+//!
+//! ```text
+//! VALUE   (0x01)  body := present: u8 ++ value: u64    (GET reply)
+//! DONE    (0x02)  body := ε                            (PUT reply)
+//! REMOVED (0x03)  body := present: u8 ++ prev: u64     (DEL reply)
+//! TXN_OK  (0x04)  body := applied: u16                 (TXN reply)
+//! ERR     (0xEE)  body := code: u8 ++ mlen: u16 ++ message: utf-8
+//! ```
+//!
+//! `present = 0` means absent and the trailing `u64` is zero-filled.
+//! Responses arrive strictly in request order per connection (the
+//! server admits one request per connection at a time; pipelined
+//! requests queue).
+//!
+//! The codec is allocation-light and symmetric: [`encode_request`] /
+//! [`decode_request`] and [`encode_response`] / [`decode_response`]
+//! append one whole frame to / split one whole frame off a byte
+//! buffer; [`frame_payload`] does the length-prefix bookkeeping for
+//! both directions.
+
+use std::fmt;
+
+/// Protocol version stamped on (and required of) every payload.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload, bytes. Large enough for a
+/// `TXN` batch of [`MAX_TXN_OPS`] puts with slack, small enough that a
+/// corrupt or hostile length prefix cannot balloon a connection buffer.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Upper bound on ops in one `TXN` batch (fits `u16` with room).
+pub const MAX_TXN_OPS: usize = 3 * 1024;
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_TXN: u8 = 0x04;
+
+const ST_VALUE: u8 = 0x01;
+const ST_DONE: u8 = 0x02;
+const ST_REMOVED: u8 = 0x03;
+const ST_TXN_OK: u8 = 0x04;
+const ST_ERR: u8 = 0xEE;
+
+/// One mutation inside a [`Request::Txn`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Insert-or-overwrite `key`.
+    Put { key: u64, value: u64 },
+    /// Remove `key` (absent keys are fine; the batch still commits).
+    Del { key: u64 },
+}
+
+impl TxnOp {
+    /// The key this op touches (what routing shards on).
+    pub fn key(&self) -> u64 {
+        match *self {
+            TxnOp::Put { key, .. } | TxnOp::Del { key } => key,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get { key: u64 },
+    /// Insert-or-overwrite.
+    Put { key: u64, value: u64 },
+    /// Remove, returning the previous value.
+    Del { key: u64 },
+    /// Atomic multi-op batch (single-shard; see module docs).
+    Txn { ops: Vec<TxnOp> },
+}
+
+impl Request {
+    /// The key the server routes this request's shard placement on
+    /// (`None` for an empty `TXN`, which touches no shard).
+    pub fn routing_key(&self) -> Option<u64> {
+        match self {
+            Request::Get { key } | Request::Put { key, .. } | Request::Del { key } => Some(*key),
+            Request::Txn { ops } => ops.first().map(|op| op.key()),
+        }
+    }
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `GET` reply.
+    Value { value: Option<u64> },
+    /// `PUT` reply.
+    Done,
+    /// `DEL` reply: the removed value, if the key was present.
+    Removed { prev: Option<u64> },
+    /// `TXN` reply: ops applied (always the whole batch — it commits
+    /// atomically or errors).
+    TxnOk { applied: u16 },
+    /// Typed failure; the request had no effect.
+    Error { code: ErrorCode, message: String },
+}
+
+/// Typed error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Payload `version` byte was not [`PROTO_VERSION`].
+    BadVersion = 1,
+    /// Unknown request opcode.
+    BadOpcode = 2,
+    /// Body did not parse (truncated, trailing bytes, bad op kind…).
+    Malformed = 3,
+    /// `TXN` keys route to more than one shard; nothing was applied.
+    CrossShardTxn = 4,
+    /// Frame length exceeded [`MAX_FRAME`] or op count [`MAX_TXN_OPS`].
+    Oversize = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadVersion,
+            2 => ErrorCode::BadOpcode,
+            3 => ErrorCode::Malformed,
+            4 => ErrorCode::CrossShardTxn,
+            5 => ErrorCode::Oversize,
+            _ => return None,
+        })
+    }
+}
+
+/// Decoder failure: the byte stream does not parse as this protocol.
+/// Framing-level errors ([`ProtoError::Oversize`]) poison the whole
+/// stream (the reader can no longer find frame boundaries); payload
+/// errors poison only the request, but the server still closes the
+/// connection after replying — a peer that framed garbage once will
+/// again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Frame length prefix exceeds [`MAX_FRAME`].
+    Oversize { len: usize },
+    /// Payload shorter than its header/body demands.
+    Truncated,
+    /// Payload longer than its body: trailing bytes.
+    Trailing { extra: usize },
+    /// Version byte mismatch.
+    BadVersion { got: u8 },
+    /// Unknown opcode (requests) or status (responses).
+    BadKind { got: u8 },
+    /// `TXN` op count above [`MAX_TXN_OPS`].
+    TooManyOps { count: usize },
+    /// Error message bytes were not UTF-8.
+    BadUtf8,
+    /// Unknown [`ErrorCode`] discriminant in an `ERR` reply.
+    BadErrorCode { got: u8 },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Oversize { len } => {
+                write!(f, "frame length {len} exceeds MAX_FRAME {MAX_FRAME}")
+            }
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::Trailing { extra } => write!(f, "{extra} trailing bytes after body"),
+            ProtoError::BadVersion { got } => {
+                write!(f, "protocol version {got} (expected {PROTO_VERSION})")
+            }
+            ProtoError::BadKind { got } => write!(f, "unknown opcode/status {got:#04x}"),
+            ProtoError::TooManyOps { count } => {
+                write!(
+                    f,
+                    "TXN batch of {count} ops exceeds MAX_TXN_OPS {MAX_TXN_OPS}"
+                )
+            }
+            ProtoError::BadUtf8 => write!(f, "error message is not UTF-8"),
+            ProtoError::BadErrorCode { got } => write!(f, "unknown error code {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------------
+// Byte-level helpers
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Sequential reader over one payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Every decoder ends here: a payload with leftover bytes is as
+    /// malformed as a short one.
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Trailing {
+                extra: self.buf.len() - self.pos,
+            })
+        }
+    }
+}
+
+/// Append a length-prefixed frame to `out`, with the payload written by
+/// `body` (which sees `out` positioned after the version byte). Handles
+/// the len-backpatch both encoders share.
+pub fn frame_payload(out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) {
+    let len_at = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    out.push(PROTO_VERSION);
+    body(out);
+    let payload = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&payload.to_le_bytes());
+}
+
+/// Split one complete frame off the front of `buf`: `Ok(Some((payload,
+/// consumed)))` when a whole frame is buffered, `Ok(None)` when more
+/// bytes are needed, `Err` when the length prefix itself is invalid
+/// (the stream is unrecoverable — close the connection).
+pub fn split_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, ProtoError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversize { len });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((&buf[4..4 + len], 4 + len)))
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Append `req` to `out` as one frame.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    frame_payload(out, |out| match req {
+        Request::Get { key } => {
+            out.push(OP_GET);
+            put_u64(out, *key);
+        }
+        Request::Put { key, value } => {
+            out.push(OP_PUT);
+            put_u64(out, *key);
+            put_u64(out, *value);
+        }
+        Request::Del { key } => {
+            out.push(OP_DEL);
+            put_u64(out, *key);
+        }
+        Request::Txn { ops } => {
+            assert!(ops.len() <= MAX_TXN_OPS, "TXN batch exceeds MAX_TXN_OPS");
+            out.push(OP_TXN);
+            put_u16(out, ops.len() as u16);
+            for op in ops {
+                match *op {
+                    TxnOp::Put { key, value } => {
+                        out.push(0x00);
+                        put_u64(out, key);
+                        put_u64(out, value);
+                    }
+                    TxnOp::Del { key } => {
+                        out.push(0x01);
+                        put_u64(out, key);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Decode one request payload (a frame's contents, version byte
+/// included).
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut r = Reader::new(payload);
+    let ver = r.u8()?;
+    if ver != PROTO_VERSION {
+        return Err(ProtoError::BadVersion { got: ver });
+    }
+    let req = match r.u8()? {
+        OP_GET => Request::Get { key: r.u64()? },
+        OP_PUT => Request::Put {
+            key: r.u64()?,
+            value: r.u64()?,
+        },
+        OP_DEL => Request::Del { key: r.u64()? },
+        OP_TXN => {
+            let count = r.u16()? as usize;
+            if count > MAX_TXN_OPS {
+                return Err(ProtoError::TooManyOps { count });
+            }
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                ops.push(match r.u8()? {
+                    0x00 => TxnOp::Put {
+                        key: r.u64()?,
+                        value: r.u64()?,
+                    },
+                    0x01 => TxnOp::Del { key: r.u64()? },
+                    got => return Err(ProtoError::BadKind { got }),
+                });
+            }
+            Request::Txn { ops }
+        }
+        got => return Err(ProtoError::BadKind { got }),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    out.push(v.is_some() as u8);
+    put_u64(out, v.unwrap_or(0));
+}
+
+/// Append `resp` to `out` as one frame.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    frame_payload(out, |out| match resp {
+        Response::Value { value } => {
+            out.push(ST_VALUE);
+            put_opt_u64(out, *value);
+        }
+        Response::Done => out.push(ST_DONE),
+        Response::Removed { prev } => {
+            out.push(ST_REMOVED);
+            put_opt_u64(out, *prev);
+        }
+        Response::TxnOk { applied } => {
+            out.push(ST_TXN_OK);
+            put_u16(out, *applied);
+        }
+        Response::Error { code, message } => {
+            out.push(ST_ERR);
+            out.push(*code as u8);
+            let msg = &message.as_bytes()[..message.len().min(u16::MAX as usize)];
+            put_u16(out, msg.len() as u16);
+            out.extend_from_slice(msg);
+        }
+    });
+}
+
+/// Decode one response payload (a frame's contents, version byte
+/// included).
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut r = Reader::new(payload);
+    let ver = r.u8()?;
+    if ver != PROTO_VERSION {
+        return Err(ProtoError::BadVersion { got: ver });
+    }
+    let resp = match r.u8()? {
+        ST_VALUE => {
+            let present = r.u8()? != 0;
+            let v = r.u64()?;
+            Response::Value {
+                value: present.then_some(v),
+            }
+        }
+        ST_DONE => Response::Done,
+        ST_REMOVED => {
+            let present = r.u8()? != 0;
+            let v = r.u64()?;
+            Response::Removed {
+                prev: present.then_some(v),
+            }
+        }
+        ST_TXN_OK => Response::TxnOk { applied: r.u16()? },
+        ST_ERR => {
+            let code = r.u8()?;
+            let code = ErrorCode::from_u8(code).ok_or(ProtoError::BadErrorCode { got: code })?;
+            let mlen = r.u16()? as usize;
+            let message = std::str::from_utf8(r.take(mlen)?)
+                .map_err(|_| ProtoError::BadUtf8)?
+                .to_owned();
+            Response::Error { code, message }
+        }
+        got => return Err(ProtoError::BadKind { got }),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let (payload, consumed) = split_frame(&buf).unwrap().expect("whole frame");
+        assert_eq!(consumed, buf.len());
+        assert_eq!(decode_request(payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let (payload, consumed) = split_frame(&buf).unwrap().expect("whole frame");
+        assert_eq!(consumed, buf.len());
+        assert_eq!(decode_response(payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Get { key: 7 });
+        roundtrip_request(Request::Put {
+            key: u64::MAX,
+            value: 0,
+        });
+        roundtrip_request(Request::Del { key: 1 << 40 });
+        roundtrip_request(Request::Txn { ops: vec![] });
+        roundtrip_request(Request::Txn {
+            ops: vec![
+                TxnOp::Put { key: 1, value: 2 },
+                TxnOp::Del { key: 3 },
+                TxnOp::Put { key: 4, value: 5 },
+            ],
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Value { value: Some(9) });
+        roundtrip_response(Response::Value { value: None });
+        roundtrip_response(Response::Done);
+        roundtrip_response(Response::Removed { prev: Some(0) });
+        roundtrip_response(Response::Removed { prev: None });
+        roundtrip_response(Response::TxnOk { applied: 512 });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::CrossShardTxn,
+            message: "keys 1 and 2 route to different shards".into(),
+        });
+    }
+
+    #[test]
+    fn split_frame_waits_for_whole_frames() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Get { key: 42 }, &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(split_frame(&buf[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        // Two pipelined frames: the first splits off, the second waits.
+        let first_len = buf.len();
+        encode_request(&Request::Del { key: 43 }, &mut buf);
+        let (_, consumed) = split_frame(&buf).unwrap().unwrap();
+        assert_eq!(consumed, first_len);
+        let (payload2, _) = split_frame(&buf[consumed..]).unwrap().unwrap();
+        assert_eq!(decode_request(payload2).unwrap(), Request::Del { key: 43 });
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_rejected() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            split_frame(&buf),
+            Err(ProtoError::Oversize { len: MAX_FRAME + 1 })
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        // Wrong version.
+        assert_eq!(
+            decode_request(&[9, OP_GET, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ProtoError::BadVersion { got: 9 })
+        );
+        // Unknown opcode.
+        assert_eq!(
+            decode_request(&[PROTO_VERSION, 0x77]),
+            Err(ProtoError::BadKind { got: 0x77 })
+        );
+        // Truncated body.
+        assert_eq!(
+            decode_request(&[PROTO_VERSION, OP_GET, 1, 2]),
+            Err(ProtoError::Truncated)
+        );
+        // Trailing bytes.
+        let mut buf = Vec::new();
+        encode_request(&Request::Get { key: 1 }, &mut buf);
+        let (payload, _) = split_frame(&buf).unwrap().unwrap();
+        let mut fat = payload.to_vec();
+        fat.push(0);
+        assert_eq!(decode_request(&fat), Err(ProtoError::Trailing { extra: 1 }));
+    }
+
+    #[test]
+    fn routing_key_is_the_first_touched_key() {
+        assert_eq!(Request::Get { key: 5 }.routing_key(), Some(5));
+        assert_eq!(Request::Txn { ops: vec![] }.routing_key(), None);
+        assert_eq!(
+            Request::Txn {
+                ops: vec![TxnOp::Del { key: 8 }, TxnOp::Put { key: 9, value: 0 }]
+            }
+            .routing_key(),
+            Some(8)
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! The server: one nonblocking poll loop multiplexing every client
+//! connection onto a [`Router`]'s `N×P` pids through async session
+//! admission.
+//!
+//! No thread is ever parked per waiter. A connection whose request
+//! cannot lease a pid holds an `AcquireFuture` parked in the shard's
+//! FIFO ticket queue; the session release that frees a pid wakes
+//! exactly that future (through the connection's waker, see
+//! [`crate::executor`]), and the loop re-polls it on the next
+//! iteration. Thousands of connections therefore cost a queue entry
+//! and a buffer each — not a stack — which is the whole point of the
+//! async admission layer.
+//!
+//! The loop, per iteration:
+//!
+//! 1. accept new connections (nonblocking);
+//! 2. read every socket, splitting and decoding complete frames;
+//! 3. drain the ready set and re-poll exactly the woken admissions;
+//! 4. admit each connection's next queued request (one in flight per
+//!    connection — responses stay in request order);
+//! 5. flush response bytes, reap finished connections;
+//! 6. if nothing moved and nothing is woken, sleep briefly.
+//!
+//! Admission order is audited: tickets are drawn in arrival order, so
+//! per shard the granted tickets must be strictly increasing. The
+//! counter [`ServerStats::fifo_violations`] stays zero or the pool's
+//! fairness contract is broken (the loopback integration test asserts
+//! this).
+
+use std::future::Future;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+use mvcc_core::pool::AcquireFuture;
+use mvcc_core::{Router, Session};
+use mvcc_ftree::U64Map;
+
+use crate::conn::{Conn, Hangup};
+use crate::executor::{conn_waker, ReadySet};
+use crate::proto::{ErrorCode, Request, Response, TxnOp};
+
+/// Sleep when an iteration moves nothing and no admission is woken —
+/// the idle latency floor. Small enough to stay invisible next to
+/// loopback RTT, large enough not to spin a core on an idle server.
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// Keep at most this many admission-wait samples (oldest kept; the
+/// bench harness drains them long before the cap).
+const MAX_WAIT_SAMPLES: usize = 1 << 22;
+
+/// Monotone counters the loop maintains; snapshot with
+/// [`Server::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests answered (typed error replies included).
+    pub requests: u64,
+    /// Connections dropped for protocol violations.
+    pub proto_errors: u64,
+    /// Admissions granted out of ticket order — **must stay zero**;
+    /// a nonzero value means the pool broke its FIFO contract.
+    pub fifo_violations: u64,
+}
+
+/// A wire-protocol front end over a [`Router`]: bind with
+/// [`Server::bind`], drive with [`Server::run_until`] (or spawn a loop
+/// thread with [`Server::start`]).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    router: Arc<Router<U64Map>>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    proto_errors: AtomicU64,
+    fifo_violations: AtomicU64,
+    /// Nanoseconds each admitted request waited between joining the
+    /// admission queue and leasing its session — the async-path
+    /// equivalent of `SessionPool::acquire` wait time.
+    wait_samples: Mutex<Vec<u64>>,
+}
+
+/// One request parked in (or just entering) a shard's admission queue.
+struct Admission<'r> {
+    fut: AcquireFuture<'r, U64Map>,
+    req: Request,
+    shard: usize,
+    since: Instant,
+}
+
+/// A connection slot: IO state plus at most one in-flight admission.
+struct Slot<'r> {
+    conn: Conn,
+    pending: Option<Admission<'r>>,
+    /// Cached so re-polls pass the *same* waker (`will_wake` then
+    /// short-circuits the clone in `poll_acquire`).
+    waker: Waker,
+}
+
+/// How a parsed request proceeds.
+enum Classified {
+    /// Answerable without a session (empty `TXN`, cross-shard error).
+    Immediate(Response),
+    /// Needs a session on this shard — enter the admission queue.
+    Admit(usize),
+}
+
+impl Server {
+    /// Bind a listener and wrap `router` behind it. `addr` may be
+    /// `"127.0.0.1:0"` for an ephemeral port ([`Server::local_addr`]
+    /// reports the choice).
+    pub fn bind(router: Arc<Router<U64Map>>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            router,
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            proto_errors: AtomicU64::new(0),
+            fifo_violations: AtomicU64::new(0),
+            wait_samples: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// [`Server::bind`] plus a named loop thread: returns a handle that
+    /// stops and joins the loop on [`ServerHandle::shutdown`] (or drop).
+    pub fn start(
+        router: Arc<Router<U64Map>>,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<ServerHandle> {
+        let server = Arc::new(Server::bind(router, addr)?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("mvcc-net-server".into())
+                .spawn(move || server.run_until(&stop))?
+        };
+        Ok(ServerHandle {
+            server,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router this server fronts.
+    pub fn router(&self) -> &Arc<Router<U64Map>> {
+        &self.router
+    }
+
+    /// Snapshot the loop's counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            proto_errors: self.proto_errors.load(Ordering::Relaxed),
+            fifo_violations: self.fifo_violations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drain the recorded admission-wait samples (ns). The bench
+    /// harness turns these into the async-path wait-tail percentiles.
+    pub fn take_wait_samples(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.wait_samples.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Run the poll loop until `stop` turns true (checked every
+    /// iteration; shutdown latency is one iteration plus the idle
+    /// sleep, i.e. well under a millisecond).
+    pub fn run_until(&self, stop: &AtomicBool) -> io::Result<()> {
+        let router = &*self.router;
+        let ready = ReadySet::new();
+        let mut slots: Vec<Option<Slot<'_>>> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut woken: Vec<usize> = Vec::new();
+        // Per-shard FIFO audit trail: the last granted ticket.
+        let mut last_ticket: Vec<Option<u64>> = vec![None; router.shards()];
+
+        while !stop.load(Ordering::Relaxed) {
+            let mut progress = false;
+
+            // 1. Accept.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let Ok(conn) = Conn::new(stream) else {
+                            continue;
+                        };
+                        let id = free.pop().unwrap_or_else(|| {
+                            slots.push(None);
+                            slots.len() - 1
+                        });
+                        let waker = conn_waker(&ready, id);
+                        slots[id] = Some(Slot {
+                            conn,
+                            pending: None,
+                            waker,
+                        });
+                        self.connections.fetch_add(1, Ordering::Relaxed);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // 2. Read and parse every socket.
+            for slot in slots.iter_mut().flatten() {
+                progress |= slot.conn.fill();
+            }
+
+            // 3. Re-poll exactly the woken admissions.
+            ready.drain_into(&mut woken);
+            for &id in &woken {
+                if let Some(slot) = slots.get_mut(id).and_then(Option::as_mut) {
+                    progress |= self.drive(router, slot, &mut last_ticket);
+                }
+            }
+
+            // 4. Admit next requests on connections with no admission in
+            //    flight (drive() loops on to the pipeline's next request
+            //    after each grant, so this also covers fresh arrivals).
+            for slot in slots.iter_mut().flatten() {
+                if slot.pending.is_none() && slot.conn.parsed_backlog() > 0 {
+                    progress |= self.drive(router, slot, &mut last_ticket);
+                }
+            }
+
+            // 5. Flush, then reap finished connections.
+            for (id, entry) in slots.iter_mut().enumerate() {
+                let Some(slot) = entry.as_mut() else { continue };
+                progress |= slot.conn.flush();
+                let reap = match slot.conn.hangup() {
+                    // Protocol violation: close once the typed farewell
+                    // reply is on the wire.
+                    Some(Hangup::Proto(_)) => slot.conn.flushed(),
+                    // Socket error: nothing more can move.
+                    Some(Hangup::Io(_)) => true,
+                    // Peer half-closed: serve what it pipelined, then
+                    // close once everything is answered and flushed.
+                    Some(Hangup::Eof) => {
+                        slot.pending.is_none()
+                            && slot.conn.parsed_backlog() == 0
+                            && slot.conn.flushed()
+                    }
+                    None => false,
+                };
+                if reap {
+                    if matches!(slot.conn.hangup(), Some(Hangup::Proto(_))) {
+                        self.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Dropping the slot drops any pending AcquireFuture,
+                    // which surrenders its ticket and forwards a stolen
+                    // wake — a dying connection cannot stall the queue.
+                    *entry = None;
+                    free.push(id);
+                    progress = true;
+                }
+            }
+
+            // 6. Idle?
+            if !progress && ready.is_empty() {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drive one connection: poll its pending admission and, after each
+    /// grant, admit the pipeline's next request — until something parks
+    /// or the backlog empties. Returns whether anything moved.
+    fn drive<'r>(
+        &self,
+        router: &'r Router<U64Map>,
+        slot: &mut Slot<'r>,
+        last_ticket: &mut [Option<u64>],
+    ) -> bool {
+        let mut progress = false;
+        loop {
+            if slot.pending.is_none() {
+                let Some(req) = slot.conn.pop_request() else {
+                    break;
+                };
+                match classify(router, &req) {
+                    Classified::Immediate(resp) => {
+                        slot.conn.push_response(&resp);
+                        self.requests.fetch_add(1, Ordering::Relaxed);
+                        progress = true;
+                        continue;
+                    }
+                    Classified::Admit(shard) => {
+                        slot.pending = Some(Admission {
+                            fut: router.with_shard(shard).pool().acquire_async(),
+                            req,
+                            shard,
+                            since: Instant::now(),
+                        });
+                    }
+                }
+            }
+            let adm = slot.pending.as_mut().expect("set above");
+            let mut cx = Context::from_waker(&slot.waker);
+            match Pin::new(&mut adm.fut).poll(&mut cx) {
+                Poll::Ready(mut session) => {
+                    let adm = slot.pending.take().expect("still in flight");
+                    self.audit_fifo(&adm, last_ticket);
+                    self.record_wait(adm.since.elapsed());
+                    let resp = execute(&mut session, &adm.req);
+                    // Dropping the session releases the pid and wakes
+                    // the next waiter (possibly another connection's
+                    // admission, via the ready set).
+                    drop(session);
+                    slot.conn.push_response(&resp);
+                    self.requests.fetch_add(1, Ordering::Relaxed);
+                    progress = true;
+                }
+                Poll::Pending => break,
+            }
+        }
+        progress
+    }
+
+    /// Granted tickets are drawn in arrival order, so per shard they
+    /// must be strictly increasing — the observable form of the pool's
+    /// FIFO fairness contract.
+    fn audit_fifo(&self, adm: &Admission<'_>, last_ticket: &mut [Option<u64>]) {
+        let Some(ticket) = adm.fut.ticket() else {
+            return;
+        };
+        let last = &mut last_ticket[adm.shard];
+        if last.is_some_and(|l| ticket <= l) {
+            self.fifo_violations.fetch_add(1, Ordering::Relaxed);
+        }
+        *last = Some(ticket);
+    }
+
+    fn record_wait(&self, waited: Duration) {
+        let mut samples = self.wait_samples.lock().unwrap_or_else(|e| e.into_inner());
+        if samples.len() < MAX_WAIT_SAMPLES {
+            samples.push(waited.as_nanos() as u64);
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("shards", &self.router.shards())
+            .field("capacity", &self.router.capacity())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Decide how a request proceeds (see [`Classified`]). Runs before
+/// admission so requests that need no session never queue.
+fn classify(router: &Router<U64Map>, req: &Request) -> Classified {
+    match req {
+        Request::Txn { ops } if ops.is_empty() => {
+            Classified::Immediate(Response::TxnOk { applied: 0 })
+        }
+        Request::Txn { ops } => {
+            let shard = router.shard_for(&ops[0].key());
+            match ops.iter().find(|op| router.shard_for(&op.key()) != shard) {
+                Some(stray) => Classified::Immediate(Response::Error {
+                    code: ErrorCode::CrossShardTxn,
+                    message: format!(
+                        "key {} routes to shard {}, not the batch's shard {shard}; \
+                         shards are independent databases and cross-shard \
+                         transactions do not exist",
+                        stray.key(),
+                        router.shard_for(&stray.key()),
+                    ),
+                }),
+                None => Classified::Admit(shard),
+            }
+        }
+        _ => {
+            let key = req.routing_key().expect("non-TXN requests carry a key");
+            Classified::Admit(router.shard_for(&key))
+        }
+    }
+}
+
+/// Run one admitted request inside its session lease.
+fn execute(session: &mut Session<'_, U64Map>, req: &Request) -> Response {
+    match req {
+        Request::Get { key } => Response::Value {
+            value: session.get(key),
+        },
+        Request::Put { key, value } => {
+            session.insert(*key, *value);
+            Response::Done
+        }
+        Request::Del { key } => Response::Removed {
+            prev: session.remove(key),
+        },
+        Request::Txn { ops } => {
+            session.write(|txn| {
+                for op in ops {
+                    match *op {
+                        TxnOp::Put { key, value } => txn.insert(key, value),
+                        TxnOp::Del { key } => {
+                            txn.remove(&key);
+                        }
+                    }
+                }
+            });
+            Response::TxnOk {
+                applied: ops.len() as u16,
+            }
+        }
+    }
+}
+
+/// Owner of a running server loop thread (see [`Server::start`]).
+/// Dropping the handle stops and joins the loop.
+pub struct ServerHandle {
+    server: Arc<Server>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The server (stats, wait samples, router).
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Stop the loop and join its thread, returning the loop's exit.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.thread.take() {
+            Some(t) => t.join().expect("server loop panicked"),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr())
+            .finish()
+    }
+}

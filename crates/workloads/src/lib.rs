@@ -24,6 +24,8 @@ pub mod zipf;
 
 pub use corpus::{Corpus, CorpusConfig, Document};
 pub use harness::{run_for, run_for_collect, ThroughputReport};
-pub use oversub::{run_oversubscribed, LatencySummary, OversubReport};
+pub use oversub::{
+    run_oversubscribed, run_oversubscribed_with, Arrivals, LatencySummary, OversubReport,
+};
 pub use ycsb::{Mix, Op, YcsbConfig, YcsbGenerator};
 pub use zipf::{ScrambledZipf, Zipf};

@@ -7,21 +7,28 @@
 //! — and the harness records how long every acquire waited, reporting
 //! tail percentiles of the wait distribution.
 //!
-//! Two arrival models:
+//! Three arrival models (see [`Arrivals`]):
 //!
-//! * **closed loop** (`pacing: None`) — each client issues its next
-//!   acquire immediately after finishing the previous one; the offered
-//!   load self-throttles to the pool's service rate, so the wait tail
-//!   reflects pure queue depth.
-//! * **open loop** (`pacing: Some(interval)`) — each client *schedules*
-//!   an acquire every `interval` (sleeping out the remainder of its
-//!   slot, never skipping); if the pool falls behind, waits compound —
-//!   the coordinated-omission-resistant view of tail latency.
+//! * **closed loop** — each client issues its next acquire immediately
+//!   after finishing the previous one; the offered load self-throttles
+//!   to the pool's service rate, so the wait tail reflects pure queue
+//!   depth.
+//! * **open loop, fixed interval** — each client *schedules* an acquire
+//!   every `interval` (sleeping out the remainder of its slot, never
+//!   skipping); if the pool falls behind, waits compound — the
+//!   coordinated-omission-resistant view of tail latency.
+//! * **open loop, Poisson** — like the fixed interval, but the gaps are
+//!   exponentially distributed around a mean, so arrivals burst the way
+//!   independent network clients do. Bursts are exactly what separates
+//!   an admission queue's p99.9 from its p50.
 //!
 //! The harness is generic over what "a session" is (any `S`), so it
-//! drives `mvcc-core`'s `SessionPool`/`Router` without this crate
-//! depending on them — see `mvcc-bench`'s `oversub` binary.
+//! drives `mvcc-core`'s `SessionPool`/`Router` and `mvcc-net`'s
+//! wire-protocol clients without this crate depending on them — see
+//! `mvcc-bench`'s `oversub` and `net` binaries.
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Latency distribution summary over a set of samples, in nanoseconds.
@@ -37,6 +44,9 @@ pub struct LatencySummary {
     pub p90_ns: u64,
     /// 99th percentile.
     pub p99_ns: u64,
+    /// 99.9th percentile — the burst tail; this is the number the
+    /// admission-queue work is judged on.
+    pub p999_ns: u64,
     /// Worst observed.
     pub max_ns: u64,
 }
@@ -51,6 +61,7 @@ impl LatencySummary {
                 p50_ns: 0,
                 p90_ns: 0,
                 p99_ns: 0,
+                p999_ns: 0,
                 max_ns: 0,
             };
         }
@@ -63,6 +74,7 @@ impl LatencySummary {
             p50_ns: pct(0.50),
             p90_ns: pct(0.90),
             p99_ns: pct(0.99),
+            p999_ns: pct(0.999),
             max_ns: *samples.last().unwrap(),
         }
     }
@@ -72,14 +84,63 @@ impl std::fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "mean {:.1}us p50 {:.1}us p90 {:.1}us p99 {:.1}us max {:.1}us ({} samples)",
+            "mean {:.1}us p50 {:.1}us p90 {:.1}us p99 {:.1}us p99.9 {:.1}us max {:.1}us ({} samples)",
             self.mean_ns as f64 / 1e3,
             self.p50_ns as f64 / 1e3,
             self.p90_ns as f64 / 1e3,
             self.p99_ns as f64 / 1e3,
+            self.p999_ns as f64 / 1e3,
             self.max_ns as f64 / 1e3,
             self.count
         )
+    }
+}
+
+/// How each client times its acquires (the arrival process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrivals {
+    /// Next acquire immediately after the previous release.
+    Closed,
+    /// One acquire scheduled every `interval` from the client's start
+    /// (deterministic open loop).
+    Open(Duration),
+    /// Open loop with exponentially distributed gaps of the given
+    /// `mean` — a Poisson arrival process per client. `seed` makes the
+    /// schedule reproducible; each client derives its own stream.
+    OpenPoisson { mean: Duration, seed: u64 },
+}
+
+impl Arrivals {
+    /// The schedule of a client's arrival offsets (from its start).
+    /// `Closed` yields no scheduled times — arrivals are completions.
+    /// Public so drivers that cannot use [`run_oversubscribed_with`]
+    /// directly (e.g. network clients pacing socket requests) share the
+    /// exact same arrival process.
+    pub fn schedule(&self, client: usize, n: usize) -> Option<Vec<Duration>> {
+        match *self {
+            Arrivals::Closed => None,
+            Arrivals::Open(interval) => Some((0..n).map(|i| interval * i as u32).collect()),
+            Arrivals::OpenPoisson { mean, seed } => {
+                // SplitMix-derived per-client stream; exponential gaps
+                // via inversion: -mean·ln(1-u), u uniform in [0,1).
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mean_ns = mean.as_nanos() as f64;
+                let mut at = Duration::ZERO;
+                Some(
+                    (0..n)
+                        .map(|_| {
+                            let due = at;
+                            let u: f64 = rng.gen();
+                            let gap = -mean_ns * (1.0 - u).ln();
+                            at += Duration::from_nanos(gap as u64);
+                            due
+                        })
+                        .collect(),
+                )
+            }
+        }
     }
 }
 
@@ -103,7 +164,9 @@ pub struct OversubReport {
 ///   it; the wait clock covers exactly this call.
 /// * `work(&mut session, client, iteration)` runs inside the lease; the
 ///   session drops (releases) when it returns.
-/// * `pacing` picks the arrival model (see the module docs).
+/// * `pacing` picks between [`Arrivals::Closed`] (`None`) and
+///   [`Arrivals::Open`] (`Some(interval)`); for Poisson arrivals use
+///   [`run_oversubscribed_with`] directly.
 ///
 /// Every client completes all its acquires — an oversubscribed pool must
 /// serve the excess by queueing, not by shedding.
@@ -118,22 +181,42 @@ where
     A: Fn(usize) -> S + Sync,
     W: Fn(&mut S, usize, usize) + Sync,
 {
+    let arrivals = match pacing {
+        None => Arrivals::Closed,
+        Some(interval) => Arrivals::Open(interval),
+    };
+    run_oversubscribed_with(clients, acquires_per_client, arrivals, acquire, work)
+}
+
+/// [`run_oversubscribed`] with the arrival process spelled out — the
+/// full-control entry point (notably [`Arrivals::OpenPoisson`]).
+///
+/// Open-loop arrivals that are already overdue run immediately but are
+/// never skipped: a slow pool makes waits compound rather than thinning
+/// the offered load (no coordinated omission).
+pub fn run_oversubscribed_with<S, A, W>(
+    clients: usize,
+    acquires_per_client: usize,
+    arrivals: Arrivals,
+    acquire: A,
+    work: W,
+) -> OversubReport
+where
+    A: Fn(usize) -> S + Sync,
+    W: Fn(&mut S, usize, usize) + Sync,
+{
     let start = Instant::now();
     let per_client: Vec<Vec<u64>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let acquire = &acquire;
                 let work = &work;
+                let schedule = arrivals.schedule(c, acquires_per_client);
                 s.spawn(move || {
                     let mut waits = Vec::with_capacity(acquires_per_client);
                     let base = Instant::now();
                     for i in 0..acquires_per_client {
-                        if let Some(interval) = pacing {
-                            // Open loop: arrival i is scheduled at
-                            // base + i·interval; sleep out the remainder
-                            // of the slot but never skip a scheduled
-                            // arrival that is already overdue.
-                            let due = base + interval * i as u32;
+                        if let Some(due) = schedule.as_ref().map(|sch| base + sch[i]) {
                             if let Some(slack) = due.checked_duration_since(Instant::now()) {
                                 std::thread::sleep(slack);
                             }
@@ -172,6 +255,7 @@ mod tests {
         assert_eq!(s.p50_ns, 51); // round(99 * 0.5) = 50 -> value 51
         assert_eq!(s.p90_ns, 90);
         assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.p999_ns, 100); // round(99 * 0.999) = 99 -> value 100
         assert_eq!(s.max_ns, 100);
         assert_eq!(s.mean_ns, 50); // 5050 / 100, integer division
     }
@@ -218,6 +302,44 @@ mod tests {
         // last scheduled arrival at t = 4 * 2ms.
         assert!(t0.elapsed() >= Duration::from_millis(8));
         assert_eq!(report.acquires, 10);
+    }
+
+    #[test]
+    fn poisson_schedule_is_reproducible_and_has_the_right_mean() {
+        let arrivals = Arrivals::OpenPoisson {
+            mean: Duration::from_micros(100),
+            seed: 42,
+        };
+        let a = arrivals.schedule(3, 1000).unwrap();
+        let b = arrivals.schedule(3, 1000).unwrap();
+        assert_eq!(a, b, "same seed + client => same schedule");
+        let other = arrivals.schedule(4, 1000).unwrap();
+        assert_ne!(a, other, "clients draw distinct streams");
+        assert_eq!(a[0], Duration::ZERO, "first arrival is immediate");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets are sorted");
+        // 999 exponential gaps of mean 100us: the sample mean should be
+        // within a generous factor of the target.
+        let mean_ns = a.last().unwrap().as_nanos() as f64 / 999.0;
+        assert!(
+            (50_000.0..200_000.0).contains(&mean_ns),
+            "sample mean gap {mean_ns}ns is far from the 100us target"
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_drive_every_acquire() {
+        let report = run_oversubscribed_with(
+            2,
+            20,
+            Arrivals::OpenPoisson {
+                mean: Duration::from_micros(50),
+                seed: 7,
+            },
+            |_c| {},
+            |_s, _c, _i| {},
+        );
+        assert_eq!(report.acquires, 40);
+        assert_eq!(report.wait.count, 40);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! A wire-protocol client workload: point the binary at a running
+//! `examples/server.rs` and it exercises every request type, checks
+//! the replies against a local model, and reports round-trip latency.
+//!
+//! ```sh
+//! cargo run --release --example server -- 127.0.0.1:7654   # terminal 1
+//! cargo run --release --example client -- 127.0.0.1:7654   # terminal 2
+//! ```
+//!
+//! With no address argument it starts an in-process server on an
+//! ephemeral port and runs against that, so the example works (and CI
+//! builds prove it runs) without any setup.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use multiversion::core::Router;
+use multiversion::ftree::U64Map;
+use multiversion::net::{Client, Server, ServerHandle, TxnOp};
+
+const REQUESTS: usize = 500;
+
+fn main() {
+    // Connect to the given server, or spin up our own.
+    let (addr, _own): (String, Option<ServerHandle>) = match std::env::args().nth(1) {
+        Some(addr) => (addr, None),
+        None => {
+            let router: Arc<Router<U64Map>> = Arc::new(Router::new(2, 4));
+            let handle = Server::start(router, "127.0.0.1:0").expect("bind");
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+    println!("driving {REQUESTS} requests against {addr}");
+
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut rtts = Vec::with_capacity(REQUESTS);
+    let run = Instant::now();
+
+    for i in 0..REQUESTS {
+        let k = (i % 64) as u64;
+        let t = Instant::now();
+        match i % 4 {
+            0 => {
+                client.put(k, i as u64).expect("put");
+                model.insert(k, i as u64);
+            }
+            1 => {
+                let got = client.get(k).expect("get");
+                assert_eq!(got, model.get(&k).copied(), "GET {k} diverged");
+            }
+            2 => {
+                client
+                    .txn(vec![
+                        TxnOp::Put {
+                            key: k,
+                            value: i as u64,
+                        },
+                        TxnOp::Put {
+                            key: k,
+                            value: i as u64 + 1,
+                        },
+                    ])
+                    .expect("single-key txn is always co-sharded");
+                model.insert(k, i as u64 + 1);
+            }
+            _ => {
+                let got = client.del(k).expect("del");
+                assert_eq!(got, model.remove(&k), "DEL {k} diverged");
+            }
+        }
+        rtts.push(t.elapsed().as_nanos() as u64);
+    }
+    let elapsed = run.elapsed();
+
+    // Full final audit: server state matches the model exactly.
+    for (&k, &v) in &model {
+        assert_eq!(client.get(k).expect("audit get"), Some(v), "key {k}");
+    }
+
+    rtts.sort_unstable();
+    let pct = |p: f64| rtts[((rtts.len() - 1) as f64 * p).round() as usize] as f64 / 1e3;
+    println!(
+        "{REQUESTS} requests in {elapsed:?} — rtt p50 {:.1}us p99 {:.1}us max {:.1}us; \
+         model audit of {} keys passed",
+        pct(0.50),
+        pct(0.99),
+        pct(1.0),
+        model.len()
+    );
+}

@@ -166,4 +166,36 @@ fn main() {
         router.capacity(),
         router.stats().commits
     );
+
+    // --- Serving over the network ----------------------------------------
+    // A Server fronts a Router with a length-prefixed binary protocol on
+    // plain TCP: one poll-loop thread, no async runtime. Connections
+    // beyond the router's capacity park their requests as futures in the
+    // same FIFO admission queue `pool.acquire()` uses — a queue entry
+    // each, not a blocked thread — so thousands of clients can share N×P
+    // pids. See `examples/server.rs` / `examples/client.rs` for the two
+    // halves as separate processes.
+    let served: Arc<Router<U64Map>> = Arc::new(Router::new(2, 2));
+    let handle = Server::start(Arc::clone(&served), "127.0.0.1:0").expect("bind loopback");
+    std::thread::scope(|s| {
+        for c in 0..8u64 {
+            // 8 connections onto 4 pids: half are queued at any moment.
+            let addr = handle.addr();
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.put(c, c * 10).expect("put");
+                assert_eq!(client.get(c).expect("get"), Some(c * 10));
+                client
+                    .txn(vec![TxnOp::Put { key: c, value: c }, TxnOp::Del { key: c }])
+                    .expect("single-key batch commits atomically");
+            });
+        }
+    });
+    let stats = handle.server().stats();
+    handle.shutdown().expect("clean shutdown");
+    assert_eq!(served.sessions_leased(), 0);
+    println!(
+        "server: {} requests over {} connections on 4 pids, fifo_violations={}",
+        stats.requests, stats.connections, stats.fifo_violations
+    );
 }

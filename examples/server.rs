@@ -1,0 +1,74 @@
+//! A standalone wire-protocol server: a sharded router behind one
+//! nonblocking poll loop, serving GET/PUT/DEL/TXN over plain TCP.
+//!
+//! Pair with `examples/client.rs` from another terminal:
+//!
+//! ```sh
+//! cargo run --release --example server -- 127.0.0.1:7654
+//! cargo run --release --example client -- 127.0.0.1:7654
+//! ```
+//!
+//! With no address argument the server binds an ephemeral loopback
+//! port, prints it, serves a short built-in client workload against
+//! itself, and exits — so CI's `cargo build --examples` has something
+//! runnable without a free well-known port.
+//!
+//! Shape knobs: `MVCC_SHARDS` (default 2) and `MVCC_PIDS` per shard
+//! (default 8). Every connection beyond shards×pids parks its requests
+//! in the session admission queue — futures, not threads.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use multiversion::core::Router;
+use multiversion::ftree::U64Map;
+use multiversion::net::{Client, Server};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let shards = env_usize("MVCC_SHARDS", 2);
+    let pids = env_usize("MVCC_PIDS", 8);
+    let router: Arc<Router<U64Map>> = Arc::new(Router::new(shards, pids));
+
+    match std::env::args().nth(1) {
+        // Foreground mode: serve the given address until killed.
+        Some(addr) => {
+            let server = Server::bind(Arc::clone(&router), addr.as_str()).expect("bind");
+            println!(
+                "serving {shards}x{pids} pids on {} (ctrl-c to stop)",
+                server.local_addr()
+            );
+            static RUN_FOREVER: AtomicBool = AtomicBool::new(false);
+            server.run_until(&RUN_FOREVER).expect("server loop");
+        }
+        // Self-test mode: ephemeral port, built-in workload, exit.
+        None => {
+            let handle = Server::start(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+            println!(
+                "serving {shards}x{pids} pids on {} (self-test mode)",
+                handle.addr()
+            );
+            let mut client = Client::connect(handle.addr()).expect("connect");
+            for k in 0..100u64 {
+                client.put(k, k * k).expect("put");
+            }
+            assert_eq!(client.get(9).expect("get"), Some(81));
+            assert_eq!(client.del(9).expect("del"), Some(81));
+            drop(client);
+
+            let stats = handle.server().stats();
+            handle.shutdown().expect("clean shutdown");
+            println!(
+                "served {} requests on {} connections, fifo_violations={}",
+                stats.requests, stats.connections, stats.fifo_violations
+            );
+            assert_eq!(router.sessions_leased(), 0, "no pids leaked");
+        }
+    }
+}

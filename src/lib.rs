@@ -25,7 +25,10 @@
 //!   against (per-key chains, scan-based vacuum), for measured contrast;
 //! * [`baselines`] — concurrent comparator structures (Figure 7);
 //! * [`workloads`] — YCSB/Zipfian/corpus generators and the throughput
-//!   harness.
+//!   harness;
+//! * [`net`] — a wire-protocol TCP front end whose connections share
+//!   the session pids through async admission (futures parked in the
+//!   pool's FIFO queue instead of blocked threads).
 //!
 //! ## Quickstart
 //!
@@ -70,6 +73,34 @@
 //! for the full contract and `examples/durable.rs` for a crash/recover
 //! walkthrough.
 //!
+//! ## Serving over the network
+//!
+//! [`net::Server`] fronts a [`core::Router`] with a length-prefixed
+//! binary protocol over plain TCP — no async runtime, one poll-loop
+//! thread, every parked request a queue entry rather than a blocked
+//! thread (see the `mvcc-net` crate docs and `examples/server.rs` /
+//! `examples/client.rs` for the two halves run as real processes):
+//!
+//! ```
+//! use multiversion::core::Router;
+//! use multiversion::ftree::U64Map;
+//! use multiversion::net::{Client, Server};
+//! use std::sync::Arc;
+//!
+//! // 2 shards x 2 pids behind an ephemeral loopback port.
+//! let router: Arc<Router<U64Map>> = Arc::new(Router::new(2, 2));
+//! let handle = Server::start(Arc::clone(&router), "127.0.0.1:0").unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.put(1, 10).unwrap();
+//! assert_eq!(client.get(1).unwrap(), Some(10));
+//! assert_eq!(client.del(1).unwrap(), Some(10));
+//!
+//! drop(client);
+//! handle.shutdown().unwrap();
+//! assert_eq!(router.sessions_leased(), 0);
+//! ```
+//!
 //! ```
 //! use multiversion::core::{Durability, DurableConfig, DurableDatabase};
 //! use multiversion::ftree::U64Map;
@@ -94,6 +125,7 @@ pub use mvcc_core as core;
 pub use mvcc_fds as fds;
 pub use mvcc_ftree as ftree;
 pub use mvcc_index as index;
+pub use mvcc_net as net;
 pub use mvcc_plm as plm;
 pub use mvcc_vlist as vlist;
 pub use mvcc_vm as vm;
@@ -110,5 +142,6 @@ pub mod prelude {
     pub use mvcc_fds::{CellSession, VersionedCell};
     pub use mvcc_ftree::{Forest, MaxU64Map, SumU64Map, TreeParams, U64Map};
     pub use mvcc_index::{IndexSession, InvertedIndex};
+    pub use mvcc_net::{Client, Server, ServerHandle, TxnOp};
     pub use mvcc_vm::{VersionMaintenance, VmKind};
 }
