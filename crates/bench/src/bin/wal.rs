@@ -2,7 +2,7 @@
 //! under each fsync policy, and how recovery time grows with the length
 //! of the un-checkpointed WAL tail.
 //!
-//! Two experiment families, both into `BENCH_wal.json`:
+//! Three experiment families, all into `BENCH_wal.json`:
 //!
 //! * `modes` — a single durable writer committing fixed-size batches of
 //!   Zipfian updates against real files for `MVCC_SECS`, once per
@@ -11,6 +11,13 @@
 //!   in-memory commit path (the no-regression baseline the acceptance
 //!   criteria cite); `always` pays one fsync per commit, so the gap
 //!   between the three rows *is* the durability price list.
+//! * `group_commit` — 1/2/4/8 concurrent `Durability::Always` writers,
+//!   once with each writer paying its own fsync
+//!   ([`GroupCommit::Serial`], the `always` mode's multi-writer shape)
+//!   and once with overlapping commits coalescing into shared fsyncs
+//!   ([`GroupCommit::Leader`]). The leader rows should match serial at
+//!   one writer (nothing overlaps) and pull ahead as writers are added,
+//!   with `mean_group` telling how many commits each fsync amortized.
 //! * `recovery` — fill a WAL tail of `N` batches (no checkpoint), then
 //!   time `DurableDatabase::recover`; repeat with a checkpoint taken
 //!   right before the tail so only the tail replays. Recovery must scale
@@ -26,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use mvcc_bench::json::{self, JsonWriter};
 use mvcc_bench::{env_u64, run_secs};
-use mvcc_core::{Durability, DurableConfig, DurableDatabase, DurableSession};
+use mvcc_core::{Durability, DurableConfig, DurableDatabase, DurableSession, GroupCommit};
 use mvcc_ftree::U64Map;
 use mvcc_workloads::{run_for_collect, LatencySummary, ScrambledZipf};
 use rand::rngs::SmallRng;
@@ -93,6 +100,65 @@ fn measure_mode(
         commits_per_sec,
         commits_per_sec * batch as f64,
         LatencySummary::from_ns(&mut samples),
+    )
+}
+
+fn group_name(g: GroupCommit) -> &'static str {
+    match g {
+        GroupCommit::Serial => "serial",
+        GroupCommit::Leader => "leader",
+        GroupCommit::Flusher { .. } => "flusher",
+    }
+}
+
+/// One time-boxed multi-writer `Durability::Always` run; returns total
+/// commits/s, the merged per-commit latency across writers, and the
+/// mean records-per-fsync the WAL achieved.
+fn measure_group(
+    writers: usize,
+    group: GroupCommit,
+    secs: f64,
+    batch: u64,
+    zipf: &ScrambledZipf,
+) -> (f64, LatencySummary, f64) {
+    let dir = scratch_dir(&format!("group-{writers}-{}", group_name(group)));
+    let db: DurableDatabase<U64Map> = DurableDatabase::recover(
+        &dir,
+        writers,
+        DurableConfig::default().with_group_commit(group),
+    )
+    .unwrap_or_else(|e| panic!("open {}: {e}", dir.display()));
+    let (report, states) = run_for_collect(
+        writers,
+        Duration::from_secs_f64(secs),
+        |i| {
+            (
+                db.session().expect("pool sized to the writer count"),
+                SmallRng::seed_from_u64(42 + i as u64),
+                Vec::<u64>::new(),
+            )
+        },
+        |_, iter, (session, rng, samples): &mut (DurableSession<'_, U64Map>, _, _)| {
+            let t0 = Instant::now();
+            session
+                .write(|txn| {
+                    for i in 0..batch {
+                        txn.insert(zipf.sample(rng), iter * batch + i);
+                    }
+                })
+                .expect("durable commit");
+            samples.push(t0.elapsed().as_nanos() as u64);
+            1
+        },
+    );
+    let mean_group = db.durable_stats().mean_group();
+    let mut samples: Vec<u64> = states.into_iter().flat_map(|(_, _, s)| s).collect();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        report.ops_per_sec(),
+        LatencySummary::from_ns(&mut samples),
+        mean_group,
     )
 }
 
@@ -165,7 +231,9 @@ fn main() {
          every 8th), always = fsync per commit; recovery rows time \
          DurableDatabase::recover with the given un-checkpointed tail — \
          checkpointed rows replay only the tail, so they stay flat as the \
-         pre-checkpoint history grows",
+         pre-checkpoint history grows; group_commit rows run N concurrent \
+         Always writers with per-commit fsyncs (serial) vs coalesced group \
+         fsyncs (leader)",
     );
 
     jw.begin_object("modes");
@@ -187,6 +255,35 @@ fn main() {
         jw.field_u64("p99_ns", latency.p99_ns);
         jw.field_u64("max_ns", latency.max_ns);
         jw.end_object();
+        jw.end_object();
+    }
+    jw.end_object();
+
+    jw.begin_object("group_commit");
+    for writers in [1usize, 2, 4, 8] {
+        jw.begin_object(&format!("writers_{writers}"));
+        for group in [GroupCommit::Serial, GroupCommit::Leader] {
+            let (commits, latency, mean_group) = measure_group(writers, group, secs, batch, &zipf);
+            println!(
+                "  {writers} writer(s) {:<7} {commits:>9.0} commits/s  p50 {:>8} ns  \
+                 p99 {:>8} ns  mean group {mean_group:.2}",
+                group_name(group),
+                latency.p50_ns,
+                latency.p99_ns
+            );
+            jw.begin_object(group_name(group));
+            jw.field_f64("commits_per_sec", commits);
+            jw.field_f64("mean_records_per_fsync", mean_group);
+            jw.begin_object("commit_latency");
+            jw.field_u64("count", latency.count);
+            jw.field_u64("mean_ns", latency.mean_ns);
+            jw.field_u64("p50_ns", latency.p50_ns);
+            jw.field_u64("p99_ns", latency.p99_ns);
+            jw.field_u64("p999_ns", latency.p999_ns);
+            jw.field_u64("max_ns", latency.max_ns);
+            jw.end_object();
+            jw.end_object();
+        }
         jw.end_object();
     }
     jw.end_object();

@@ -3,7 +3,8 @@
 //! One module per experiment family; the `src/bin/` harnesses print the
 //! corresponding table/figure rows. All parameters scale via environment
 //! variables so the same code runs on the paper's 144-thread box or a
-//! 1-core CI machine (see EXPERIMENTS.md):
+//! 1-core CI machine (the workspace-level `BENCH.md` documents every
+//! recorded `BENCH_*.json` schema and its regeneration command):
 //!
 //! | var | default | meaning |
 //! |-----|---------|---------|

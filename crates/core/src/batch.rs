@@ -97,6 +97,9 @@ struct Buffer<P: TreeParams> {
     pushed: AtomicU64,
     /// Total operations applied in committed versions (combiner-side).
     applied: AtomicU64,
+    /// Total operations whose commit's durability ack has landed
+    /// (combiner-side; trails `applied` while a group fsync is pending).
+    durable: AtomicU64,
 }
 
 /// The Appendix F combining writer for a [`crate::Database`].
@@ -119,6 +122,7 @@ impl<P: TreeParams> BatchWriter<P> {
                     queue: ArrayQueue::new(capacity),
                     pushed: AtomicU64::new(0),
                     applied: AtomicU64::new(0),
+                    durable: AtomicU64::new(0),
                 })
                 .collect(),
         }
@@ -175,6 +179,26 @@ impl<P: TreeParams> BatchWriter<P> {
     /// Spin until [`BatchWriter::is_applied`].
     pub fn wait_applied(&self, ticket: Ticket) {
         while !self.is_applied(ticket) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Has the operation behind `ticket` been made **durable** — applied
+    /// in a committed version whose durability ack has landed? Through
+    /// [`BatchWriter::combine`] (no WAL) this coincides with
+    /// [`BatchWriter::is_applied`]; through
+    /// [`BatchWriter::combine_durable`] under group commit it trails
+    /// `is_applied` by the group fsync.
+    pub fn is_durable(&self, ticket: Ticket) -> bool {
+        self.buffers[ticket.producer]
+            .durable
+            .load(Ordering::Acquire)
+            >= ticket.seq
+    }
+
+    /// Spin until [`BatchWriter::is_durable`].
+    pub fn wait_durable(&self, ticket: Ticket) {
+        while !self.is_durable(ticket) {
             std::thread::yield_now();
         }
     }
@@ -239,11 +263,18 @@ impl<P: TreeParams> BatchWriter<P> {
         })
     }
 
-    /// Publish watermarks: producers can now observe that their drained
-    /// operations are applied.
+    /// Publish applied watermarks: producers can now observe that their
+    /// drained operations are applied (visible in a committed version).
     fn publish(&self, per_producer: &[(usize, u64)]) {
         for &(i, n) in per_producer {
             self.buffers[i].applied.fetch_add(n, Ordering::Release);
+        }
+    }
+
+    /// Publish durable watermarks: the commit's durability ack landed.
+    fn publish_durable(&self, per_producer: &[(usize, u64)]) {
+        for &(i, n) in per_producer {
+            self.buffers[i].durable.fetch_add(n, Ordering::Release);
         }
     }
 
@@ -281,16 +312,23 @@ impl<P: TreeParams> BatchWriter<P> {
         forest.release(ins_tree);
 
         self.publish(&batch.per_producer);
+        self.publish_durable(&batch.per_producer); // no WAL: applied = durable
         batch.total
     }
 
     /// [`BatchWriter::combine`] through a durable session: the whole
-    /// resolved batch commits as **one WAL record** (and one version), so
-    /// a producer's [`Ticket`] becoming applied means its operation is
-    /// durable to the [`crate::Durability`] policy's guarantee. Returns
-    /// the number of operations applied; on a WAL error nothing is
-    /// applied or published, and the drained operations are dropped (the
-    /// producers' tickets never turn applied).
+    /// resolved batch commits as **one WAL record** (and one version).
+    /// Applied watermarks publish as soon as the commit is visible and
+    /// logged; durable watermarks publish once its [`crate::CommitAck`]
+    /// lands — under [`crate::GroupCommit`] coalescing, that is the
+    /// group's shared fsync, so flat-combined producers polling
+    /// [`BatchWriter::is_durable`] block only until their group's fsync.
+    /// Returns the number of operations applied.
+    ///
+    /// On a WAL publish error nothing is applied and the drained
+    /// operations are dropped (the tickets never turn applied). If the
+    /// commit lands but its *group flush* fails, applied watermarks stay
+    /// published, durable ones do not, and the flush error is returned.
     pub fn combine_durable<M: VersionMaintenance>(
         &self,
         session: &mut DurableSession<'_, P, M>,
@@ -304,11 +342,13 @@ impl<P: TreeParams> BatchWriter<P> {
         };
         // The resolved values are final (last-writer-wins overwrite), so
         // the delta log records exactly `inserts` + `removes`.
-        session.write(|txn| {
+        let (_, ack) = session.write_acked(|txn| {
             txn.multi_insert(batch.inserts.clone(), |_old, new| new.clone());
             txn.multi_remove(batch.removes.clone());
         })?;
         self.publish(&batch.per_producer);
+        ack.wait()?;
+        self.publish_durable(&batch.per_producer);
         Ok(batch.total)
     }
 }
@@ -477,6 +517,51 @@ mod tests {
         // one would leak them here).
         assert_eq!(db.live_versions(), 1);
         assert_eq!(db.forest().arena().live(), 19);
+    }
+
+    #[test]
+    fn combine_durable_publishes_applied_then_durable() {
+        use crate::{DurableConfig, DurableDatabase, GroupCommit};
+        use mvcc_wal::FaultStorage;
+        use std::sync::Arc;
+
+        let storage = FaultStorage::unfaulted();
+        {
+            let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+                Arc::new(storage.clone()),
+                2,
+                DurableConfig::default().with_group_commit(GroupCommit::Leader),
+            )
+            .unwrap();
+            let mut combiner = db.session().unwrap();
+            let bw: BatchWriter<U64Map> = BatchWriter::new(2, 64);
+            let t0 = bw.submit(0, MapOp::Insert(1, 10)).unwrap();
+            let t1 = bw.submit(1, MapOp::Insert(2, 20)).unwrap();
+            bw.submit(1, MapOp::Remove(1)).unwrap();
+            assert!(!bw.is_applied(t0));
+            assert!(!bw.is_durable(t0));
+            let applied = bw.combine_durable(&mut combiner).unwrap();
+            assert_eq!(applied, 3);
+            // combine_durable waits out the ack before returning, so both
+            // watermarks are published (a lone combiner leads its own
+            // group flush).
+            assert!(bw.is_applied(t0) && bw.is_durable(t0));
+            assert!(bw.is_applied(t1) && bw.is_durable(t1));
+            bw.wait_durable(t1);
+            assert_eq!(combiner.get(&1), None, "producer 1's remove wins");
+            assert_eq!(combiner.get(&2), Some(20));
+        }
+        // The flat-combined batch is one WAL record; it replays whole.
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(db.recovery().replayed, 1, "one record for the batch");
+        let mut s = db.session().unwrap();
+        assert_eq!(s.get(&1), None);
+        assert_eq!(s.get(&2), Some(20));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Durable transactions: the WAL-backed commit path, snapshot-consistent
-//! checkpoints, and crash recovery for a [`Database`].
+//! Durable transactions: the group-commit WAL pipeline, snapshot-
+//! consistent checkpoints, and crash recovery for a [`Database`].
 //!
 //! A [`DurableDatabase`] wraps the in-memory multiversion database with
 //! the `mvcc-wal` layers:
@@ -7,11 +7,20 @@
 //! * **Commit** — a durable write transaction runs the usual Figure 1
 //!   skeleton, but its key/value deltas are recorded and the batch is
 //!   *published to the write-ahead log before the version becomes
-//!   visible*: WAL append (the commit point, fsynced per the
-//!   [`Durability`] policy) happens between user code and the VM `set`.
-//!   Durable writers serialize on a commit mutex, so the `set` cannot
-//!   lose a race to another durable writer and every batch gets the next
-//!   `commit_ts` in log order.
+//!   visible*: the WAL publish happens between user code and the VM
+//!   `set`, inside a commit mutex that hands every batch the next
+//!   `commit_ts` in log order (so the `set` cannot lose a race to
+//!   another durable writer). What "publish" costs depends on the
+//!   [`GroupCommit`] policy: `Serial` appends *and fsyncs* the frame
+//!   inside the critical section, while `Leader`/`Flusher` only
+//!   *enqueue* the record on the WAL's commit-ordered group tail there
+//!   and wait for the coalesced group fsync **outside** the lock — one
+//!   fsync covers every commit that overlapped it. The invariant is
+//!   then *logged-before-visible, durable-before-acked*: a commit is in
+//!   the log before readers can see it, and [`DurableSession::write`]
+//!   returns (or [`CommitAck::wait`] completes) only once its group's
+//!   fsync landed. [`DurableSession::write_acked`] splits the commit at
+//!   that seam for callers that want to overlap work with the flush.
 //! * **Checkpoint** — [`DurableDatabase::checkpoint`] pins a snapshot via
 //!   the existing session machinery (`begin_read` under a brief clock
 //!   lock), then walks it *at its own pace while writers proceed* — the
@@ -20,8 +29,13 @@
 //! * **Recovery** — [`DurableDatabase::recover`] loads the newest valid
 //!   checkpoint, replays the WAL tail after it, and gracefully degrades
 //!   on a torn tail (replay ends at the last intact record; see
-//!   [`mvcc_wal::Replay`]). Replaying the same WAL twice is a no-op:
-//!   batches at or below the recovered `commit_ts` are skipped.
+//!   [`mvcc_wal::Replay`]). A coalesced group is one CRC-guarded
+//!   multi-record frame, so its members replay all-or-nothing — after a
+//!   crash, each writer recovers a gapless prefix of its acked commits
+//!   plus at most its one in-flight commit
+//!   (`acked <= T <= acked + group_size`). Replaying the same WAL twice
+//!   is a no-op: batches at or below the recovered `commit_ts` are
+//!   skipped.
 //!
 //! [`Durability::Off`] keeps today's in-memory behavior: writes go
 //! straight through the lock-free session path — no logging, no commit
@@ -38,7 +52,9 @@
 //! that race is a misuse, not a liveness event.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 use mvcc_ftree::TreeParams;
 use mvcc_vm::{PswfVm, VersionMaintenance};
@@ -71,11 +87,52 @@ pub enum Durability {
     Off,
 }
 
+/// How concurrent [`Durability::Always`] committers share fsyncs.
+///
+/// * [`Serial`](GroupCommit::Serial) — each commit appends its own frame
+///   and pays its own fsync inside the commit critical section (the
+///   original durable path). Simplest; the per-commit fsync bounds
+///   multi-writer throughput.
+/// * [`Leader`](GroupCommit::Leader) — commits *enqueue* their batch on
+///   the WAL's group tail inside the critical section and wait for
+///   durability outside it. The first waiter to find no flush in
+///   progress elects itself leader and flushes the whole pending group
+///   (one append, one fsync); commits that arrive during that flush form
+///   the next group. Coalescing is driven purely by overlap — a lone
+///   writer degenerates to one fsync per commit, same as `Serial`.
+/// * [`Flusher`](GroupCommit::Flusher) — a dedicated background thread
+///   flushes the group tail after waiting up to `max_coalesce` for more
+///   commits to accumulate; committers wait passively. Trades up to
+///   `max_coalesce` of added commit latency for bigger groups (useful
+///   when writers rarely overlap but fsyncs are expensive).
+///
+/// Group commit only changes *when the fsync happens*, never what is
+/// logged: records still enter the WAL's commit-ordered tail before the
+/// version becomes visible, and an `Ok` from [`DurableSession::write`]
+/// (or [`CommitAck::wait`]) still means durable. The policy applies only
+/// under [`Durability::Always`]; `EveryN` and `Off` already amortize or
+/// skip fsyncs, so they keep the serial path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupCommit {
+    /// One frame + one fsync per commit, inside the commit lock.
+    Serial,
+    /// First durability waiter flushes the whole pending group.
+    Leader,
+    /// A dedicated thread flushes after a bounded coalescing wait.
+    Flusher {
+        /// How long the flusher lets a non-empty group accumulate before
+        /// flushing it (an upper bound on added commit latency).
+        max_coalesce: Duration,
+    },
+}
+
 /// Configuration for opening / recovering a [`DurableDatabase`].
 #[derive(Debug, Clone)]
 pub struct DurableConfig {
     /// Commit durability policy.
     pub durability: Durability,
+    /// Fsync-sharing policy for concurrent `Always` committers.
+    pub group_commit: GroupCommit,
     /// WAL segment rotation threshold in bytes.
     pub segment_bytes: u64,
     /// Transient I/O retry policy for WAL appends.
@@ -87,6 +144,7 @@ impl Default for DurableConfig {
         let wal = WalConfig::default();
         DurableConfig {
             durability: Durability::Always,
+            group_commit: GroupCommit::Serial,
             segment_bytes: wal.segment_bytes,
             retry: wal.retry,
         }
@@ -97,6 +155,12 @@ impl DurableConfig {
     /// The default config with a different [`Durability`] policy.
     pub fn with_durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// This config with a different [`GroupCommit`] policy.
+    pub fn with_group_commit(mut self, group_commit: GroupCommit) -> Self {
+        self.group_commit = group_commit;
         self
     }
 
@@ -195,6 +259,121 @@ pub struct RecoveryReport {
     pub dropped_segments: usize,
 }
 
+/// Group-commit counters of a [`DurableDatabase`]
+/// (see [`DurableDatabase::durable_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Group flushes that reached storage (one append + one fsync each).
+    pub groups_flushed: u64,
+    /// Commits coalesced across all flushed groups.
+    pub batches_flushed: u64,
+    /// The largest single group flushed.
+    pub max_group: u64,
+    /// Total wall-clock nanoseconds spent inside group flushes.
+    pub flush_ns_total: u64,
+    /// Commits enqueued on the group tail but not yet flushed (a racy
+    /// snapshot).
+    pub pending_batches: u64,
+}
+
+impl DurableStats {
+    /// Mean commits per flushed group (0.0 before the first flush).
+    pub fn mean_group(&self) -> f64 {
+        if self.groups_flushed == 0 {
+            0.0
+        } else {
+            self.batches_flushed as f64 / self.groups_flushed as f64
+        }
+    }
+
+    /// Mean wall-clock time per group flush.
+    pub fn mean_flush(&self) -> Duration {
+        self.flush_ns_total
+            .checked_div(self.groups_flushed)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+}
+
+/// An awaitable durability acknowledgement for one commit, returned by
+/// [`DurableSession::write_acked`].
+///
+/// When the ack is created the commit is already *visible* (readers see
+/// it) and *logged* (its record sits in the WAL's commit-ordered tail);
+/// [`CommitAck::wait`] blocks until it is *durable* — covered by a group
+/// fsync. Under [`GroupCommit::Serial`] (and `EveryN`/`Off`) the commit
+/// is as durable as the policy makes it before `write_acked` even
+/// returns, so `wait` is free.
+///
+/// The ack holds an `Arc` to the WAL, not a borrow of the session: it
+/// may be stored, sent to another thread, or waited on after the session
+/// is gone.
+#[must_use = "a group commit is only durable once the ack is waited on"]
+pub struct CommitAck {
+    /// `None`: already as durable as the policy guarantees.
+    wal: Option<Arc<Wal>>,
+    seq: u64,
+    /// Whether the waiter may lead the flush ([`GroupCommit::Leader`]) or
+    /// should defer to the dedicated flusher ([`GroupCommit::Flusher`]).
+    lead: bool,
+    commit_ts: Option<u64>,
+}
+
+impl std::fmt::Debug for CommitAck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitAck")
+            .field("seq", &self.seq)
+            .field("lead", &self.lead)
+            .field("commit_ts", &self.commit_ts)
+            .field("durable", &self.is_durable())
+            .finish()
+    }
+}
+
+impl CommitAck {
+    fn immediate(commit_ts: Option<u64>) -> CommitAck {
+        CommitAck {
+            wal: None,
+            seq: 0,
+            lead: false,
+            commit_ts,
+        }
+    }
+
+    /// The `commit_ts` this commit established (`None` under
+    /// [`Durability::Off`], whose commits bypass the commit clock).
+    pub fn commit_ts(&self) -> Option<u64> {
+        self.commit_ts
+    }
+
+    /// Has a flush already covered this commit? (Non-blocking; `true` is
+    /// stable.)
+    pub fn is_durable(&self) -> bool {
+        match &self.wal {
+            None => true,
+            Some(wal) => wal.durable_seq() >= self.seq,
+        }
+    }
+
+    /// Block until this commit is durable. Under [`GroupCommit::Leader`]
+    /// the caller may end up performing the group flush itself. `Err`
+    /// means the flush failed *after* the commit became visible — the
+    /// log is poisoned (see [`WalError::Poisoned`]) and the commit,
+    /// while readable in memory, may not survive a crash.
+    pub fn wait(&self) -> Result<(), DurableError> {
+        match &self.wal {
+            None => Ok(()),
+            Some(wal) => {
+                if self.lead {
+                    wal.wait_durable(self.seq)?;
+                } else {
+                    wal.wait_durable_passive(self.seq)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// The durable commit clock, shared by all durable writers under one
 /// mutex: the next batch's identifiers are assigned inside the critical
 /// section, so `commit_ts` is strictly increasing along the WAL.
@@ -214,9 +393,69 @@ pub struct DurableDatabase<P: TreeParams, M: VersionMaintenance = PswfVm> {
     db: Database<P, M>,
     storage: Arc<dyn Storage>,
     /// `None` under [`Durability::Off`]: commits skip logging entirely.
-    wal: Option<Wal>,
+    /// Shared ([`Arc`]) so [`CommitAck`]s and the flusher thread can
+    /// outlive the borrow of a session.
+    wal: Option<Arc<Wal>>,
+    /// The *effective* group-commit policy ([`GroupCommit::Serial`]
+    /// whenever durability is not [`Durability::Always`]).
+    group: GroupCommit,
+    _flusher: Option<FlusherHandle>,
     commit: Mutex<CommitClock>,
     report: RecoveryReport,
+}
+
+/// The dedicated flusher thread of [`GroupCommit::Flusher`], joined on
+/// drop (after a final flush of whatever is still pending).
+struct FlusherHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlusherHandle {
+    fn spawn(wal: Arc<Wal>, max_coalesce: Duration) -> FlusherHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        // The park interval bounds both shutdown latency and how stale an
+        // empty-tail check can go; the coalescing window itself is the
+        // sleep between "work observed" and "flush".
+        let idle = max_coalesce.max(Duration::from_micros(100));
+        let join = std::thread::Builder::new()
+            .name("mvcc-wal-flusher".into())
+            .spawn(move || loop {
+                if stop2.load(Ordering::Acquire) {
+                    let _ = wal.flush_pending();
+                    return;
+                }
+                if wal.pending_batches() > 0 {
+                    std::thread::sleep(max_coalesce);
+                    // A poisoned log surfaces to the waiters themselves;
+                    // the flusher just parks until shutdown.
+                    if wal.flush_pending().is_err() {
+                        while !stop2.load(Ordering::Acquire) {
+                            std::thread::park_timeout(idle);
+                        }
+                        return;
+                    }
+                } else {
+                    std::thread::park_timeout(idle);
+                }
+            })
+            .expect("spawn wal flusher thread");
+        FlusherHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+impl Drop for FlusherHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            join.thread().unpark();
+            let _ = join.join();
+        }
+    }
 }
 
 fn decode_ops<P: TreeParams>(ops: &[WalOp]) -> Result<Vec<MapOp<P>>, DurableError>
@@ -362,13 +601,28 @@ where
             }
         }
 
+        // Group commit only applies where every commit would otherwise
+        // pay its own fsync; EveryN and Off keep the serial path.
+        let group = match (cfg.durability, cfg.group_commit) {
+            (Durability::Always, g) => g,
+            _ => GroupCommit::Serial,
+        };
+        let wal = match cfg.durability {
+            Durability::Off => None,
+            _ => Some(Arc::new(wal)),
+        };
+        let _flusher = match (&wal, group) {
+            (Some(wal), GroupCommit::Flusher { max_coalesce }) => {
+                Some(FlusherHandle::spawn(Arc::clone(wal), max_coalesce))
+            }
+            _ => None,
+        };
         Ok(DurableDatabase {
             db,
             storage,
-            wal: match cfg.durability {
-                Durability::Off => None,
-                _ => Some(wal),
-            },
+            wal,
+            group,
+            _flusher,
             commit: Mutex::new(CommitClock { next_tx, last_ts }),
             report,
         })
@@ -409,11 +663,39 @@ impl<P: TreeParams, M: VersionMaintenance> DurableDatabase<P, M> {
     /// Total bytes currently held by WAL segments (0 when logging is
     /// off). Grows with commits, shrinks at checkpoints.
     pub fn wal_bytes(&self) -> u64 {
-        self.wal.as_ref().map_or(0, Wal::bytes)
+        self.wal.as_ref().map_or(0, |w| w.bytes())
     }
 
-    /// Force an fsync of the WAL (flushes a pending
-    /// [`Durability::EveryN`] group). A no-op with logging off.
+    /// The effective [`GroupCommit`] policy (always
+    /// [`GroupCommit::Serial`] unless durability is
+    /// [`Durability::Always`]).
+    pub fn group_commit(&self) -> GroupCommit {
+        self.group
+    }
+
+    /// Group-commit counters: how many flushes ran, how many commits
+    /// they coalesced, the largest group, total flush time, and how many
+    /// commits are enqueued but not yet flushed right now. All zero
+    /// under [`GroupCommit::Serial`] (and with logging off).
+    pub fn durable_stats(&self) -> DurableStats {
+        match &self.wal {
+            Some(wal) => {
+                let g = wal.group_stats();
+                DurableStats {
+                    groups_flushed: g.groups,
+                    batches_flushed: g.batches,
+                    max_group: g.max_group,
+                    flush_ns_total: g.flush_ns,
+                    pending_batches: wal.pending_batches() as u64,
+                }
+            }
+            None => DurableStats::default(),
+        }
+    }
+
+    /// Force an fsync of the WAL (flushes the pending group-commit tail
+    /// and any pending [`Durability::EveryN`] group). A no-op with
+    /// logging off.
     pub fn sync(&self) -> Result<(), DurableError> {
         match &self.wal {
             Some(wal) => wal.sync().map_err(DurableError::from),
@@ -458,6 +740,12 @@ where
     /// rather than commits.
     pub fn checkpoint(&self) -> Result<u64, DurableError> {
         let mut session = self.db.pool().acquire();
+        // Flush the pending group tail first so the image the checkpoint
+        // pins (which may include visible-but-unflushed group commits) is
+        // never *ahead* of the durable log it truncates.
+        if let Some(wal) = &self.wal {
+            wal.flush_pending()?;
+        }
         // Pin the snapshot at a known clock value: no durable commit can
         // land between reading `last_ts` and acquiring the version.
         let mut clock = self.clock();
@@ -554,11 +842,21 @@ where
     /// Run a **durable write transaction**.
     ///
     /// User code sees a [`DurableTxn`] — the [`WriteTxn`] surface, with
-    /// every delta recorded. On return the batch is appended to the WAL
-    /// (fsynced per the [`Durability`] policy) *before* the new version
-    /// becomes visible; `Ok` means both happened. On a WAL error the
-    /// in-memory database is untouched and the error is surfaced — the
-    /// transaction did not happen.
+    /// every delta recorded. On return the batch is in the WAL *before*
+    /// the new version becomes visible, and `Ok` means the commit is as
+    /// durable as the [`Durability`] policy guarantees: under
+    /// [`GroupCommit::Serial`] the frame was appended and fsynced inside
+    /// the commit critical section; under `Leader`/`Flusher` the record
+    /// entered the WAL's commit-ordered tail inside the critical section
+    /// and this call then waited (outside it) for the group fsync —
+    /// equivalent to [`DurableSession::write_acked`] followed by an
+    /// immediate [`CommitAck::wait`].
+    ///
+    /// On a WAL *append* error the in-memory database is untouched and
+    /// the error is surfaced — the transaction did not happen. A group
+    /// *flush* error is different: the commit is already visible but its
+    /// durability is unknown, the log is poisoned, and every coalesced
+    /// waiter gets [`WalError::Poisoned`] (see [`CommitAck::wait`]).
     ///
     /// Under [`Durability::Off`] this is exactly [`Session::write`]
     /// (lock-free, retrying, nothing logged), wrapped in `Ok`.
@@ -568,22 +866,44 @@ where
     /// runs exactly once.
     pub fn write<R>(
         &mut self,
-        mut f: impl FnMut(&mut DurableTxn<'_, '_, P>) -> R,
+        f: impl FnMut(&mut DurableTxn<'_, '_, P>) -> R,
     ) -> Result<R, DurableError> {
+        let (result, ack) = self.write_acked(f)?;
+        ack.wait()?;
+        Ok(result)
+    }
+
+    /// [`DurableSession::write`], split at the durability wait: returns
+    /// as soon as the commit is **visible and logged**, handing back a
+    /// [`CommitAck`] to await (or poll) the group fsync.
+    ///
+    /// This is the producer side of group commit: a committer that does
+    /// other work between `write_acked` and [`CommitAck::wait`] overlaps
+    /// that work with its group's flush, and commits that land while a
+    /// flush is in flight coalesce into the next one. With
+    /// [`GroupCommit::Serial`] (or `EveryN`/`Off`) the returned ack is
+    /// already satisfied and `wait` is free.
+    pub fn write_acked<R>(
+        &mut self,
+        mut f: impl FnMut(&mut DurableTxn<'_, '_, P>) -> R,
+    ) -> Result<(R, CommitAck), DurableError> {
         let dd = self.dd;
         let Some(wal) = &dd.wal else {
             // Durability::Off: the unmodified in-memory commit path.
-            return Ok(self
+            let result = self
                 .inner
-                .write(|txn| f(&mut DurableTxn { txn, log: None })));
+                .write(|txn| f(&mut DurableTxn { txn, log: None }));
+            return Ok((result, CommitAck::immediate(None)));
         };
+        let grouped = !matches!(dd.group, GroupCommit::Serial);
 
         let db = self.inner.database();
         self.ops.clear();
 
-        // Serialize durable writers: commit_ts assignment, WAL append and
-        // `set` form one critical section, so the log order is the commit
-        // order and `set` cannot lose to another *durable* writer.
+        // Serialize durable writers: commit_ts assignment, WAL publish
+        // and `set` form one critical section, so the log order is the
+        // commit order and `set` cannot lose to another *durable* writer.
+        // The group fsync is NOT in here — that is the whole point.
         let mut clock = dd.clock();
         let _pin = db.forest().arena().pin(self.inner.alloc_ctx());
         let pid = self.inner.pid();
@@ -597,25 +917,35 @@ where
         let new_root = txn.root();
 
         // Publish to the log BEFORE the version becomes visible: the WAL
-        // record is the commit point.
+        // record is the commit point. Serial appends (and fsyncs) here;
+        // grouped mode enqueues on the commit-ordered tail and defers
+        // the fsync to the group flush.
         let batch = WalBatch {
             tx_id: clock.next_tx,
             commit_ts: clock.last_ts + 1,
             snapshot_ts: clock.last_ts,
             ops: encode_ops::<P>(&self.ops),
         };
-        if let Err(e) = wal.append(&batch) {
-            // The log rolled the frame back (or poisoned itself so no
-            // later append can bury it): nothing visible, nothing the
-            // next recovery would replay as acked. Release the
-            // speculative version and leave the database as it was;
-            // `commit_ts` is safe to reuse because the failed frame is
-            // off the log.
-            db.forest().release(new_root);
-            db.finish_txn(pid, &mut self.inner.released);
-            self.inner.aborts += 1;
-            return Err(e.into());
-        }
+        let publish = if grouped {
+            wal.enqueue(&batch).map(Some)
+        } else {
+            wal.append(&batch).map(|()| None)
+        };
+        let seq = match publish {
+            Ok(seq) => seq,
+            Err(e) => {
+                // Nothing entered the log (a failed serial append rolls
+                // its frame back; a refused enqueue never queued):
+                // nothing visible, nothing the next recovery would
+                // replay as acked. Release the speculative version and
+                // leave the database as it was; `commit_ts` is safe to
+                // reuse because the failed record is off the log.
+                db.forest().release(new_root);
+                db.finish_txn(pid, &mut self.inner.released);
+                self.inner.aborts += 1;
+                return Err(e.into());
+            }
+        };
         // The batch is in the log; its identifiers are spent even if the
         // `set` below loses to a contract-violating raw writer.
         clock.next_tx += 1;
@@ -625,7 +955,16 @@ where
         db.finish_txn(pid, &mut self.inner.released);
         if ok {
             self.inner.commits += 1;
-            Ok(result)
+            let ack = match seq {
+                Some(seq) => CommitAck {
+                    wal: Some(Arc::clone(wal)),
+                    seq,
+                    lead: !matches!(dd.group, GroupCommit::Flusher { .. }),
+                    commit_ts: Some(batch.commit_ts),
+                },
+                None => CommitAck::immediate(Some(batch.commit_ts)),
+            };
+            Ok((result, ack))
         } else {
             db.forest().release(new_root);
             self.inner.aborts += 1;
@@ -1054,6 +1393,160 @@ mod tests {
         // The durable session keeps working afterwards.
         s.insert(3, 3).unwrap();
         assert_eq!(s.get(&3), Some(3));
+    }
+
+    #[test]
+    fn leader_group_commit_coalesces_concurrent_commits() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+                Arc::new(storage.clone()),
+                4,
+                DurableConfig::default().with_group_commit(GroupCommit::Leader),
+            )
+            .unwrap();
+            assert_eq!(db.group_commit(), GroupCommit::Leader);
+            let db = &db;
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    scope.spawn(move || {
+                        let mut s = db.session().unwrap();
+                        for j in 0..25u64 {
+                            s.insert(t * 1000 + j, j).unwrap();
+                        }
+                    });
+                }
+            });
+            let stats = db.durable_stats();
+            assert_eq!(stats.batches_flushed, 100, "every commit flushed");
+            assert_eq!(stats.pending_batches, 0, "acked means flushed");
+            assert!(stats.groups_flushed >= 1);
+            assert!(stats.groups_flushed <= stats.batches_flushed);
+            assert!(stats.mean_group() >= 1.0);
+        }
+        let db = open(&storage, Durability::Always);
+        assert_eq!(db.recovery().replayed, 100);
+        assert_eq!(db.session().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn write_acked_overlaps_work_with_the_flush() {
+        let storage = FaultStorage::unfaulted();
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig::default().with_group_commit(GroupCommit::Leader),
+        )
+        .unwrap();
+        let mut s = db.session().unwrap();
+        let (_, a1) = s
+            .write_acked(|txn| {
+                txn.insert(1, 1);
+            })
+            .unwrap();
+        let (_, a2) = s
+            .write_acked(|txn| {
+                txn.insert(2, 2);
+            })
+            .unwrap();
+        // Both commits are visible before anyone waited on durability.
+        assert_eq!(s.get(&1), Some(1));
+        assert_eq!(s.get(&2), Some(2));
+        assert_eq!(a1.commit_ts(), Some(1));
+        assert_eq!(a2.commit_ts(), Some(2));
+        // Waiting on the later ack flushes the whole pending group, so
+        // the earlier commit becomes durable with it.
+        a2.wait().unwrap();
+        assert!(a1.is_durable());
+        a1.wait().unwrap();
+        let stats = db.durable_stats();
+        assert_eq!(stats.pending_batches, 0);
+        assert_eq!(stats.max_group, 2, "the two commits shared one flush");
+    }
+
+    #[test]
+    fn flusher_policy_flushes_in_background_and_recovers() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+                Arc::new(storage.clone()),
+                2,
+                DurableConfig::default().with_group_commit(GroupCommit::Flusher {
+                    max_coalesce: Duration::from_micros(200),
+                }),
+            )
+            .unwrap();
+            let mut s = db.session().unwrap();
+            for k in 0..30u64 {
+                s.insert(k, k).unwrap();
+            }
+            let stats = db.durable_stats();
+            assert_eq!(stats.batches_flushed, 30);
+            assert!(stats.groups_flushed >= 1);
+        } // drop stops and joins the flusher thread
+        let db = open(&storage, Durability::Always);
+        assert_eq!(db.recovery().replayed, 30);
+        assert_eq!(db.session().unwrap().len(), 30);
+    }
+
+    #[test]
+    fn group_commit_downgrades_to_serial_without_always() {
+        let storage = FaultStorage::unfaulted();
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig::default()
+                .with_durability(Durability::EveryN(4))
+                .with_group_commit(GroupCommit::Leader),
+        )
+        .unwrap();
+        assert_eq!(
+            db.group_commit(),
+            GroupCommit::Serial,
+            "EveryN already amortizes fsyncs; grouping applies to Always only"
+        );
+        let mut s = db.session().unwrap();
+        let (_, ack) = s
+            .write_acked(|txn| {
+                txn.insert(1, 1);
+            })
+            .unwrap();
+        assert!(ack.is_durable(), "serial acks are satisfied immediately");
+        ack.wait().unwrap();
+    }
+
+    #[test]
+    fn poisoned_group_flush_fails_waiters_and_later_commits() {
+        use mvcc_wal::FaultPlan;
+        let storage = FaultStorage::new(
+            FaultPlan {
+                crash_at_sync: Some(0),
+                ..FaultPlan::default()
+            },
+            7,
+        );
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig::default().with_group_commit(GroupCommit::Leader),
+        )
+        .unwrap();
+        let mut s = db.session().unwrap();
+        // The commit becomes visible, but its group flush dies at the
+        // fsync — after the frame entered the commit-ordered tail, so it
+        // cannot be rolled back without creating a replay-order gap.
+        let (_, ack) = s
+            .write_acked(|txn| {
+                txn.insert(1, 1);
+            })
+            .unwrap();
+        assert!(ack.wait().is_err(), "flush failure must surface");
+        assert_eq!(s.get(&1), Some(1), "the commit stays visible in memory");
+        // Later durable commits refuse before becoming visible: the log
+        // is poisoned and enqueue fails fast.
+        let err = s.insert(2, 2).expect_err("poisoned log takes no commits");
+        assert!(matches!(err, DurableError::Wal(WalError::Poisoned)));
+        assert_eq!(s.get(&2), None, "the refused commit never became visible");
     }
 
     #[test]

@@ -130,20 +130,34 @@
 //! ```
 //!
 //! The [`Durability`] policy trades the crash-loss window against commit
-//! latency: `Always` fsyncs every commit, `EveryN(n)` group-commits (a
+//! latency: `Always` fsyncs every commit, `EveryN(n)` amortizes (a
 //! crash loses at most the last `n - 1` acknowledged commits, always
 //! from the tail), and `Off` preserves this crate's in-memory behavior
 //! and performance exactly — the lock-free commit path, no logging —
 //! with only explicit [`DurableDatabase::checkpoint`] calls persisting
-//! state. The recovery contract: the newest valid checkpoint is loaded,
-//! the WAL tail after it is replayed in `commit_ts` order, a torn tail
-//! ends replay at the last intact record (and is truncated away), and
-//! recovering the same store twice is idempotent.
+//! state. Orthogonally, [`GroupCommit`] decides how concurrent `Always`
+//! committers share fsyncs: `Serial` pays one per commit inside the
+//! commit lock; `Leader`/`Flusher` enqueue inside the lock and coalesce
+//! overlapping commits into one group fsync outside it, acknowledged
+//! through awaitable [`CommitAck`]s ([`DurableSession::write_acked`])
+//! and measured by [`DurableStats`]. The recovery contract: the newest
+//! valid checkpoint is loaded, the WAL tail after it is replayed in
+//! `commit_ts` order, a torn tail ends replay at the last intact record
+//! (and is truncated away), a coalesced group replays all-or-nothing,
+//! and recovering the same store twice is idempotent.
 //!
 //! The pre-session entry points (`Database::read(pid, ..)` etc.) survive
 //! as thin deprecated shims; they still work — now allocation-free via a
 //! thread-local release buffer — but bypass the lease registry, so they
-//! cannot protect callers from pid aliasing the way sessions do.
+//! cannot protect callers from pid aliasing the way sessions do. They
+//! also bypass the durable layer entirely: a raw write through the
+//! [`Database`] inside a [`DurableDatabase`] is never logged, and a
+//! durable commit that loses its `set` to one surfaces
+//! [`DurableError::RacedByRawWriter`].
+//!
+//! The workspace-level `ARCHITECTURE.md` maps this crate's place in the
+//! full stack (arena → version maintenance → trees → transactions →
+//! WAL/network) and the invariants each boundary keeps.
 
 pub mod batch;
 pub mod durable;
@@ -159,8 +173,8 @@ use mvcc_vm::{PidPool, PswfVm, VersionMaintenance, VmKind};
 
 pub use batch::{BatchWriter, MapOp, SubmitError};
 pub use durable::{
-    Durability, DurableConfig, DurableDatabase, DurableError, DurableSession, DurableTxn,
-    RecoveryReport,
+    CommitAck, Durability, DurableConfig, DurableDatabase, DurableError, DurableSession,
+    DurableStats, DurableTxn, GroupCommit, RecoveryReport,
 };
 pub use mvcc_ftree as ftree;
 pub use mvcc_vm as vm;
@@ -407,9 +421,15 @@ impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
     // Thin shims over the same transaction core the sessions use. They
     // do not consult the lease registry: the caller is again responsible
     // for the "one thread per pid" contract, and a pid used here may
-    // collide with a leased session.
+    // collide with a leased session. Writes through these shims also
+    // never reach a wrapping `DurableDatabase`'s WAL — see
+    // `DurableError::RacedByRawWriter`.
 
     /// Run a read-only transaction on a raw process id.
+    ///
+    /// Unlike [`Database::session`], no lease protects `pid`: the caller
+    /// must guarantee no other thread (including a leased [`Session`])
+    /// is using it concurrently.
     #[deprecated(since = "0.1.0", note = "lease a `Session` and use `Session::read`")]
     pub fn read<R>(&self, pid: usize, f: impl FnOnce(&Snapshot<'_, P>) -> R) -> R {
         let result = with_release_buf(|buf| {
@@ -440,6 +460,12 @@ impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
     }
 
     /// Run a write transaction on a raw process id, retrying on abort.
+    ///
+    /// The same unleased-pid caveat as [`Database::read`] applies, and
+    /// writes through this shim bypass any wrapping
+    /// [`DurableDatabase`]'s WAL entirely — they are never logged, and a
+    /// durable commit racing one surfaces
+    /// [`DurableError::RacedByRawWriter`].
     #[deprecated(
         since = "0.1.0",
         note = "lease a `Session` and use `Session::write` / `Session::write_raw`"

@@ -50,9 +50,12 @@
 //!   keeps exactly one registered waker — the most recent poll's.
 //!
 //! No executor ships with the pool (and none is required): [`block_on`]
-//! drives one future from sync code, and the `mvcc-net` crate's
-//! readiness loop multiplexes thousands of connection-bound admissions
-//! onto one thread.
+//! drives one future from sync code. The production consumer is the
+//! `mvcc-net` crate's `executor` module — a dedup `ReadySet` handing
+//! each connection a `Waker` whose wake re-queues exactly that
+//! connection — which lets `mvcc_net::Server`'s single poll loop
+//! multiplex thousands of connection-bound admissions onto one thread
+//! (each parked request is a queue entry here, not a blocked thread).
 //!
 //! # Fairness
 //!

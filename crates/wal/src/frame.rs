@@ -1,15 +1,26 @@
 //! Frame format: length-prefixed, CRC-guarded records of committed
-//! batches.
+//! batches — single-record frames and the multi-record *group* frames
+//! that group commit flushes.
 //!
 //! ```text
 //! frame    := [len: u32 le] [crc32(payload): u32 le] payload
-//! payload  := [tx_id: u64 le] [commit_ts: u64 le] [snapshot_ts: u64 le]
+//! payload  := record                                         (single)
+//!           | [GROUP_TAG: u64 le] [n_records: u32 le] record* (group)
+//! record   := [tx_id: u64 le] [commit_ts: u64 le] [snapshot_ts: u64 le]
 //!             [n_ops: u32 le] op*
 //! op       := 0x00 [klen: u32 le] key [vlen: u32 le] value   (Put)
 //!           | 0x01 [klen: u32 le] key                        (Del)
 //! ```
 //!
-//! The payload head is the sombra MVCC frame shape (standard frame +
+//! A group frame begins with [`GROUP_TAG`] (`u64::MAX`) where a single
+//! frame carries its `tx_id`; transaction ids start at 1 and are assigned
+//! by a monotone counter, so the tag can never collide with a real
+//! record. Because the CRC covers the *whole* payload, a torn or
+//! bit-flipped group frame rejects as one unit: recovery replays either
+//! every record of a coalesced group or none of them (all-or-nothing per
+//! group), never a partial group.
+//!
+//! The record head is the sombra MVCC frame shape (standard frame +
 //! `[snapshot_ts: 8][commit_ts: 8]` metadata): enough for recovery to
 //! re-establish the commit clock and for future consumers (replication,
 //! point-in-time restore) to reason about snapshot lineage without
@@ -23,6 +34,16 @@
 /// Upper bound on a frame's payload (sanity check against interpreting
 /// garbage as a gigantic length and stalling replay on one bad frame).
 pub(crate) const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// First 8 bytes of a group frame's payload. `u64::MAX` is unreachable
+/// as a `tx_id` (ids count up from 1), so a decoder can tell the two
+/// payload shapes apart from the first word.
+pub const GROUP_TAG: u64 = u64::MAX;
+
+/// Records per group frame before the flush splits into another frame
+/// (all frames of one flush still share a single fsync). Bounds frame
+/// size so one gigantic group cannot approach [`MAX_FRAME_BYTES`].
+pub(crate) const GROUP_CHUNK_RECORDS: usize = 1024;
 
 /// CRC-32 (IEEE, reflected, as used by zip/png) over `data`.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -127,13 +148,45 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Reserve a frame head (placeholder len + CRC) in `out`; returns the
+/// payload's start offset, for [`seal_frame`].
+pub(crate) fn begin_frame(out: &mut Vec<u8>) -> usize {
+    put_u32(out, 0);
+    put_u32(out, 0);
+    out.len()
+}
+
+/// Patch the length prefix and CRC of the frame whose payload began at
+/// `payload_at` (everything appended since [`begin_frame`]).
+pub(crate) fn seal_frame(out: &mut [u8], payload_at: usize) {
+    let len = (out.len() - payload_at) as u32;
+    let crc = crc32(&out[payload_at..]);
+    out[payload_at - 8..payload_at - 4].copy_from_slice(&len.to_le_bytes());
+    out[payload_at - 4..payload_at].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Frame pre-encoded record bodies as one *group* frame:
+/// `[GROUP_TAG][n_records] bodies`. `bodies` must hold exactly
+/// `n_records` back-to-back [`WalBatch::encode_record`] encodings.
+pub(crate) fn encode_group_frame_raw(bodies: &[u8], n_records: u32, out: &mut Vec<u8>) {
+    let at = begin_frame(out);
+    put_u64(out, GROUP_TAG);
+    put_u32(out, n_records);
+    out.extend_from_slice(bodies);
+    seal_frame(out, at);
+}
+
+/// Frame one pre-encoded record body as an ordinary single-record frame.
+pub(crate) fn encode_single_frame_raw(body: &[u8], out: &mut Vec<u8>) {
+    let at = begin_frame(out);
+    out.extend_from_slice(body);
+    seal_frame(out, at);
+}
+
 impl WalBatch {
-    /// Append the full frame (length prefix, CRC, payload) to `out`.
-    pub fn encode_frame(&self, out: &mut Vec<u8>) {
-        let payload_at = out.len() + 8;
-        // Placeholder len + crc, patched below.
-        put_u32(out, 0);
-        put_u32(out, 0);
+    /// Append this batch's *record body* (no frame head) to `out` — the
+    /// unit both single and group frames are assembled from.
+    pub fn encode_record(&self, out: &mut Vec<u8>) {
         put_u64(out, self.tx_id);
         put_u64(out, self.commit_ts);
         put_u64(out, self.snapshot_ts);
@@ -154,33 +207,23 @@ impl WalBatch {
                 }
             }
         }
-        let len = (out.len() - payload_at) as u32;
-        let crc = crc32(&out[payload_at..]);
-        out[payload_at - 8..payload_at - 4].copy_from_slice(&len.to_le_bytes());
-        out[payload_at - 4..payload_at].copy_from_slice(&crc.to_le_bytes());
     }
 
-    /// Decode one frame starting at `buf[at..]`. Returns the batch and
-    /// the offset just past the frame, or `None` if the bytes do not hold
-    /// one intact frame (short length, CRC mismatch, malformed payload) —
-    /// the caller treats that as the torn tail.
-    pub fn decode_frame(buf: &[u8], at: usize) -> Option<(WalBatch, usize)> {
-        let mut head = Reader::new(buf.get(at..)?);
-        let len = head.u32()?;
-        let crc = head.u32()?;
-        if len > MAX_FRAME_BYTES {
-            return None;
-        }
-        let payload = head.bytes(len as usize)?;
-        if crc32(payload) != crc {
-            return None;
-        }
-        let mut r = Reader::new(payload);
+    /// Append the full single-record frame (length prefix, CRC, payload)
+    /// to `out`.
+    pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        let at = begin_frame(out);
+        self.encode_record(out);
+        seal_frame(out, at);
+    }
+
+    /// Decode one record body from `r`.
+    fn decode_record(r: &mut Reader<'_>, payload_len: usize) -> Option<WalBatch> {
         let tx_id = r.u64()?;
         let commit_ts = r.u64()?;
         let snapshot_ts = r.u64()?;
         let n_ops = r.u32()?;
-        let mut ops = Vec::with_capacity((n_ops as usize).min(payload.len()));
+        let mut ops = Vec::with_capacity((n_ops as usize).min(payload_len));
         for _ in 0..n_ops {
             let op = match r.u8()? {
                 0x00 => {
@@ -198,18 +241,68 @@ impl WalBatch {
             };
             ops.push(op);
         }
-        if !r.is_empty() {
-            return None; // trailing garbage inside a "valid" CRC: reject
+        Some(WalBatch {
+            tx_id,
+            commit_ts,
+            snapshot_ts,
+            ops,
+        })
+    }
+
+    /// Decode one frame starting at `buf[at..]` — single-record *or*
+    /// group — appending its batches to `out` in record order. Returns
+    /// the offset just past the frame, or `None` if the bytes do not hold
+    /// one intact frame (short length, CRC mismatch, malformed payload) —
+    /// the caller treats that as the torn tail. On `None`, `out` is left
+    /// exactly as it was: a torn group contributes *none* of its records.
+    pub fn decode_frames(buf: &[u8], at: usize, out: &mut Vec<WalBatch>) -> Option<usize> {
+        let mut head = Reader::new(buf.get(at..)?);
+        let len = head.u32()?;
+        let crc = head.u32()?;
+        if len > MAX_FRAME_BYTES {
+            return None;
         }
-        Some((
-            WalBatch {
-                tx_id,
-                commit_ts,
-                snapshot_ts,
-                ops,
-            },
-            at + 8 + len as usize,
-        ))
+        let payload = head.bytes(len as usize)?;
+        if crc32(payload) != crc {
+            return None;
+        }
+        let mut r = Reader::new(payload);
+        let mark = out.len();
+        let intact = (|| -> Option<()> {
+            if payload.len() >= 8 && payload[..8] == GROUP_TAG.to_le_bytes() {
+                r.u64()?; // the tag
+                let n_records = r.u32()?;
+                for _ in 0..n_records {
+                    out.push(Self::decode_record(&mut r, payload.len())?);
+                }
+            } else {
+                out.push(Self::decode_record(&mut r, payload.len())?);
+            }
+            if r.is_empty() {
+                Some(())
+            } else {
+                None // trailing garbage inside a "valid" CRC: reject
+            }
+        })();
+        if intact.is_none() {
+            out.truncate(mark);
+            return None;
+        }
+        Some(at + 8 + len as usize)
+    }
+
+    /// Decode one *single-record* frame starting at `buf[at..]`. Returns
+    /// the batch and the offset just past the frame, or `None` for torn /
+    /// corrupt bytes — or for a (valid) group frame, which holds more
+    /// than one record; use [`WalBatch::decode_frames`] to accept both
+    /// shapes.
+    pub fn decode_frame(buf: &[u8], at: usize) -> Option<(WalBatch, usize)> {
+        let mut one = Vec::with_capacity(1);
+        let next = Self::decode_frames(buf, at, &mut one)?;
+        if one.len() != 1 {
+            return None;
+        }
+        Some((one.pop().expect("checked len"), next))
     }
 }
 
@@ -269,6 +362,81 @@ mod tests {
                 panic!("bit flip at byte {byte} yielded {decoded:?}");
             }
         }
+    }
+
+    #[test]
+    fn group_frame_roundtrip() {
+        let batches: Vec<WalBatch> = (1..=5u64)
+            .map(|i| WalBatch {
+                tx_id: i,
+                commit_ts: i + 10,
+                snapshot_ts: i + 9,
+                ops: vec![WalOp::Put(vec![i as u8], vec![i as u8; i as usize])],
+            })
+            .collect();
+        let mut bodies = Vec::new();
+        for b in &batches {
+            b.encode_record(&mut bodies);
+        }
+        let mut buf = vec![0x55; 2];
+        encode_group_frame_raw(&bodies, batches.len() as u32, &mut buf);
+        let mut out = Vec::new();
+        let next = WalBatch::decode_frames(&buf, 2, &mut out).unwrap();
+        assert_eq!(out, batches);
+        assert_eq!(next, buf.len());
+        // The single-record decoder refuses the multi-record shape.
+        assert!(WalBatch::decode_frame(&buf, 2).is_none());
+    }
+
+    #[test]
+    fn torn_group_frame_is_all_or_nothing() {
+        let batches: Vec<WalBatch> = (1..=4u64)
+            .map(|i| WalBatch {
+                tx_id: i,
+                commit_ts: i,
+                snapshot_ts: i - 1,
+                ops: vec![WalOp::Put(vec![i as u8; 8], vec![0xCD; 32])],
+            })
+            .collect();
+        let mut bodies = Vec::new();
+        for b in &batches {
+            b.encode_record(&mut bodies);
+        }
+        let mut buf = Vec::new();
+        encode_group_frame_raw(&bodies, batches.len() as u32, &mut buf);
+        // Every strict prefix — including cuts that leave several whole
+        // record bodies intact — must yield no records at all.
+        for cut in 0..buf.len() {
+            let mut out = vec![sample()]; // pre-existing content survives
+            assert!(
+                WalBatch::decode_frames(&buf[..cut], 0, &mut out).is_none(),
+                "prefix of {cut} bytes decoded"
+            );
+            assert_eq!(out.len(), 1, "torn group leaked records at cut {cut}");
+        }
+        // Any single-bit flip rejects the whole group.
+        for byte in 0..buf.len() {
+            let mut flipped = buf.clone();
+            flipped[byte] ^= 0x04;
+            let mut out = Vec::new();
+            assert!(
+                WalBatch::decode_frames(&flipped, 0, &mut out).is_none(),
+                "bit flip at byte {byte} decoded"
+            );
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_record_frames_decode_through_both_apis() {
+        let batch = sample();
+        let mut buf = Vec::new();
+        batch.encode_frame(&mut buf);
+        let mut out = Vec::new();
+        let next = WalBatch::decode_frames(&buf, 0, &mut out).unwrap();
+        assert_eq!(out, vec![batch.clone()]);
+        assert_eq!(next, buf.len());
+        assert_eq!(WalBatch::decode_frame(&buf, 0).unwrap().0, batch);
     }
 
     #[test]

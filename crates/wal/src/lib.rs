@@ -6,13 +6,16 @@
 //! independent of the tree types so the transactional crate wires them in
 //! without this crate knowing about forests or sessions:
 //!
-//! * **Write-ahead log** ([`Wal`]) — append-only segment files of
-//!   CRC-guarded, length-prefixed frames. Each frame carries one
-//!   committed batch's MVCC metadata (`tx_id`, `commit_ts`,
-//!   `snapshot_ts` — the sombra frame shape: standard frame +
-//!   `[snapshot_ts: 8][commit_ts: 8]`) and its key/value deltas as
-//!   [`WalOp`]s. Appends group-commit under a configurable
-//!   [`FsyncPolicy`] and retry transient I/O errors with exponential
+//! * **Write-ahead log** ([`Wal`]) — append-only segment files
+//!   (`wal-{seq:08}.seg`, rolled at a size threshold) of CRC-guarded,
+//!   length-prefixed frames. Two append paths share the segments:
+//!   [`Wal::append`] writes one record per frame and fsyncs per the
+//!   [`FsyncPolicy`] (the *serial* path), while [`Wal::enqueue`] +
+//!   [`Wal::wait_durable`] stage records on a commit-ordered **group
+//!   tail** that a leader — the first durability waiter, or a dedicated
+//!   flusher thread — drains into one multi-record frame and a single
+//!   fsync (the *group-commit* path; see [`GroupStats`] for how well it
+//!   coalesces). Appends retry transient I/O errors with exponential
 //!   backoff before surfacing a typed [`WalError`].
 //! * **Snapshot checkpoints** ([`checkpoint`]) — a full key/value image
 //!   at one `commit_ts`, written to a temporary name, CRC-sealed, then
@@ -24,6 +27,28 @@
 //!   frame with a short length or bad CRC ends replay at the last intact
 //!   record (the torn bytes are truncated away so the log is appendable
 //!   again) instead of aborting.
+//!
+//! ## Frame grammar
+//!
+//! Every frame is length-prefixed and CRC-guarded; the checksum covers
+//! the whole payload, so a torn or bit-flipped **group** frame rejects
+//! every record in it — coalesced commits recover all-or-nothing, never
+//! as a partial group:
+//!
+//! ```text
+//! segment := "MVWALSEG" [segment_seq: u64] frame*
+//! frame   := [payload_len: u32] [crc32(payload): u32] payload
+//! payload := record                                      // single commit
+//!          | [GROUP_TAG: u64] [n_records: u32] record*   // coalesced group
+//! record  := [tx_id: u64] [commit_ts: u64] [snapshot_ts: u64]
+//!            [n_ops: u32] op*
+//! op      := [0x00] [key_len: u32] key [val_len: u32] val   // put
+//!          | [0x01] [key_len: u32] key                      // delete
+//! ```
+//!
+//! [`GROUP_TAG`] is `u64::MAX`; real `tx_id`s start at 1, so the first
+//! eight bytes of a payload decide its shape unambiguously. All integers
+//! are little-endian.
 //!
 //! All I/O goes through the [`Storage`] trait: [`DirStorage`] is the real
 //! filesystem backend, and [`FaultStorage`] is an in-memory double with a
@@ -62,8 +87,8 @@ mod storage;
 
 pub use codec::WalCodec;
 pub use fault::{FaultPlan, FaultStorage};
-pub use frame::{crc32, WalBatch, WalOp};
-pub use log::{Replay, TornTail, Wal};
+pub use frame::{crc32, WalBatch, WalOp, GROUP_TAG};
+pub use log::{GroupStats, Replay, TornTail, Wal};
 pub use storage::{DirStorage, Storage};
 
 use std::time::Duration;

@@ -1,5 +1,5 @@
 //! The write-ahead log proper: append-only segment files, group-commit
-//! fsync, bounded retry, and graceful torn-tail recovery.
+//! coalescing, bounded retry, and graceful torn-tail recovery.
 //!
 //! A log is a sequence of segment files `wal-<seq>.seg`, each beginning
 //! with a 16-byte header (magic + sequence number) followed by frames
@@ -9,17 +9,44 @@
 //! sealed segments whose every batch is covered by a checkpoint — the
 //! active segment is never dropped.
 //!
+//! Two append paths share the segment files:
+//!
+//! * [`Wal::append`] — the serial path: one frame, fsynced per policy,
+//!   durable (or rolled back) by the time the call returns.
+//! * [`Wal::enqueue`] + [`Wal::wait_durable`] — the group-commit path:
+//!   `enqueue` encodes the batch onto an in-memory pending tail (the
+//!   commit-ordered record queue) and returns a sequence number;
+//!   `wait_durable` blocks until a *flush* — one storage append of the
+//!   whole pending group as multi-record frames, one fsync — covers that
+//!   sequence. The first waiter to find no flush in progress elects
+//!   itself leader and performs the flush while later enqueuers keep
+//!   adding to the next group; everyone else waits on a condvar and is
+//!   woken with the result. [`Wal::flush_pending`] drives the same flush
+//!   explicitly (the dedicated-flusher policy and `sync`).
+//!
+//! The two paths have different failure contracts. A serial append rolls
+//! its frame back on any post-append failure, so `Err` means "the log is
+//! unchanged". A group flush cannot roll back: its records were enqueued
+//! (and the corresponding commits made visible) before the flush ran, so
+//! truncating them away would let the *next* group replay over a gap in
+//! commit order. A failed flush therefore poisons the log —
+//! [`WalError::Poisoned`] to every waiter and every further enqueue —
+//! and recovery at the next open repairs whatever prefix actually
+//! reached storage.
+//!
 //! [`Wal::open`] is recovery: it scans the segments in sequence order,
-//! replays every intact frame, and stops at the first torn or corrupt
-//! frame. The torn bytes are truncated away and any segments *after* the
-//! torn point are dropped, so the surviving log is exactly the replayed
+//! replays every intact frame (group frames yield their records in
+//! order, all-or-nothing), and stops at the first torn or corrupt frame.
+//! The torn bytes are truncated away and any segments *after* the torn
+//! point are dropped, so the surviving log is exactly the replayed
 //! prefix and immediately appendable — a crash mid-append (or a bit flip
 //! anywhere) costs the tail, never the log.
 
 use std::io;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use crate::frame::WalBatch;
+use crate::frame::{self, WalBatch, GROUP_CHUNK_RECORDS};
 use crate::{io_err, FsyncPolicy, RetryPolicy, Storage, WalConfig, WalError};
 
 const SEGMENT_MAGIC: &[u8; 8] = b"MVWALSEG";
@@ -97,15 +124,73 @@ struct WalInner {
     poisoned: bool,
 }
 
+/// Cumulative group-commit counters, snapshotted by [`Wal::group_stats`]
+/// (zero everywhere when only the serial [`Wal::append`] path is used).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Flushes that reached storage (each one storage append + fsync).
+    pub groups: u64,
+    /// Batches across all flushed groups.
+    pub batches: u64,
+    /// The largest single group flushed.
+    pub max_group: u64,
+    /// Total wall-clock nanoseconds spent inside flushes.
+    pub flush_ns: u64,
+}
+
+impl GroupStats {
+    /// Mean batches per flushed group (0.0 before the first flush).
+    pub fn mean_group(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.batches as f64 / self.groups as f64
+        }
+    }
+}
+
+/// The pending group-commit tail: record bodies enqueued by committers
+/// but not yet flushed. Guarded by its own mutex so enqueuers never
+/// block behind an in-flight flush's I/O (which holds the segment
+/// mutex, not this one).
+struct GroupState {
+    /// Concatenated [`WalBatch::encode_record`] bodies awaiting flush.
+    bodies: Vec<u8>,
+    /// End offset of each pending record within `bodies`.
+    ends: Vec<usize>,
+    /// `commit_ts` of the most recently enqueued record.
+    last_ts: u64,
+    /// Sequence number of the most recently enqueued record (1-based).
+    enqueued: u64,
+    /// Every record with sequence `<= durable` is flushed and fsynced.
+    durable: u64,
+    /// A leader is currently flushing the previously pending records.
+    flushing: bool,
+    /// Set when a flush failed: its commits were already visible, so the
+    /// missing frames cannot be rolled back without creating a replay
+    /// gap — all further enqueues and waits get [`WalError::Poisoned`].
+    poisoned: bool,
+    stats: GroupStats,
+}
+
+/// How long a passive group-commit waiter (one relying on a dedicated
+/// flusher) waits before electing itself leader anyway — the deadlock
+/// backstop for a stalled or missing flusher thread.
+const PASSIVE_RESCUE: Duration = Duration::from_millis(20);
+
 /// An append-only write-ahead log over a [`Storage`].
 ///
 /// Thread-safe: appends serialize on an internal mutex (the transactional
 /// layer serializes durable commits anyway; the mutex makes direct use
-/// safe too).
+/// safe too). The group-commit path ([`Wal::enqueue`] /
+/// [`Wal::wait_durable`]) adds concurrent batch coalescing on top — see
+/// the module docs for the two paths' contracts.
 pub struct Wal {
     storage: Arc<dyn Storage>,
     cfg: WalConfig,
     inner: Mutex<WalInner>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
 }
 
 impl Wal {
@@ -159,11 +244,13 @@ impl Wal {
             };
             let mut at = SEGMENT_HEADER_BYTES as usize;
             while at < data.len() {
-                match WalBatch::decode_frame(&data, at) {
-                    Some((batch, next)) => {
-                        meta.batches += 1;
-                        meta.last_ts = batch.commit_ts;
-                        replay.batches.push(batch);
+                let before = replay.batches.len();
+                match WalBatch::decode_frames(&data, at, &mut replay.batches) {
+                    Some(next) => {
+                        meta.batches += (replay.batches.len() - before) as u64;
+                        if let Some(last) = replay.batches.last() {
+                            meta.last_ts = last.commit_ts;
+                        }
                         at = next;
                     }
                     None => {
@@ -224,6 +311,17 @@ impl Wal {
                 scratch: Vec::new(),
                 poisoned: false,
             }),
+            group: Mutex::new(GroupState {
+                bodies: Vec::new(),
+                ends: Vec::new(),
+                last_ts: 0,
+                enqueued: 0,
+                durable: 0,
+                flushing: false,
+                poisoned: false,
+                stats: GroupStats::default(),
+            }),
+            group_cv: Condvar::new(),
         };
         Ok((wal, replay))
     }
@@ -260,6 +358,10 @@ impl Wal {
     /// can never end up buried under acknowledged ones (re-opening the
     /// log repairs and resumes).
     pub fn append(&self, batch: &WalBatch) -> Result<(), WalError> {
+        // Drain any pending group first so a mixed serial/group workload
+        // still reaches storage in commit order (no-op when the group
+        // tail is empty, which is the pure-serial fast path).
+        self.flush_pending()?;
         let mut guard = self.lock();
         let inner = &mut *guard;
         if inner.poisoned {
@@ -339,9 +441,10 @@ impl Wal {
         Ok(())
     }
 
-    /// Force an fsync of the active segment (flushes a pending
-    /// `EveryN` group).
+    /// Force an fsync of the active segment, first flushing any pending
+    /// group-commit records and any pending `EveryN` group.
     pub fn sync(&self) -> Result<(), WalError> {
+        self.flush_pending()?;
         let mut inner = self.lock();
         if inner.poisoned {
             return Err(WalError::Poisoned);
@@ -352,6 +455,200 @@ impl Wal {
             .map_err(|e| io_err("sync", &name, e))?;
         inner.appends_since_sync = 0;
         Ok(())
+    }
+
+    // ---- the group-commit path -------------------------------------
+
+    fn group_lock(&self) -> MutexGuard<'_, GroupState> {
+        self.group.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue one committed batch on the group-commit tail and return
+    /// its sequence number for [`Wal::wait_durable`].
+    ///
+    /// The record enters the commit-ordered pending queue immediately —
+    /// this is the "logged" half of logged-before-visible — but is *not*
+    /// durable until a flush covers it. Never blocks on I/O: a flush in
+    /// progress proceeds concurrently, and this record simply joins the
+    /// next group.
+    pub fn enqueue(&self, batch: &WalBatch) -> Result<u64, WalError> {
+        let mut g = self.group_lock();
+        if g.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        batch.encode_record(&mut g.bodies);
+        let end = g.bodies.len();
+        g.ends.push(end);
+        g.last_ts = batch.commit_ts;
+        g.enqueued += 1;
+        let seq = g.enqueued;
+        drop(g);
+        // Wake a dedicated flusher (or passive waiters) parked on the cv.
+        self.group_cv.notify_all();
+        Ok(seq)
+    }
+
+    /// Block until every record enqueued at or before `seq` is flushed
+    /// and fsynced. The first waiter to find no flush in progress elects
+    /// itself **leader** and performs the flush (one multi-record append,
+    /// one fsync) for the whole pending group; the others wait on a
+    /// condvar and wake with the result. `Err(Poisoned)` means a flush
+    /// failed after the record was already enqueued — see the module docs
+    /// for why that cannot be rolled back.
+    pub fn wait_durable(&self, seq: u64) -> Result<(), WalError> {
+        self.wait_group(seq, true)
+    }
+
+    /// [`Wal::wait_durable`] for committers relying on a dedicated
+    /// flusher thread: waits passively instead of leading, so the flusher
+    /// controls the coalescing window. If no flush covers `seq` within a
+    /// short backstop interval the waiter elects itself leader after all
+    /// (a stalled or missing flusher must not deadlock commits).
+    pub fn wait_durable_passive(&self, seq: u64) -> Result<(), WalError> {
+        self.wait_group(seq, false)
+    }
+
+    fn wait_group(&self, seq: u64, mut may_lead: bool) -> Result<(), WalError> {
+        let mut g = self.group_lock();
+        loop {
+            if g.durable >= seq {
+                return Ok(());
+            }
+            if g.poisoned {
+                return Err(WalError::Poisoned);
+            }
+            if may_lead && !g.flushing {
+                g = self.lead_flush(g);
+                continue;
+            }
+            let (guard, timeout) = self
+                .group_cv
+                .wait_timeout(g, PASSIVE_RESCUE)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+            if timeout.timed_out() {
+                may_lead = true;
+            }
+        }
+    }
+
+    /// Flush every record currently pending on the group tail (leading
+    /// the flush, or waiting for an in-progress one that covers them).
+    /// Ok and a no-op when nothing is pending.
+    pub fn flush_pending(&self) -> Result<(), WalError> {
+        let target = {
+            let g = self.group_lock();
+            if g.poisoned {
+                return Err(WalError::Poisoned);
+            }
+            g.enqueued
+        };
+        self.wait_group(target, true)
+    }
+
+    /// Records enqueued on the group tail but not yet flushed.
+    pub fn pending_batches(&self) -> usize {
+        self.group_lock().ends.len()
+    }
+
+    /// The highest sequence number covered by a completed group flush
+    /// (compare with the sequence from [`Wal::enqueue`]).
+    pub fn durable_seq(&self) -> u64 {
+        self.group_lock().durable
+    }
+
+    /// Cumulative group-commit counters.
+    pub fn group_stats(&self) -> GroupStats {
+        self.group_lock().stats
+    }
+
+    /// Become the leader: take the pending records, flush them outside
+    /// the group lock, publish the outcome, wake everyone.
+    fn lead_flush<'a>(&'a self, mut g: MutexGuard<'a, GroupState>) -> MutexGuard<'a, GroupState> {
+        debug_assert!(!g.flushing);
+        if g.ends.is_empty() {
+            return g;
+        }
+        g.flushing = true;
+        let bodies = std::mem::take(&mut g.bodies);
+        let ends = std::mem::take(&mut g.ends);
+        let upto = g.enqueued;
+        let last_ts = g.last_ts;
+        drop(g);
+
+        let t0 = Instant::now();
+        let res = self.flush_group(&bodies, &ends, last_ts);
+        let flush_ns = t0.elapsed().as_nanos() as u64;
+
+        let mut g = self.group_lock();
+        g.flushing = false;
+        match res {
+            Ok(()) => {
+                g.durable = upto;
+                g.stats.groups += 1;
+                g.stats.batches += ends.len() as u64;
+                g.stats.max_group = g.stats.max_group.max(ends.len() as u64);
+                g.stats.flush_ns += flush_ns;
+            }
+            Err(_) => g.poisoned = true,
+        }
+        self.group_cv.notify_all();
+        g
+    }
+
+    /// The flush I/O: frame the pending record bodies (single-record
+    /// frames for lone commits, multi-record group frames otherwise,
+    /// chunked at [`GROUP_CHUNK_RECORDS`]), append them in one storage
+    /// write, fsync once, and roll the segment if it filled. Serializes
+    /// with the serial append path on the segment mutex. Any failure
+    /// poisons the segment state (see the module docs).
+    fn flush_group(&self, bodies: &[u8], ends: &[usize], last_ts: u64) -> Result<(), WalError> {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        if inner.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        inner.scratch.clear();
+        let mut first = 0usize; // record index where the current chunk starts
+        let mut first_byte = 0usize;
+        while first < ends.len() {
+            let last = (first + GROUP_CHUNK_RECORDS).min(ends.len());
+            let chunk = &bodies[first_byte..ends[last - 1]];
+            if last - first == 1 {
+                frame::encode_single_frame_raw(chunk, &mut inner.scratch);
+            } else {
+                frame::encode_group_frame_raw(chunk, (last - first) as u32, &mut inner.scratch);
+            }
+            first_byte = ends[last - 1];
+            first = last;
+        }
+
+        let name = inner.cur.name();
+        let res = (|| -> Result<(), WalError> {
+            append_retry(&self.storage, &self.cfg.retry, &name, &inner.scratch)?;
+            inner.cur.bytes += inner.scratch.len() as u64;
+            inner.cur.batches += ends.len() as u64;
+            inner.cur.last_ts = last_ts;
+            if self.cfg.fsync != FsyncPolicy::Off {
+                self.storage
+                    .sync(&name)
+                    .map_err(|e| io_err("sync", &name, e))?;
+                inner.appends_since_sync = 0;
+            }
+            if inner.cur.bytes >= self.cfg.segment_bytes {
+                let next = Self::create_segment(&self.storage, &self.cfg.retry, inner.cur.seq + 1)?;
+                let sealed = std::mem::replace(&mut inner.cur, next);
+                inner.sealed.push(sealed);
+            }
+            Ok(())
+        })();
+        if res.is_err() {
+            // Unlike the serial path there is nothing to roll back to:
+            // the group's commits are already visible, so removing their
+            // frames would leave a replay-order gap. Refuse everything.
+            inner.poisoned = true;
+        }
+        res
     }
 
     /// Drop every sealed segment whose batches are all covered by a
@@ -631,6 +928,123 @@ mod tests {
         let (wal, replay) = open_mem(&view, WalConfig::default());
         assert!(replay.batches.len() <= 1);
         wal.append(&batch(replay.batches.len() as u64 + 1)).unwrap();
+    }
+
+    #[test]
+    fn group_enqueue_coalesces_and_replays_in_order() {
+        let storage = FaultStorage::unfaulted();
+        let (wal, _) = open_mem(&storage, WalConfig::default());
+        // Enqueue a burst before anyone waits: one flush, one group.
+        let mut seqs = Vec::new();
+        for ts in 1..=6 {
+            seqs.push(wal.enqueue(&batch(ts)).unwrap());
+        }
+        assert_eq!(wal.pending_batches(), 6);
+        assert_eq!(wal.durable_seq(), 0);
+        wal.wait_durable(*seqs.last().unwrap()).unwrap();
+        assert_eq!(wal.pending_batches(), 0);
+        assert_eq!(wal.durable_seq(), 6);
+        let stats = wal.group_stats();
+        assert_eq!(stats.groups, 1, "one coalesced flush");
+        assert_eq!(stats.batches, 6);
+        assert_eq!(stats.max_group, 6);
+        // A lone enqueue flushes as an ordinary single-record frame.
+        let s = wal.enqueue(&batch(7)).unwrap();
+        wal.wait_durable(s).unwrap();
+        assert_eq!(wal.group_stats().groups, 2);
+        drop(wal);
+        let (_, replay) = open_mem(&storage, WalConfig::default());
+        let ts: Vec<u64> = replay.batches.iter().map(|b| b.commit_ts).collect();
+        assert_eq!(ts, (1..=7).collect::<Vec<_>>());
+        assert!(replay.torn.is_none());
+    }
+
+    #[test]
+    fn group_flush_is_one_sync_per_group() {
+        let storage = FaultStorage::unfaulted();
+        let (wal, _) = open_mem(&storage, WalConfig::default());
+        let syncs_before = storage.syncs();
+        for ts in 1..=8 {
+            wal.enqueue(&batch(ts)).unwrap();
+        }
+        wal.flush_pending().unwrap();
+        assert_eq!(
+            storage.syncs() - syncs_before,
+            1,
+            "eight commits must share one fsync"
+        );
+    }
+
+    #[test]
+    fn concurrent_group_waiters_all_ack() {
+        let storage = FaultStorage::unfaulted();
+        let (wal, _) = open_mem(&storage, WalConfig::default());
+        let wal = Arc::new(wal);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let wal = Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..25u64 {
+                        let seq = wal.enqueue(&batch(t * 1000 + i + 1)).unwrap();
+                        wal.wait_durable(seq).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(wal.durable_seq(), 100);
+        let stats = wal.group_stats();
+        assert_eq!(stats.batches, 100);
+        assert!(stats.groups <= 100);
+        drop(wal);
+        let (_, replay) = open_mem(&storage, WalConfig::default());
+        assert_eq!(replay.batches.len(), 100, "every acked record replays");
+    }
+
+    #[test]
+    fn failed_group_flush_poisons_instead_of_rolling_back() {
+        let storage = FaultStorage::new(
+            FaultPlan {
+                crash_at_sync: Some(0),
+                ..FaultPlan::default()
+            },
+            31,
+        );
+        let (wal, _) = open_mem(&storage, WalConfig::default());
+        let s1 = wal.enqueue(&batch(1)).unwrap();
+        let s2 = wal.enqueue(&batch(2)).unwrap();
+        assert!(matches!(wal.wait_durable(s1), Err(WalError::Poisoned)));
+        assert!(matches!(wal.wait_durable(s2), Err(WalError::Poisoned)));
+        // Everything downstream refuses too: no frame can be buried
+        // after the group whose durability was never acknowledged.
+        assert!(matches!(wal.enqueue(&batch(3)), Err(WalError::Poisoned)));
+        assert!(matches!(wal.append(&batch(3)), Err(WalError::Poisoned)));
+        // Recovery repairs: at most the crashed group replays, and the
+        // reopened log accepts work again.
+        let view = storage.crash_view();
+        let (wal, replay) = open_mem(&view, WalConfig::default());
+        assert!(replay.batches.len() <= 2);
+        wal.append(&batch(replay.batches.len() as u64 + 1)).unwrap();
+    }
+
+    #[test]
+    fn group_flush_rolls_segments() {
+        let storage = FaultStorage::unfaulted();
+        let cfg = WalConfig {
+            segment_bytes: 128,
+            ..WalConfig::default()
+        };
+        let (wal, _) = open_mem(&storage, cfg.clone());
+        for round in 0..10u64 {
+            for i in 0..4u64 {
+                wal.enqueue(&batch(round * 4 + i + 1)).unwrap();
+            }
+            wal.flush_pending().unwrap();
+        }
+        assert!(wal.segments() > 2, "group flushes must roll segments");
+        drop(wal);
+        let (_, replay) = open_mem(&storage, cfg);
+        let ts: Vec<u64> = replay.batches.iter().map(|b| b.commit_ts).collect();
+        assert_eq!(ts, (1..=40).collect::<Vec<_>>());
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! `ARCHITECTURE.md` at the repo root maps every layer this walkthrough
+//! touches (arena → version maintenance → trees → sessions → network)
+//! to the paper; for the durable side — WAL, group commit, awaitable
+//! acks, crash recovery — run `examples/durable.rs`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

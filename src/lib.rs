@@ -30,6 +30,13 @@
 //!   the session pids through async admission (futures parked in the
 //!   pool's FIFO queue instead of blocked threads).
 //!
+//! `ARCHITECTURE.md` at the repository root draws the full layer map
+//! (arena → version maintenance → trees → transactions → WAL/network),
+//! crosswalks every module to the paper's algorithms and sections, and
+//! names the invariant each boundary keeps; `BENCH.md` documents the
+//! recorded `BENCH_*.json` benchmark corpus. Start there when you need
+//! the system-wide picture rather than one crate's contract.
+//!
 //! ## Quickstart
 //!
 //! Transactions run through [`core::Session`] handles: each session
@@ -68,10 +75,33 @@
 //! visible, checkpoints walk a pinned snapshot while writers proceed,
 //! and `recover` replays the newest checkpoint plus the WAL tail —
 //! degrading gracefully on a torn tail. [`core::Durability`] picks the
-//! fsync trade-off (`Always` per commit, `EveryN` group commit, `Off`
-//! for today's pure in-memory behavior); see the `mvcc-core` crate docs
-//! for the full contract and `examples/durable.rs` for a crash/recover
-//! walkthrough.
+//! fsync trade-off (`Always` per commit, `EveryN` amortized, `Off` for
+//! today's pure in-memory behavior), and [`core::GroupCommit`] decides
+//! how concurrent `Always` committers share those fsyncs: under
+//! `Leader` (or a dedicated `Flusher` thread) overlapping commits
+//! coalesce into one multi-record WAL frame and a single fsync, each
+//! committer holding an awaitable [`core::CommitAck`] that resolves
+//! when its group's flush lands:
+//!
+//! ```
+//! use multiversion::core::{DurableConfig, DurableDatabase, GroupCommit};
+//! use multiversion::ftree::U64Map;
+//! use multiversion::wal::FaultStorage;
+//! use std::sync::Arc;
+//!
+//! let disk = Arc::new(FaultStorage::unfaulted());
+//! let cfg = DurableConfig::default().with_group_commit(GroupCommit::Leader);
+//! let db: DurableDatabase<U64Map> =
+//!     DurableDatabase::recover_storage(disk, 2, cfg).unwrap();
+//! let mut s = db.session().unwrap();
+//! // Visible and logged immediately; durable once the ack resolves.
+//! let (_, ack) = s.write_acked(|txn| { txn.insert(1, 10); }).unwrap();
+//! ack.wait().unwrap();
+//! assert!(db.durable_stats().pending_batches == 0);
+//! ```
+//!
+//! See the `mvcc-core` crate docs for the full contract and
+//! `examples/durable.rs` for a crash/recover/group-commit walkthrough.
 //!
 //! ## Serving over the network
 //!
@@ -135,9 +165,10 @@ pub use mvcc_workloads as workloads;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use mvcc_core::{
-        AcquireTimeout, BatchWriter, Database, Durability, DurableConfig, DurableDatabase,
-        DurableError, DurableSession, DurableTxn, MapOp, RecoveryReport, Router, Session,
-        SessionError, SessionPool, SessionReadGuard, Snapshot, WriteTxn,
+        AcquireTimeout, BatchWriter, CommitAck, Database, Durability, DurableConfig,
+        DurableDatabase, DurableError, DurableSession, DurableStats, DurableTxn, GroupCommit,
+        MapOp, RecoveryReport, Router, Session, SessionError, SessionPool, SessionReadGuard,
+        Snapshot, WriteTxn,
     };
     pub use mvcc_fds::{CellSession, VersionedCell};
     pub use mvcc_ftree::{Forest, MaxU64Map, SumU64Map, TreeParams, U64Map};

@@ -14,15 +14,22 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use multiversion::core::{Durability, DurableConfig, DurableDatabase, DurableError, DurableTxn};
+use multiversion::core::{
+    Durability, DurableConfig, DurableDatabase, DurableError, DurableTxn, GroupCommit,
+};
 use multiversion::ftree::U64Map;
 use multiversion::wal::{FaultPlan, FaultStorage, RetryPolicy};
 
 /// Small segments so sweeps exercise rotation and checkpoint truncation,
 /// and a short backoff so crashed appends fail fast.
 fn cfg(durability: Durability) -> DurableConfig {
+    cfg_g(durability, GroupCommit::Serial)
+}
+
+fn cfg_g(durability: Durability, group: GroupCommit) -> DurableConfig {
     DurableConfig {
         durability,
+        group_commit: group,
         segment_bytes: 256,
         retry: RetryPolicy {
             attempts: 2,
@@ -35,7 +42,15 @@ fn open(
     storage: &FaultStorage,
     durability: Durability,
 ) -> Result<DurableDatabase<U64Map>, DurableError> {
-    DurableDatabase::recover_storage(Arc::new(storage.clone()), 4, cfg(durability))
+    open_g(storage, durability, GroupCommit::Serial)
+}
+
+fn open_g(
+    storage: &FaultStorage,
+    durability: Durability,
+    group: GroupCommit,
+) -> Result<DurableDatabase<U64Map>, DurableError> {
+    DurableDatabase::recover_storage(Arc::new(storage.clone()), 4, cfg_g(durability, group))
 }
 
 /// The deterministic per-commit delta: commit `i` always performs the
@@ -77,7 +92,23 @@ fn run_workload(
     durability: Durability,
     ckpt_every: Option<u64>,
 ) -> u64 {
-    let Ok(db) = open(storage, durability) else {
+    run_workload_g(
+        storage,
+        commits,
+        durability,
+        GroupCommit::Serial,
+        ckpt_every,
+    )
+}
+
+fn run_workload_g(
+    storage: &FaultStorage,
+    commits: u64,
+    durability: Durability,
+    group: GroupCommit,
+    ckpt_every: Option<u64>,
+) -> u64 {
+    let Ok(db) = open_g(storage, durability, group) else {
         return 0;
     };
     let Ok(mut session) = db.session() else {
@@ -342,6 +373,264 @@ fn crash_sweep_every_sync_site_single_writer() {
                 contents(&db),
                 model_after(t),
                 "sync crash {n} (drop={drop_unsynced}): recovered state is not the prefix fold"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------
+
+/// The single-writer crash sweep again under [`GroupCommit::Leader`]: a
+/// lone writer's group never holds more than its own in-flight commit,
+/// so the serial bound `acked <= T <= acked + 1` must still hold at
+/// every write site — group commit changes *when* the fsync happens,
+/// never how much can be lost.
+#[test]
+fn crash_sweep_every_write_site_single_writer_leader() {
+    const COMMITS: u64 = 12;
+    let dry = FaultStorage::unfaulted();
+    assert_eq!(
+        run_workload_g(
+            &dry,
+            COMMITS,
+            Durability::Always,
+            GroupCommit::Leader,
+            Some(5)
+        ),
+        COMMITS
+    );
+    let total = dry.appends();
+
+    for n in 0..total + 2 {
+        let storage = FaultStorage::new(
+            FaultPlan {
+                crash_at_append: Some(n),
+                ..FaultPlan::default()
+            },
+            0x96f0 ^ n,
+        );
+        let acked = run_workload_g(
+            &storage,
+            COMMITS,
+            Durability::Always,
+            GroupCommit::Leader,
+            Some(5),
+        );
+        let db = match open_g(
+            &storage.crash_view(),
+            Durability::Always,
+            GroupCommit::Leader,
+        ) {
+            Ok(db) => db,
+            Err(e) => panic!("leader crash point {n}: recovery must degrade gracefully, got {e}"),
+        };
+        let t = db.last_commit_ts();
+        assert!(
+            t >= acked,
+            "leader crash point {n}: lost acked commit ({t} < {acked})"
+        );
+        assert!(
+            t <= acked + 1,
+            "leader crash point {n}: more than the one in-flight commit appeared"
+        );
+        assert_eq!(
+            contents(&db),
+            model_after(t),
+            "leader crash point {n}: recovered state is not the prefix fold"
+        );
+    }
+}
+
+/// A group frame's members are all-or-nothing across a crash: commits
+/// coalesced into one multi-record frame either all replay or all
+/// vanish — recovery can never keep half a group. The run shape is
+/// deterministic: `BASE` commits each waited to durability, then
+/// `GROUP` commits enqueued *without* waiting so they coalesce into a
+/// single multi-record frame, flushed by the first ack waited on.
+#[test]
+fn group_members_are_all_or_nothing_across_crashes() {
+    const BASE: u64 = 3;
+    const GROUP: u64 = 4;
+
+    let run = |storage: &FaultStorage| -> u64 {
+        let Ok(db) = open_g(storage, Durability::Always, GroupCommit::Leader) else {
+            return 0;
+        };
+        let Ok(mut s) = db.session() else {
+            return 0;
+        };
+        let mut acked = 0;
+        for i in 0..BASE {
+            if s.write(|txn| apply_commit(txn, i)).is_err() {
+                return acked;
+            }
+            acked += 1;
+        }
+        let mut acks = Vec::new();
+        for i in BASE..BASE + GROUP {
+            match s.write_acked(|txn| apply_commit(txn, i)) {
+                Ok(((), ack)) => acks.push(ack),
+                Err(_) => return acked,
+            }
+        }
+        for ack in acks {
+            if ack.wait().is_err() {
+                return acked;
+            }
+            acked += 1;
+        }
+        acked
+    };
+
+    // Locate the group frame's append and sync sites on a dry run: the
+    // last append is the one multi-record frame, the last sync its fsync.
+    let dry = FaultStorage::unfaulted();
+    assert_eq!(run(&dry), BASE + GROUP);
+    let group_append = dry.appends() - 1;
+    let group_sync = dry.syncs() - 1;
+
+    let plans = [
+        // Torn mid-group append: the frame's CRC must reject the whole
+        // group on replay.
+        FaultPlan {
+            crash_at_append: Some(group_append),
+            ..FaultPlan::default()
+        },
+        // Fsync failure after a complete append: the group is on disk
+        // but never acked — it may replay wholesale, never partially.
+        FaultPlan {
+            crash_at_sync: Some(group_sync),
+            ..FaultPlan::default()
+        },
+        // Power loss at the group fsync: the unsynced frame vanishes.
+        FaultPlan {
+            crash_at_sync: Some(group_sync),
+            drop_unsynced: true,
+            ..FaultPlan::default()
+        },
+    ];
+    for (pi, plan) in plans.into_iter().enumerate() {
+        let storage = FaultStorage::new(plan, 0xa11 ^ pi as u64);
+        let acked = run(&storage);
+        let db = match open_g(
+            &storage.crash_view(),
+            Durability::Always,
+            GroupCommit::Leader,
+        ) {
+            Ok(db) => db,
+            Err(e) => panic!("group plan {pi}: recovery failed: {e}"),
+        };
+        let t = db.last_commit_ts();
+        assert!(
+            t == BASE || t == BASE + GROUP,
+            "group plan {pi}: half a group replayed (T = {t})"
+        );
+        assert!(t >= acked, "group plan {pi}: lost acked commit");
+        assert_eq!(
+            contents(&db),
+            model_after(t),
+            "group plan {pi}: recovered state is not the prefix fold"
+        );
+    }
+}
+
+/// Crash-point sweep with concurrent writers under the Leader policy,
+/// over both append and fsync sites: each writer waits for its ack
+/// before its next commit, so the group tail holds at most one unacked
+/// commit per writer — after any crash every writer keeps a gapless
+/// prefix with `k_t >= acked_t`, and at most `WRITERS` unacked commits
+/// materialise in total (`acked <= T <= acked + group_size`).
+#[test]
+fn group_commit_crash_sweep_concurrent_writers() {
+    const WRITERS: usize = 3;
+    const PER: u64 = 10;
+
+    let run = |storage: &FaultStorage| -> Vec<u64> {
+        let Ok(db) = open_g(storage, Durability::Always, GroupCommit::Leader) else {
+            return vec![0; WRITERS];
+        };
+        let db = &db;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..WRITERS)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let Ok(mut session) = db.session() else {
+                            return 0u64;
+                        };
+                        let mut acked = 0;
+                        for j in 0..PER {
+                            let key = t as u64 * 1_000_000 + j;
+                            match session.insert(key, j) {
+                                Ok(()) => acked += 1,
+                                Err(_) => break,
+                            }
+                        }
+                        acked
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    let dry = FaultStorage::unfaulted();
+    assert_eq!(run(&dry), vec![PER; WRITERS], "dry run must not fail");
+    // Coalescing is timing-dependent, so faulted runs may batch commits
+    // into fewer, larger frames than the dry run; the sweep range only
+    // needs to cover every site any run can hit.
+    let total = dry.appends().max(dry.syncs());
+
+    for use_sync in [false, true] {
+        for n in 0..total + 2 {
+            let plan = FaultPlan {
+                crash_at_append: (!use_sync).then_some(n),
+                crash_at_sync: use_sync.then_some(n),
+                drop_unsynced: use_sync,
+                ..FaultPlan::default()
+            };
+            let storage = FaultStorage::new(plan, 0x6c0 ^ n);
+            let acked = run(&storage);
+            let db = match open_g(
+                &storage.crash_view(),
+                Durability::Always,
+                GroupCommit::Leader,
+            ) {
+                Ok(db) => db,
+                Err(e) => panic!("group crash {n} (sync={use_sync}): recovery failed: {e}"),
+            };
+            let snapshot = contents(&db);
+
+            let mut per_writer: Vec<Vec<u64>> = vec![Vec::new(); WRITERS];
+            for (key, value) in snapshot {
+                let t = (key / 1_000_000) as usize;
+                let j = key % 1_000_000;
+                assert!(t < WRITERS, "foreign key {key} recovered");
+                assert_eq!(value, j, "group crash {n} (sync={use_sync}): value torn");
+                per_writer[t].push(j);
+            }
+            let mut extra = 0u64;
+            for (t, js) in per_writer.iter().enumerate() {
+                for (expect, got) in js.iter().enumerate() {
+                    assert_eq!(
+                        *got, expect as u64,
+                        "group crash {n} (sync={use_sync}): writer {t} has a gap"
+                    );
+                }
+                let k_t = js.len() as u64;
+                assert!(
+                    k_t >= acked[t],
+                    "group crash {n} (sync={use_sync}): writer {t} lost an acked \
+                     commit ({k_t} < {})",
+                    acked[t]
+                );
+                extra += k_t - acked[t];
+            }
+            assert!(
+                extra <= WRITERS as u64,
+                "group crash {n} (sync={use_sync}): {extra} unacked commits outlived \
+                 the crash (the group tail holds at most one per writer)"
             );
         }
     }
