@@ -15,6 +15,17 @@
 //!   server's poll loop. Client-observed round-trip time is reported
 //!   alongside, since the wire adds loopback syscalls on top.
 //!
+//! A second family measures **overload protection**: the same router
+//! shape under an adversarial pipelined storm (every client bursts
+//! requests back-to-back, and every pid is camped outside the server
+//! for the first `MVCC_NET_STORM_CAMP_MS` so arrivals genuinely
+//! queue), once with shedding + request deadlines on and once fully
+//! permissive. The shed run answers excess load with typed
+//! `Overloaded` replies at the door, so the admission queue stays
+//! bounded by the configured depth; the permissive run lets every
+//! request wait its full turn and the queue grow with the connection
+//! count.
+//!
 //! Results land in `BENCH_net.json` at the repo root (companion to
 //! `BENCH_oversub.json`).
 //!
@@ -28,9 +39,9 @@ use std::time::{Duration, Instant};
 
 use mvcc_bench::env_u64;
 use mvcc_bench::json::{self, JsonWriter};
-use mvcc_core::Router;
+use mvcc_core::{Router, Session};
 use mvcc_ftree::U64Map;
-use mvcc_net::{Client, Server};
+use mvcc_net::{Client, ErrorCode, Request, Response, Server, ServerConfig, ServerStats};
 use mvcc_workloads::oversub::{run_oversubscribed_with, Arrivals, LatencySummary};
 
 fn summary_json(name: &str, s: &LatencySummary, jw: &mut JsonWriter) {
@@ -47,6 +58,134 @@ fn summary_json(name: &str, s: &LatencySummary, jw: &mut JsonWriter) {
 
 fn throughput_rps(requests: u64, elapsed: Duration) -> u64 {
     (requests as f64 / elapsed.as_secs_f64()) as u64
+}
+
+/// One adversarial-storm run's worth of results.
+struct Storm {
+    /// Requests that were actually applied (goodput numerator).
+    ok: u64,
+    /// Requests answered `Overloaded` (shed at the door or expired).
+    rejected: u64,
+    elapsed: Duration,
+    /// Client-observed latency of *successful* requests.
+    rtt: LatencySummary,
+    /// Server-side admission-queue waits.
+    wait: LatencySummary,
+    stats: ServerStats,
+}
+
+/// Drive `conns` pipelined clients against a fresh server: each client
+/// fires `burst` back-to-back PUTs, drains the replies, and repeats
+/// until `reqs` requests are in — an open-loop overload with up to
+/// `conns * burst` requests outstanding at once.
+///
+/// For the first `camp` of the run every pid is held *outside* the
+/// server (a stalled-tenant stand-in), so arrivals during that window
+/// genuinely queue: the server's poll loop otherwise executes each
+/// granted request inline and the admission queue never builds. This
+/// is the window where shedding and deadlines earn their keep.
+fn run_storm(
+    shards: usize,
+    pids: usize,
+    conns: usize,
+    reqs: usize,
+    burst: usize,
+    camp: Duration,
+    config: ServerConfig,
+) -> Storm {
+    let router = Arc::new(Router::<U64Map>::new(shards, pids));
+    let handle =
+        Server::start_with(Arc::clone(&router), "127.0.0.1:0", config).expect("bind loopback");
+    let addr = handle.addr();
+
+    // Camp every pid of every shard before the first client connects.
+    let campers: Vec<Session<U64Map>> = (0..shards)
+        .flat_map(|sh| {
+            let pool = router.with_shard(sh).pool();
+            (0..pids).map(move |_| pool.try_acquire().expect("fresh pool has free pids"))
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<u64>, u64, u64)> = std::thread::scope(|s| {
+        s.spawn(move || {
+            std::thread::sleep(camp);
+            drop(campers); // capacity returns mid-storm
+        });
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut rtts = Vec::with_capacity(reqs);
+                    let (mut ok, mut rejected) = (0u64, 0u64);
+                    let mut i = 0;
+                    while i < reqs {
+                        let n = burst.min(reqs - i);
+                        let t = Instant::now();
+                        for j in 0..n {
+                            let k = (c * reqs + i + j) as u64;
+                            client
+                                .send(&Request::Put { key: k, value: k })
+                                .expect("send");
+                        }
+                        for _ in 0..n {
+                            match client.recv().expect("recv") {
+                                Response::Done => {
+                                    ok += 1;
+                                    rtts.push(t.elapsed().as_nanos() as u64);
+                                }
+                                Response::Error {
+                                    code: ErrorCode::Overloaded,
+                                    ..
+                                } => rejected += 1,
+                                other => panic!("unexpected storm reply: {other:?}"),
+                            }
+                        }
+                        i += n;
+                    }
+                    (rtts, ok, rejected)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut wait_samples = handle.server().take_wait_samples();
+    let stats = handle.server().stats();
+    handle.shutdown().expect("clean server shutdown");
+    assert_eq!(router.sessions_leased(), 0, "no pids leaked by the storm");
+    assert_eq!(stats.fifo_violations, 0, "admission stayed FIFO");
+
+    let mut rtts: Vec<u64> = Vec::new();
+    let (mut ok, mut rejected) = (0u64, 0u64);
+    for (r, o, sh) in per_client {
+        rtts.extend(r);
+        ok += o;
+        rejected += sh;
+    }
+    Storm {
+        ok,
+        rejected,
+        elapsed,
+        rtt: LatencySummary::from_ns(&mut rtts),
+        wait: LatencySummary::from_ns(&mut wait_samples),
+        stats,
+    }
+}
+
+fn storm_json(name: &str, s: &Storm, jw: &mut JsonWriter) {
+    jw.begin_object(name);
+    jw.field_u64("ok", s.ok);
+    jw.field_u64("rejected", s.rejected);
+    jw.field_u128("elapsed_ms", s.elapsed.as_millis());
+    jw.field_u64("goodput_rps", throughput_rps(s.ok, s.elapsed));
+    jw.field_u64("shed", s.stats.shed);
+    jw.field_u64("deadline_expired", s.stats.deadline_expired);
+    jw.field_u64("max_queue_depth", s.stats.max_queue_depth);
+    summary_json("wait_ns", &s.wait, jw);
+    summary_json("rtt_ns", &s.rtt, jw);
+    jw.end_object();
 }
 
 fn main() {
@@ -125,6 +264,55 @@ fn main() {
     println!("  async_admission wait {async_wait}");
     println!("  async_admission rtt  {rtt}");
 
+    // --- overload family: adversarial storm, shed on vs off -------------
+    let storm_conns = env_u64("MVCC_NET_STORM_CONNS", conns as u64) as usize;
+    let storm_reqs = env_u64("MVCC_NET_STORM_REQS", reqs as u64) as usize;
+    let storm_burst = env_u64("MVCC_NET_STORM_BURST", 8) as usize;
+    let shed_depth = env_u64("MVCC_NET_SHED_DEPTH", capacity as u64) as usize;
+    let camp = Duration::from_millis(env_u64("MVCC_NET_STORM_CAMP_MS", 50));
+    println!(
+        "storm: {storm_conns} pipelined clients x {storm_reqs} reqs, \
+         burst {storm_burst}, shed depth {shed_depth}, pids camped {camp:?}"
+    );
+
+    let shed_on = run_storm(
+        shards,
+        pids,
+        storm_conns,
+        storm_reqs,
+        storm_burst,
+        camp,
+        ServerConfig {
+            shed_depth: Some(shed_depth),
+            request_deadline: Some(Duration::from_millis(20)),
+            idle_timeout: None,
+            retry_after_hint: Duration::from_millis(1),
+        },
+    );
+    println!(
+        "  shed_on  ok {} rejected {} goodput {}rps wait {}",
+        shed_on.ok,
+        shed_on.rejected,
+        throughput_rps(shed_on.ok, shed_on.elapsed),
+        shed_on.wait,
+    );
+    let shed_off = run_storm(
+        shards,
+        pids,
+        storm_conns,
+        storm_reqs,
+        storm_burst,
+        camp,
+        ServerConfig::default(),
+    );
+    println!(
+        "  shed_off ok {} rejected {} goodput {}rps wait {}",
+        shed_off.ok,
+        shed_off.rejected,
+        throughput_rps(shed_off.ok, shed_off.elapsed),
+        shed_off.wait,
+    );
+
     let mut jw = JsonWriter::bench("net_front_end");
     jw.field_u64("pids", pids as u64);
     jw.field_u64("shards", shards as u64);
@@ -161,5 +349,16 @@ fn main() {
     jw.end_object();
 
     jw.end_object();
+
+    jw.begin_object("storm");
+    jw.field_u64("conns", storm_conns as u64);
+    jw.field_u64("reqs_per_conn", storm_reqs as u64);
+    jw.field_u64("burst", storm_burst as u64);
+    jw.field_u64("shed_depth", shed_depth as u64);
+    jw.field_u128("camp_ms", camp.as_millis());
+    storm_json("shed_on", &shed_on, &mut jw);
+    storm_json("shed_off", &shed_off, &mut jw);
+    jw.end_object();
+
     json::write_repo_root("BENCH_net.json", &jw.finish());
 }

@@ -39,6 +39,7 @@ fn report_json(name: &str, r: &OversubReport, jw: &mut JsonWriter) {
     jw.field_u64("acquires", r.acquires);
     jw.field_u128("elapsed_ms", r.elapsed.as_millis());
     jw.begin_object("wait_ns");
+    jw.field_u64("count", w.count);
     jw.field_u64("mean", w.mean_ns);
     jw.field_u64("p50", w.p50_ns);
     jw.field_u64("p90", w.p90_ns);

@@ -23,10 +23,17 @@
 //!   right before the tail so only the tail replays. Recovery must scale
 //!   with the tail, not the database: the checkpointed rows stay flat as
 //!   the pre-checkpoint history grows.
+//! * `bounded_queue` — one writer calling `write_acked` flat out
+//!   against a [`GroupCommit::Flusher`] thread, once with the commit
+//!   queue unbounded and once capped at a small watermark. The bounded
+//!   row rate-matches the writer to the disk (its `blocked_enqueues` /
+//!   `blocked_ms` show the backpressure actually engaging) instead of
+//!   letting unfsynced batches pile up in memory.
 //!
 //! Knobs: `MVCC_SECS` (per-mode measurement window), `MVCC_KEYSPACE`
 //! (Zipfian key space), `MVCC_WAL_BATCH` (ops per commit, default 16),
-//! `MVCC_WAL_TAIL` (longest recovery tail, default 4000).
+//! `MVCC_WAL_TAIL` (longest recovery tail, default 4000),
+//! `MVCC_WAL_BOUND` (bounded-queue watermark, default 4 batches).
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -160,6 +167,57 @@ fn measure_group(
         LatencySummary::from_ns(&mut samples),
         mean_group,
     )
+}
+
+/// One time-boxed saturation run: a single writer calling `write_acked`
+/// flat out against a `Flusher` group-commit thread, with the commit
+/// queue either unbounded (`bound == 0`) or capped at `bound` batches.
+/// Returns (commits/s, final durable stats).
+fn measure_saturation(
+    bound: usize,
+    secs: f64,
+    batch: u64,
+    zipf: &ScrambledZipf,
+) -> (f64, mvcc_core::DurableStats) {
+    let dir = scratch_dir(&format!("sat-{bound}"));
+    let mut cfg = DurableConfig::default()
+        .with_group_commit(GroupCommit::Flusher {
+            max_coalesce: Duration::from_micros(200),
+        })
+        .with_flush_slo(Duration::from_millis(2));
+    if bound > 0 {
+        cfg = cfg.with_max_pending_batches(bound);
+    }
+    let db: DurableDatabase<U64Map> = DurableDatabase::recover(&dir, 2, cfg)
+        .unwrap_or_else(|e| panic!("open {}: {e}", dir.display()));
+    let (report, _) = run_for_collect(
+        1,
+        Duration::from_secs_f64(secs),
+        |_| {
+            (
+                db.session().expect("fresh pool has a free lease"),
+                SmallRng::seed_from_u64(42),
+            )
+        },
+        |_, iter, (session, rng): &mut (DurableSession<'_, U64Map>, _)| {
+            // The ack is dropped: the bench measures the enqueue path
+            // and the queue bound, not fsync completion latency (the
+            // final `db.sync()` drains everything before stats).
+            let _ack = session
+                .write_acked(|txn| {
+                    for i in 0..batch {
+                        txn.insert(zipf.sample(rng), iter * batch + i);
+                    }
+                })
+                .expect("acked durable commit");
+            1
+        },
+    );
+    db.sync().expect("drain the commit queue");
+    let stats = db.durable_stats();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    (report.ops_per_sec(), stats)
 }
 
 /// Fill `history` then (optionally) checkpoint, then fill `tail` more
@@ -306,6 +364,31 @@ fn main() {
         jw.field_u64("history_batches", tail_max - tail);
         jw.field_u64("batches_replayed", replayed);
         jw.field_f64("recover_ms", ms);
+        jw.end_object();
+    }
+    jw.end_object();
+
+    let bound = env_u64("MVCC_WAL_BOUND", 4) as usize;
+    jw.begin_object("bounded_queue");
+    for (name, b) in [("unbounded", 0usize), ("bounded", bound)] {
+        let (commits, stats) = measure_saturation(b, secs, batch, &zipf);
+        println!(
+            "  flusher {name:<9} {commits:>9.0} commits/s  blocked {:>6} enqueues \
+             ({:>6.1} ms)  max flush {:>8.1} us  slo misses {}",
+            stats.blocked_enqueues,
+            stats.blocked_ns as f64 / 1e6,
+            stats.max_flush_ns as f64 / 1e3,
+            stats.slo_misses,
+        );
+        jw.begin_object(name);
+        jw.field_u64("max_pending_batches", b as u64);
+        jw.field_f64("commits_per_sec", commits);
+        jw.field_u64("batches_flushed", stats.batches_flushed);
+        jw.field_u64("groups_flushed", stats.groups_flushed);
+        jw.field_u64("blocked_enqueues", stats.blocked_enqueues);
+        jw.field_f64("blocked_ms", stats.blocked_ns as f64 / 1e6);
+        jw.field_u64("max_flush_ns", stats.max_flush_ns);
+        jw.field_u64("slo_misses", stats.slo_misses);
         jw.end_object();
     }
     jw.end_object();

@@ -137,6 +137,19 @@ pub struct DurableConfig {
     pub segment_bytes: u64,
     /// Transient I/O retry policy for WAL appends.
     pub retry: RetryPolicy,
+    /// Bounded commit queue: high watermark on the group-commit tail in
+    /// pending commits (0 = unbounded). A commit that would push past it
+    /// blocks inside its critical section until the flusher drains the
+    /// tail — backpressure instead of unbounded memory when the commit
+    /// rate outruns the disk. Counted in
+    /// [`DurableStats::blocked_enqueues`].
+    pub max_pending_batches: usize,
+    /// Bounded commit queue by encoded bytes (0 = unbounded); whichever
+    /// watermark trips first wins.
+    pub max_pending_bytes: usize,
+    /// Flusher-latency SLO: a group flush slower than this is counted in
+    /// [`DurableStats::slo_misses`] (`None` = no SLO).
+    pub flush_slo: Option<Duration>,
 }
 
 impl Default for DurableConfig {
@@ -147,6 +160,9 @@ impl Default for DurableConfig {
             group_commit: GroupCommit::Serial,
             segment_bytes: wal.segment_bytes,
             retry: wal.retry,
+            max_pending_batches: wal.max_pending_batches,
+            max_pending_bytes: wal.max_pending_bytes,
+            flush_slo: wal.flush_slo,
         }
     }
 }
@@ -164,6 +180,19 @@ impl DurableConfig {
         self
     }
 
+    /// This config with a bounded commit queue (high watermark in
+    /// pending commits; 0 = unbounded).
+    pub fn with_max_pending_batches(mut self, batches: usize) -> Self {
+        self.max_pending_batches = batches;
+        self
+    }
+
+    /// This config with a flusher-latency SLO.
+    pub fn with_flush_slo(mut self, slo: Duration) -> Self {
+        self.flush_slo = Some(slo);
+        self
+    }
+
     fn wal_config(&self) -> WalConfig {
         WalConfig {
             fsync: match self.durability {
@@ -175,6 +204,9 @@ impl DurableConfig {
             },
             segment_bytes: self.segment_bytes,
             retry: self.retry,
+            max_pending_batches: self.max_pending_batches,
+            max_pending_bytes: self.max_pending_bytes,
+            flush_slo: self.flush_slo,
         }
     }
 }
@@ -271,6 +303,16 @@ pub struct DurableStats {
     pub max_group: u64,
     /// Total wall-clock nanoseconds spent inside group flushes.
     pub flush_ns_total: u64,
+    /// The slowest single group flush observed.
+    pub max_flush_ns: u64,
+    /// Flushes that exceeded [`DurableConfig::flush_slo`].
+    pub slo_misses: u64,
+    /// Commits that found the bounded queue at its watermark and had to
+    /// block for a flush (saturation: the commit rate outran the disk).
+    pub blocked_enqueues: u64,
+    /// Total wall-clock nanoseconds commits spent blocked at the
+    /// watermark.
+    pub blocked_ns: u64,
     /// Commits enqueued on the group tail but not yet flushed (a racy
     /// snapshot).
     pub pending_batches: u64,
@@ -686,6 +728,10 @@ impl<P: TreeParams, M: VersionMaintenance> DurableDatabase<P, M> {
                     batches_flushed: g.batches,
                     max_group: g.max_group,
                     flush_ns_total: g.flush_ns,
+                    max_flush_ns: g.max_flush_ns,
+                    slo_misses: g.slo_misses,
+                    blocked_enqueues: g.blocked_enqueues,
+                    blocked_ns: g.blocked_ns,
                     pending_batches: wal.pending_batches() as u64,
                 }
             }

@@ -182,7 +182,10 @@ pub use mvcc_vm as vm;
 /// the pool is exhausted or the requested pid is already leased.
 pub use mvcc_vm::LeaseError as SessionError;
 pub use mvcc_wal as wal;
-pub use pool::{AcquireFuture, AcquireState, AcquireTimeout, Router, SessionPool};
+pub use pool::{
+    AcquireFuture, AcquireState, AcquireTimeout, AcquireTimeoutFuture, LeaseGuard, LeaseRevoked,
+    PoolStats, Router, SessionPool,
+};
 pub use session::{Session, SessionReadGuard, WriteTxn};
 
 #[inline]
@@ -241,6 +244,9 @@ pub struct Database<P: TreeParams, M: VersionMaintenance = PswfVm> {
     /// FIFO wait queue for `pool().acquire()`; `Arc` because the pid
     /// pool's release hook (a `'static` closure) holds the other ref.
     pub(crate) waiters: Arc<pool::WaitQueue>,
+    /// Lease-deadline table for `pool().acquire_leased()`; one slot per
+    /// pid, occupied while a `LeaseGuard` holds it.
+    pub(crate) leases: pool::LeaseRegistry,
     commits: AtomicU64,
     aborts: AtomicU64,
     reads: AtomicU64,
@@ -278,10 +284,12 @@ impl<P: TreeParams, M: VersionMaintenance> Database<P, M> {
         // never polls.
         let wake = Arc::clone(&waiters);
         pids.add_release_hook(move |_pid| wake.notify());
+        let leases = pool::LeaseRegistry::new(pids.processes());
         Database {
             forest: Forest::new(),
             pids,
             waiters,
+            leases,
             vmo,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),

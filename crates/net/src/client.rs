@@ -22,7 +22,16 @@ pub enum ClientError {
     Io(io::Error),
     /// The server's bytes violated the framing/codec rules.
     Proto(ProtoError),
-    /// The server answered with a typed error reply.
+    /// The server shed the request under overload
+    /// ([`ErrorCode::Overloaded`]): nothing was applied, the connection
+    /// is still good, and the server suggests backing off
+    /// `retry_after_ms` before retrying.
+    Overloaded {
+        /// The server's backoff hint, milliseconds.
+        retry_after_ms: u16,
+        message: String,
+    },
+    /// The server answered with any other typed error reply.
     Server { code: ErrorCode, message: String },
     /// The reply decoded fine but was the wrong shape for the request
     /// (e.g. `TxnOk` answering a `GET`) — a server bug, not an IO one.
@@ -34,6 +43,15 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Overloaded {
+                retry_after_ms,
+                message,
+            } => {
+                write!(
+                    f,
+                    "server overloaded (retry in {retry_after_ms}ms): {message}"
+                )
+            }
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
             }
@@ -130,7 +148,15 @@ impl Client {
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.send(req)?;
         match self.recv()? {
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Overloaded {
+                retry_after_ms,
+                message,
+            }),
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
             resp => Ok(resp),
         }
     }

@@ -107,6 +107,7 @@ impl Conn {
         };
         self.push_response(&Response::Error {
             code,
+            retry_after_ms: 0,
             message: err.to_string(),
         });
         self.closing = Some(Hangup::Proto(err));

@@ -49,6 +49,58 @@
 //! assert_eq!(router.sessions_leased(), 0); // nothing leaked
 //! ```
 //!
+//! # Overload behavior
+//!
+//! Every queue the server feeds is **bounded**, and overload degrades
+//! to typed errors — never dropped connections, never unbounded
+//! memory. Configure it with [`ServerConfig`] and
+//! [`Server::start_with`]:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use mvcc_net::{Client, ClientError, Server, ServerConfig};
+//! use mvcc_core::Router;
+//! use mvcc_ftree::U64Map;
+//!
+//! let router: Arc<Router<U64Map>> = Arc::new(Router::new(1, 1));
+//! let handle = Server::start_with(
+//!     Arc::clone(&router),
+//!     "127.0.0.1:0",
+//!     ServerConfig {
+//!         // Shed once a shard's admission queue is 64 deep…
+//!         shed_depth: Some(64),
+//!         // …cancel admissions still queued after 20ms…
+//!         request_deadline: Some(Duration::from_millis(20)),
+//!         // …and close connections idle for a minute.
+//!         idle_timeout: Some(Duration::from_secs(60)),
+//!         retry_after_hint: Duration::from_millis(5),
+//!     },
+//! )
+//! .unwrap();
+//!
+//! // A shed or expired request surfaces as a typed, retryable error —
+//! // the connection is still good, and nothing was applied.
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! match client.put(1, 10) {
+//!     Ok(()) => {}
+//!     Err(ClientError::Overloaded { retry_after_ms, .. }) => {
+//!         std::thread::sleep(Duration::from_millis(retry_after_ms as u64));
+//!         // …retry here…
+//!     }
+//!     Err(other) => panic!("{other}"),
+//! }
+//! # drop(client);
+//! # handle.shutdown().unwrap();
+//! ```
+//!
+//! The server's scan loop runs a coarse maintenance tick (~1ms): it
+//! re-polls deadline-expired admissions, reaps idle connections
+//! (mid-pipeline connections are never reaped), samples the
+//! queue-depth high-water gauge into [`ServerStats`], and sweeps
+//! expired session leases on the router. See `server` module docs for
+//! the exact degradation contract.
+//!
 //! [`Router`]: mvcc_core::Router
 //! [`SessionPool::poll_acquire`]: mvcc_core::SessionPool::poll_acquire
 
@@ -61,4 +113,4 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use executor::block_on;
 pub use proto::{ErrorCode, ProtoError, Request, Response, TxnOp};
-pub use server::{Server, ServerHandle, ServerStats};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -45,8 +45,14 @@
 //! DONE    (0x02)  body := ε                            (PUT reply)
 //! REMOVED (0x03)  body := present: u8 ++ prev: u64     (DEL reply)
 //! TXN_OK  (0x04)  body := applied: u16                 (TXN reply)
-//! ERR     (0xEE)  body := code: u8 ++ mlen: u16 ++ message: utf-8
+//! ERR     (0xEE)  body := code: u8 ++ retry_ms: u16
+//!                         ++ mlen: u16 ++ message: utf-8
 //! ```
+//!
+//! `retry_ms` is the server's backoff hint: how long the client should
+//! wait before retrying the request. It is meaningful for
+//! [`ErrorCode::Overloaded`] (the load-shedding reply) and zero on
+//! every other error (retrying a malformed frame will not help).
 //!
 //! `present = 0` means absent and the trailing `u64` is zero-filled.
 //! Responses arrive strictly in request order per connection (the
@@ -138,7 +144,14 @@ pub enum Response {
     /// atomically or errors).
     TxnOk { applied: u16 },
     /// Typed failure; the request had no effect.
-    Error { code: ErrorCode, message: String },
+    Error {
+        code: ErrorCode,
+        /// Backoff hint in milliseconds before retrying (nonzero only
+        /// for [`ErrorCode::Overloaded`] — the shed reply tells the
+        /// client when the queue is worth rejoining).
+        retry_after_ms: u16,
+        message: String,
+    },
 }
 
 /// Typed error codes carried by [`Response::Error`].
@@ -155,6 +168,12 @@ pub enum ErrorCode {
     CrossShardTxn = 4,
     /// Frame length exceeded [`MAX_FRAME`] or op count [`MAX_TXN_OPS`].
     Oversize = 5,
+    /// The server shed this request instead of queuing it (admission
+    /// queue over its depth threshold, or the request's deadline passed
+    /// while it waited). Nothing was applied; the reply's
+    /// `retry_after_ms` says when to try again. The connection stays
+    /// open — shedding is per-request, never a disconnect.
+    Overloaded = 6,
 }
 
 impl ErrorCode {
@@ -165,6 +184,7 @@ impl ErrorCode {
             3 => ErrorCode::Malformed,
             4 => ErrorCode::CrossShardTxn,
             5 => ErrorCode::Oversize,
+            6 => ErrorCode::Overloaded,
             _ => return None,
         })
     }
@@ -415,9 +435,14 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.push(ST_TXN_OK);
             put_u16(out, *applied);
         }
-        Response::Error { code, message } => {
+        Response::Error {
+            code,
+            retry_after_ms,
+            message,
+        } => {
             out.push(ST_ERR);
             out.push(*code as u8);
+            put_u16(out, *retry_after_ms);
             let msg = &message.as_bytes()[..message.len().min(u16::MAX as usize)];
             put_u16(out, msg.len() as u16);
             out.extend_from_slice(msg);
@@ -453,11 +478,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         ST_ERR => {
             let code = r.u8()?;
             let code = ErrorCode::from_u8(code).ok_or(ProtoError::BadErrorCode { got: code })?;
+            let retry_after_ms = r.u16()?;
             let mlen = r.u16()? as usize;
             let message = std::str::from_utf8(r.take(mlen)?)
                 .map_err(|_| ProtoError::BadUtf8)?
                 .to_owned();
-            Response::Error { code, message }
+            Response::Error {
+                code,
+                retry_after_ms,
+                message,
+            }
         }
         got => return Err(ProtoError::BadKind { got }),
     };
@@ -513,7 +543,13 @@ mod tests {
         roundtrip_response(Response::TxnOk { applied: 512 });
         roundtrip_response(Response::Error {
             code: ErrorCode::CrossShardTxn,
+            retry_after_ms: 0,
             message: "keys 1 and 2 route to different shards".into(),
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: 250,
+            message: "admission queue over depth threshold".into(),
         });
     }
 

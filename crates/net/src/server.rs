@@ -19,24 +19,51 @@
 //! 4. admit each connection's next queued request (one in flight per
 //!    connection — responses stay in request order);
 //! 5. flush response bytes, reap finished connections;
-//! 6. if nothing moved and nothing is woken, sleep briefly.
+//! 6. every maintenance tick (~1ms), re-poll deadline-expired
+//!    admissions, reap idle connections, sample queue-depth gauges,
+//!    sweep expired session leases;
+//! 7. if nothing moved and nothing is woken, sleep until the nearest
+//!    pending deadline (capped at the idle-sleep floor, ~50µs).
 //!
 //! Admission order is audited: tickets are drawn in arrival order, so
 //! per shard the granted tickets must be strictly increasing. The
 //! counter [`ServerStats::fifo_violations`] stays zero or the pool's
 //! fairness contract is broken (the loopback integration test asserts
 //! this).
+//!
+//! # Overload behavior
+//!
+//! Every queue this server feeds is bounded, and overload degrades to
+//! *typed replies*, never dropped connections or unbounded memory
+//! ([`ServerConfig`] holds the knobs):
+//!
+//! * **Load shedding** — with [`ServerConfig::shed_depth`] set, a
+//!   request whose shard admission queue is already that deep is
+//!   answered [`ErrorCode::Overloaded`] *before* it queues: no
+//!   session, no side effects, and the reply carries
+//!   [`ServerConfig::retry_after_hint`] as a client backoff hint. The
+//!   connection stays open.
+//! * **Request deadlines** — with [`ServerConfig::request_deadline`]
+//!   set, an admission still queued when its deadline passes is
+//!   cancelled (its ticket leaves the queue through the pool's
+//!   wake-forwarding cancel path) and answered `Overloaded`; the
+//!   connection proceeds to its next request.
+//! * **Idle reaping** — with [`ServerConfig::idle_timeout`] set, a
+//!   connection with nothing buffered, parsed, pending or unflushed
+//!   for that long is closed by the tick. Mid-pipeline connections
+//!   are never reaped, however slow.
+//!
+//! All three are off by default ([`ServerConfig::default`] preserves
+//! the unbounded behavior); [`ServerStats`] counts what each did.
 
-use std::future::Future;
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
-use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
-use mvcc_core::pool::AcquireFuture;
+use mvcc_core::pool::AcquireState;
 use mvcc_core::{Router, Session};
 use mvcc_ftree::U64Map;
 
@@ -47,7 +74,14 @@ use crate::proto::{ErrorCode, Request, Response, TxnOp};
 /// Sleep when an iteration moves nothing and no admission is woken —
 /// the idle latency floor. Small enough to stay invisible next to
 /// loopback RTT, large enough not to spin a core on an idle server.
+/// A pending request deadline sooner than this shortens the sleep
+/// (the loop wakes on the nearest deadline, not a fixed timeout).
 const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// Coarse maintenance-tick period: deadline re-polls, idle reaping,
+/// gauge sampling and lease sweeps happen at this granularity — one
+/// clock read per tick, no per-connection or per-waiter timers.
+const TICK: Duration = Duration::from_millis(1);
 
 /// Keep at most this many admission-wait samples (oldest kept; the
 /// bench harness drains them long before the cap).
@@ -66,6 +100,57 @@ pub struct ServerStats {
     /// Admissions granted out of ticket order — **must stay zero**;
     /// a nonzero value means the pool broke its FIFO contract.
     pub fifo_violations: u64,
+    /// Requests answered [`ErrorCode::Overloaded`] at the door
+    /// (admission queue over [`ServerConfig::shed_depth`]).
+    pub shed: u64,
+    /// Admissions cancelled because their
+    /// [`ServerConfig::request_deadline`] passed while queued (also
+    /// answered `Overloaded`).
+    pub deadline_expired: u64,
+    /// Connections closed by the idle reaper
+    /// ([`ServerConfig::idle_timeout`]).
+    pub reaped_idle: u64,
+    /// Deepest per-shard admission queue ever observed (sampled at
+    /// shed checks and every tick — a high-water gauge, not a sum).
+    pub max_queue_depth: u64,
+}
+
+/// Overload-protection knobs for a [`Server`]. The default is fully
+/// permissive — no shedding, no deadlines, no reaping — i.e. exactly
+/// the pre-config behavior; production fronts set all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Shed a request (typed [`ErrorCode::Overloaded`] reply, no
+    /// side effects) when its shard's admission queue is already this
+    /// deep. `None` = never shed.
+    pub shed_depth: Option<usize>,
+    /// Cancel an admission still queued after this long and answer
+    /// `Overloaded`; the connection survives. `None` = wait forever.
+    pub request_deadline: Option<Duration>,
+    /// Close a connection with no buffered, parsed, pending or
+    /// unflushed work for this long. `None` = never reap.
+    pub idle_timeout: Option<Duration>,
+    /// Backoff hint carried in every `Overloaded` reply (clamped to
+    /// `u16::MAX` milliseconds on the wire).
+    pub retry_after_hint: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shed_depth: None,
+            request_deadline: None,
+            idle_timeout: None,
+            retry_after_hint: Duration::from_millis(1),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The wire form of [`ServerConfig::retry_after_hint`].
+    fn retry_after_ms(&self) -> u16 {
+        u16::try_from(self.retry_after_hint.as_millis()).unwrap_or(u16::MAX)
+    }
 }
 
 /// A wire-protocol front end over a [`Router`]: bind with
@@ -75,10 +160,15 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     router: Arc<Router<U64Map>>,
+    config: ServerConfig,
     connections: AtomicU64,
     requests: AtomicU64,
     proto_errors: AtomicU64,
     fifo_violations: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    reaped_idle: AtomicU64,
+    max_queue_depth: AtomicU64,
     /// Nanoseconds each admitted request waited between joining the
     /// admission queue and leasing its session — the async-path
     /// equivalent of `SessionPool::acquire` wait time.
@@ -86,20 +176,25 @@ pub struct Server {
 }
 
 /// One request parked in (or just entering) a shard's admission queue.
-struct Admission<'r> {
-    fut: AcquireFuture<'r, U64Map>,
+struct Admission {
+    /// Ticket + (optional) deadline in the shard pool's FIFO queue;
+    /// dropping it surrenders the ticket with wake-forwarding.
+    state: AcquireState,
     req: Request,
     shard: usize,
     since: Instant,
 }
 
 /// A connection slot: IO state plus at most one in-flight admission.
-struct Slot<'r> {
+struct Slot {
     conn: Conn,
-    pending: Option<Admission<'r>>,
+    pending: Option<Admission>,
     /// Cached so re-polls pass the *same* waker (`will_wake` then
     /// short-circuits the clone in `poll_acquire`).
     waker: Waker,
+    /// Last time this connection's bytes or admission moved — the
+    /// idle reaper's clock.
+    last_activity: Instant,
 }
 
 /// How a parsed request proceeds.
@@ -115,6 +210,15 @@ impl Server {
     /// `"127.0.0.1:0"` for an ephemeral port ([`Server::local_addr`]
     /// reports the choice).
     pub fn bind(router: Arc<Router<U64Map>>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::bind_with(router, addr, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit overload-protection knobs.
+    pub fn bind_with(
+        router: Arc<Router<U64Map>>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -122,10 +226,15 @@ impl Server {
             listener,
             addr,
             router,
+            config,
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             proto_errors: AtomicU64::new(0),
             fifo_violations: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            reaped_idle: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
             wait_samples: Mutex::new(Vec::new()),
         })
     }
@@ -136,7 +245,16 @@ impl Server {
         router: Arc<Router<U64Map>>,
         addr: impl ToSocketAddrs,
     ) -> io::Result<ServerHandle> {
-        let server = Arc::new(Server::bind(router, addr)?);
+        Server::start_with(router, addr, ServerConfig::default())
+    }
+
+    /// [`Server::start`] with explicit overload-protection knobs.
+    pub fn start_with(
+        router: Arc<Router<U64Map>>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let server = Arc::new(Server::bind_with(router, addr, config)?);
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
             let server = Arc::clone(&server);
@@ -162,6 +280,11 @@ impl Server {
         &self.router
     }
 
+    /// The overload-protection knobs this server runs with.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
     /// Snapshot the loop's counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -169,6 +292,10 @@ impl Server {
             requests: self.requests.load(Ordering::Relaxed),
             proto_errors: self.proto_errors.load(Ordering::Relaxed),
             fifo_violations: self.fifo_violations.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
         }
     }
 
@@ -184,11 +311,12 @@ impl Server {
     pub fn run_until(&self, stop: &AtomicBool) -> io::Result<()> {
         let router = &*self.router;
         let ready = ReadySet::new();
-        let mut slots: Vec<Option<Slot<'_>>> = Vec::new();
+        let mut slots: Vec<Option<Slot>> = Vec::new();
         let mut free: Vec<usize> = Vec::new();
         let mut woken: Vec<usize> = Vec::new();
         // Per-shard FIFO audit trail: the last granted ticket.
         let mut last_ticket: Vec<Option<u64>> = vec![None; router.shards()];
+        let mut next_tick = Instant::now() + TICK;
 
         while !stop.load(Ordering::Relaxed) {
             let mut progress = false;
@@ -209,6 +337,7 @@ impl Server {
                             conn,
                             pending: None,
                             waker,
+                            last_activity: Instant::now(),
                         });
                         self.connections.fetch_add(1, Ordering::Relaxed);
                         progress = true;
@@ -221,7 +350,10 @@ impl Server {
 
             // 2. Read and parse every socket.
             for slot in slots.iter_mut().flatten() {
-                progress |= slot.conn.fill();
+                if slot.conn.fill() {
+                    slot.last_activity = Instant::now();
+                    progress = true;
+                }
             }
 
             // 3. Re-poll exactly the woken admissions.
@@ -244,7 +376,10 @@ impl Server {
             // 5. Flush, then reap finished connections.
             for (id, entry) in slots.iter_mut().enumerate() {
                 let Some(slot) = entry.as_mut() else { continue };
-                progress |= slot.conn.flush();
+                if slot.conn.flush() {
+                    slot.last_activity = Instant::now();
+                    progress = true;
+                }
                 let reap = match slot.conn.hangup() {
                     // Protocol violation: close once the typed farewell
                     // reply is on the wire.
@@ -264,7 +399,7 @@ impl Server {
                     if matches!(slot.conn.hangup(), Some(Hangup::Proto(_))) {
                         self.proto_errors.fetch_add(1, Ordering::Relaxed);
                     }
-                    // Dropping the slot drops any pending AcquireFuture,
+                    // Dropping the slot drops any pending AcquireState,
                     // which surrenders its ticket and forwards a stolen
                     // wake — a dying connection cannot stall the queue.
                     *entry = None;
@@ -273,21 +408,111 @@ impl Server {
                 }
             }
 
-            // 6. Idle?
+            // 6. Coarse maintenance tick.
+            let now = Instant::now();
+            if now >= next_tick {
+                progress |= self.tick(router, &mut slots, &mut free, &mut last_ticket, now);
+                next_tick = now + TICK;
+            }
+
+            // 7. Idle? Sleep until the nearest pending deadline, capped
+            //    at the idle floor — a request about to expire is not
+            //    kept waiting for a full IDLE_SLEEP.
             if !progress && ready.is_empty() {
-                std::thread::sleep(IDLE_SLEEP);
+                let mut sleep = IDLE_SLEEP;
+                let now = Instant::now();
+                for slot in slots.iter().flatten() {
+                    if let Some(d) = slot.pending.as_ref().and_then(|a| a.state.deadline()) {
+                        sleep = sleep.min(d.saturating_duration_since(now));
+                    }
+                }
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
             }
         }
         Ok(())
     }
 
+    /// The coarse maintenance tick (every [`TICK`] of loop time):
+    ///
+    /// * re-poll admissions whose deadline has passed — no release will
+    ///   wake them, so the expiry must be *observed* here;
+    /// * reap connections idle past [`ServerConfig::idle_timeout`]
+    ///   (nothing buffered, parsed, pending or unflushed — a slow
+    ///   mid-pipeline connection is never reaped);
+    /// * sample the per-shard admission-queue depth high-water gauge;
+    /// * sweep expired session leases on the router (other holders of
+    ///   the same router may lease with timeouts; the server's tick is
+    ///   the reaper that makes those deadlines real).
+    fn tick(
+        &self,
+        router: &Router<U64Map>,
+        slots: &mut [Option<Slot>],
+        free: &mut Vec<usize>,
+        last_ticket: &mut [Option<u64>],
+        now: Instant,
+    ) -> bool {
+        let mut progress = false;
+        for (id, entry) in slots.iter_mut().enumerate() {
+            let Some(slot) = entry.as_mut() else { continue };
+            // Deadline-expired admissions: poll observes the expiry and
+            // answers Overloaded (the connection lives on).
+            let expired = slot
+                .pending
+                .as_ref()
+                .and_then(|a| a.state.deadline())
+                .is_some_and(|d| now >= d);
+            if expired {
+                progress |= self.drive(router, slot, last_ticket);
+            }
+            // Idle reaper.
+            if let Some(idle) = self.config.idle_timeout {
+                if slot.pending.is_none()
+                    && slot.conn.hangup().is_none()
+                    && slot.conn.is_idle()
+                    && now.duration_since(slot.last_activity) >= idle
+                {
+                    *entry = None;
+                    free.push(id);
+                    self.reaped_idle.fetch_add(1, Ordering::Relaxed);
+                    progress = true;
+                }
+            }
+        }
+        for shard in 0..router.shards() {
+            self.note_queue_depth(router.with_shard(shard).pool().waiters());
+        }
+        router.reap_leases();
+        progress
+    }
+
+    /// Update the queue-depth high-water gauge.
+    fn note_queue_depth(&self, depth: usize) {
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// The typed load-shed reply (side-effect-free by construction: it
+    /// is staged before any session exists for the request).
+    fn overloaded(&self, what: &str) -> Response {
+        Response::Error {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: self.config.retry_after_ms(),
+            message: format!(
+                "request shed under overload ({what}); back off and retry — \
+                 nothing was applied and this connection is still good"
+            ),
+        }
+    }
+
     /// Drive one connection: poll its pending admission and, after each
     /// grant, admit the pipeline's next request — until something parks
     /// or the backlog empties. Returns whether anything moved.
-    fn drive<'r>(
+    fn drive(
         &self,
-        router: &'r Router<U64Map>,
-        slot: &mut Slot<'r>,
+        router: &Router<U64Map>,
+        slot: &mut Slot,
         last_ticket: &mut [Option<u64>],
     ) -> bool {
         let mut progress = false;
@@ -304,8 +529,25 @@ impl Server {
                         continue;
                     }
                     Classified::Admit(shard) => {
+                        // Shed at the door: over the depth threshold the
+                        // request never queues and never gets a session —
+                        // the reply is typed and side-effect-free.
+                        let depth = router.with_shard(shard).pool().waiters();
+                        self.note_queue_depth(depth);
+                        if self.config.shed_depth.is_some_and(|limit| depth >= limit) {
+                            slot.conn
+                                .push_response(&self.overloaded("admission queue at depth limit"));
+                            self.shed.fetch_add(1, Ordering::Relaxed);
+                            self.requests.fetch_add(1, Ordering::Relaxed);
+                            progress = true;
+                            continue;
+                        }
+                        let state = match self.config.request_deadline {
+                            Some(d) => AcquireState::with_deadline(Instant::now() + d),
+                            None => AcquireState::default(),
+                        };
                         slot.pending = Some(Admission {
-                            fut: router.with_shard(shard).pool().acquire_async(),
+                            state,
                             req,
                             shard,
                             since: Instant::now(),
@@ -314,9 +556,10 @@ impl Server {
                 }
             }
             let adm = slot.pending.as_mut().expect("set above");
+            let pool = router.with_shard(adm.shard).pool();
             let mut cx = Context::from_waker(&slot.waker);
-            match Pin::new(&mut adm.fut).poll(&mut cx) {
-                Poll::Ready(mut session) => {
+            match pool.poll_acquire_deadline(&mut cx, &mut adm.state) {
+                Poll::Ready(Ok(mut session)) => {
                     let adm = slot.pending.take().expect("still in flight");
                     self.audit_fifo(&adm, last_ticket);
                     self.record_wait(adm.since.elapsed());
@@ -329,6 +572,17 @@ impl Server {
                     self.requests.fetch_add(1, Ordering::Relaxed);
                     progress = true;
                 }
+                Poll::Ready(Err(_expired)) => {
+                    // Deadline passed while queued: the ticket already
+                    // left the queue (wake forwarded); answer Overloaded
+                    // and move on to the pipeline's next request.
+                    slot.pending = None;
+                    slot.conn
+                        .push_response(&self.overloaded("request deadline passed in queue"));
+                    self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    self.requests.fetch_add(1, Ordering::Relaxed);
+                    progress = true;
+                }
                 Poll::Pending => break,
             }
         }
@@ -338,8 +592,8 @@ impl Server {
     /// Granted tickets are drawn in arrival order, so per shard they
     /// must be strictly increasing — the observable form of the pool's
     /// FIFO fairness contract.
-    fn audit_fifo(&self, adm: &Admission<'_>, last_ticket: &mut [Option<u64>]) {
-        let Some(ticket) = adm.fut.ticket() else {
+    fn audit_fifo(&self, adm: &Admission, last_ticket: &mut [Option<u64>]) {
+        let Some(ticket) = adm.state.ticket() else {
             return;
         };
         let last = &mut last_ticket[adm.shard];
@@ -380,6 +634,7 @@ fn classify(router: &Router<U64Map>, req: &Request) -> Classified {
             match ops.iter().find(|op| router.shard_for(&op.key()) != shard) {
                 Some(stray) => Classified::Immediate(Response::Error {
                     code: ErrorCode::CrossShardTxn,
+                    retry_after_ms: 0,
                     message: format!(
                         "key {} routes to shard {}, not the batch's shard {shard}; \
                          shards are independent databases and cross-shard \

@@ -144,6 +144,19 @@ pub struct WalConfig {
     pub segment_bytes: u64,
     /// Transient-error retry policy for appends.
     pub retry: RetryPolicy,
+    /// High watermark on the group-commit tail, in pending records
+    /// (0 = unbounded). [`Wal::enqueue`] past it blocks — leading a
+    /// flush itself if none is in progress — and [`Wal::try_enqueue`]
+    /// returns [`WalError::Backpressure`], so the tail can never outrun
+    /// the disk without bound.
+    pub max_pending_batches: usize,
+    /// High watermark on the group-commit tail, in encoded record bytes
+    /// (0 = unbounded). Same backpressure contract as
+    /// [`WalConfig::max_pending_batches`]; whichever trips first wins.
+    pub max_pending_bytes: usize,
+    /// Flusher-latency SLO: a group flush slower than this counts as an
+    /// [`GroupStats::slo_misses`] saturation event (`None` = no SLO).
+    pub flush_slo: Option<Duration>,
 }
 
 impl Default for WalConfig {
@@ -152,6 +165,9 @@ impl Default for WalConfig {
             fsync: FsyncPolicy::Always,
             segment_bytes: 8 << 20,
             retry: RetryPolicy::default(),
+            max_pending_batches: 0,
+            max_pending_bytes: 0,
+            flush_slo: None,
         }
     }
 }
@@ -190,6 +206,12 @@ pub enum WalError {
     /// after a crash. Re-open the log ([`Wal::open`]) to repair and
     /// resume.
     Poisoned,
+    /// The group-commit tail is at its configured watermark
+    /// ([`WalConfig::max_pending_batches`] /
+    /// [`WalConfig::max_pending_bytes`]) and the caller asked not to
+    /// block ([`Wal::try_enqueue`]). Nothing was enqueued; retry after a
+    /// flush drains the tail.
+    Backpressure,
 }
 
 impl std::fmt::Display for WalError {
@@ -212,6 +234,12 @@ impl std::fmt::Display for WalError {
                      re-open to repair"
                 )
             }
+            WalError::Backpressure => {
+                write!(
+                    f,
+                    "group-commit tail is at its watermark; retry after a flush drains it"
+                )
+            }
         }
     }
 }
@@ -220,7 +248,7 @@ impl std::error::Error for WalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WalError::Io { source, .. } => Some(source),
-            WalError::Corrupt { .. } | WalError::Poisoned => None,
+            WalError::Corrupt { .. } | WalError::Poisoned | WalError::Backpressure => None,
         }
     }
 }

@@ -136,6 +136,16 @@ pub struct GroupStats {
     pub max_group: u64,
     /// Total wall-clock nanoseconds spent inside flushes.
     pub flush_ns: u64,
+    /// The slowest single flush observed.
+    pub max_flush_ns: u64,
+    /// Flushes that exceeded [`WalConfig::flush_slo`].
+    pub slo_misses: u64,
+    /// Enqueues that found the tail at its watermark and had to block
+    /// (saturation events: the commit rate outran the disk).
+    pub blocked_enqueues: u64,
+    /// Total wall-clock nanoseconds enqueues spent blocked at the
+    /// watermark.
+    pub blocked_ns: u64,
 }
 
 impl GroupStats {
@@ -463,19 +473,84 @@ impl Wal {
         self.group.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Is the pending tail at (or past) a configured high watermark?
+    fn over_watermark(&self, g: &GroupState) -> bool {
+        let batches = self.cfg.max_pending_batches;
+        let bytes = self.cfg.max_pending_bytes;
+        (batches > 0 && g.ends.len() >= batches) || (bytes > 0 && g.bodies.len() >= bytes)
+    }
+
     /// Enqueue one committed batch on the group-commit tail and return
     /// its sequence number for [`Wal::wait_durable`].
     ///
     /// The record enters the commit-ordered pending queue immediately —
     /// this is the "logged" half of logged-before-visible — but is *not*
-    /// durable until a flush covers it. Never blocks on I/O: a flush in
-    /// progress proceeds concurrently, and this record simply joins the
-    /// next group.
+    /// durable until a flush covers it. With the tail under its
+    /// watermark this never blocks on I/O: a flush in progress proceeds
+    /// concurrently, and this record simply joins the next group. At the
+    /// watermark ([`WalConfig::max_pending_batches`] /
+    /// [`WalConfig::max_pending_bytes`]) the call blocks until a flush
+    /// drains the tail — electing itself flush leader if no flush is in
+    /// progress, so a lone committer that never waits its acks still
+    /// makes progress (the bounded queue can never deadlock on a missing
+    /// leader; the flush takes only the group and segment locks, never
+    /// the caller's commit lock).
     pub fn enqueue(&self, batch: &WalBatch) -> Result<u64, WalError> {
         let mut g = self.group_lock();
         if g.poisoned {
             return Err(WalError::Poisoned);
         }
+        if self.over_watermark(&g) {
+            g.stats.blocked_enqueues += 1;
+            let t0 = Instant::now();
+            loop {
+                if g.poisoned {
+                    g.stats.blocked_ns += t0.elapsed().as_nanos() as u64;
+                    return Err(WalError::Poisoned);
+                }
+                if !self.over_watermark(&g) {
+                    break;
+                }
+                if !g.flushing {
+                    // Self-promote: drain the tail ourselves rather than
+                    // waiting for an ack-waiter who may never come.
+                    g = self.lead_flush(g);
+                    continue;
+                }
+                let (guard, _) = self
+                    .group_cv
+                    .wait_timeout(g, PASSIVE_RESCUE)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = guard;
+            }
+            g.stats.blocked_ns += t0.elapsed().as_nanos() as u64;
+        }
+        self.push_record(g, batch)
+    }
+
+    /// Non-blocking [`Wal::enqueue`]: at the watermark this returns
+    /// [`WalError::Backpressure`] immediately (nothing enqueued, nothing
+    /// blocked) instead of waiting for the flusher to drain the tail.
+    pub fn try_enqueue(&self, batch: &WalBatch) -> Result<u64, WalError> {
+        let mut g = self.group_lock();
+        if g.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        if self.over_watermark(&g) {
+            g.stats.blocked_enqueues += 1;
+            return Err(WalError::Backpressure);
+        }
+        self.push_record(g, batch)
+    }
+
+    /// The enqueue tail end: encode onto the pending tail (the caller
+    /// has already cleared poisoning and the watermark) and wake the
+    /// flusher.
+    fn push_record(
+        &self,
+        mut g: MutexGuard<'_, GroupState>,
+        batch: &WalBatch,
+    ) -> Result<u64, WalError> {
         batch.encode_record(&mut g.bodies);
         let end = g.bodies.len();
         g.ends.push(end);
@@ -589,6 +664,12 @@ impl Wal {
                 g.stats.batches += ends.len() as u64;
                 g.stats.max_group = g.stats.max_group.max(ends.len() as u64);
                 g.stats.flush_ns += flush_ns;
+                g.stats.max_flush_ns = g.stats.max_flush_ns.max(flush_ns);
+                if let Some(slo) = self.cfg.flush_slo {
+                    if flush_ns > slo.as_nanos() as u64 {
+                        g.stats.slo_misses += 1;
+                    }
+                }
             }
             Err(_) => g.poisoned = true,
         }
@@ -1045,6 +1126,86 @@ mod tests {
         let (_, replay) = open_mem(&storage, cfg);
         let ts: Vec<u64> = replay.batches.iter().map(|b| b.commit_ts).collect();
         assert_eq!(ts, (1..=40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_tail_blocks_enqueue_and_self_promotes() {
+        let storage = FaultStorage::unfaulted();
+        let cfg = WalConfig {
+            max_pending_batches: 4,
+            ..WalConfig::default()
+        };
+        let (wal, _) = open_mem(&storage, cfg);
+        // A lone committer that never waits its acks: the 5th enqueue
+        // hits the watermark and must flush the tail itself rather than
+        // deadlock waiting for an ack-waiter that never comes.
+        for ts in 1..=12 {
+            wal.enqueue(&batch(ts)).unwrap();
+        }
+        let stats = wal.group_stats();
+        assert!(
+            stats.blocked_enqueues >= 2,
+            "12 enqueues over a 4-deep tail must block: {stats:?}"
+        );
+        assert!(stats.groups >= 2, "blocked enqueues must have led flushes");
+        assert!(wal.pending_batches() <= 4, "tail stayed bounded");
+        wal.flush_pending().unwrap();
+        drop(wal);
+        let (_, replay) = open_mem(&storage, WalConfig::default());
+        let ts: Vec<u64> = replay.batches.iter().map(|b| b.commit_ts).collect();
+        assert_eq!(
+            ts,
+            (1..=12).collect::<Vec<_>>(),
+            "nothing lost or reordered"
+        );
+    }
+
+    #[test]
+    fn try_enqueue_returns_backpressure_at_the_watermark() {
+        let storage = FaultStorage::unfaulted();
+        let cfg = WalConfig {
+            max_pending_batches: 2,
+            ..WalConfig::default()
+        };
+        let (wal, _) = open_mem(&storage, cfg);
+        wal.try_enqueue(&batch(1)).unwrap();
+        wal.try_enqueue(&batch(2)).unwrap();
+        assert!(matches!(
+            wal.try_enqueue(&batch(3)),
+            Err(WalError::Backpressure)
+        ));
+        assert_eq!(wal.pending_batches(), 2, "refused record not enqueued");
+        // Draining the tail re-opens admission.
+        wal.flush_pending().unwrap();
+        wal.try_enqueue(&batch(3)).unwrap();
+        wal.flush_pending().unwrap();
+        assert!(wal.group_stats().blocked_enqueues >= 1);
+        drop(wal);
+        let (_, replay) = open_mem(&storage, WalConfig::default());
+        let ts: Vec<u64> = replay.batches.iter().map(|b| b.commit_ts).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn byte_watermark_and_slo_counters_trip() {
+        let storage = FaultStorage::unfaulted();
+        let cfg = WalConfig {
+            max_pending_bytes: 1, // any pending record trips it
+            flush_slo: Some(Duration::ZERO),
+            ..WalConfig::default()
+        };
+        let (wal, _) = open_mem(&storage, cfg);
+        wal.enqueue(&batch(1)).unwrap();
+        // The second enqueue finds a pending byte and must flush first.
+        wal.enqueue(&batch(2)).unwrap();
+        wal.flush_pending().unwrap();
+        let stats = wal.group_stats();
+        assert!(stats.blocked_enqueues >= 1);
+        assert!(stats.max_flush_ns > 0);
+        assert_eq!(
+            stats.slo_misses, stats.groups,
+            "a zero SLO counts every flush as a miss"
+        );
     }
 
     #[test]

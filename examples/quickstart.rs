@@ -22,7 +22,9 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use multiversion::net::{ClientError, Request, Response};
 use multiversion::prelude::*;
 
 fn main() {
@@ -202,5 +204,55 @@ fn main() {
     println!(
         "server: {} requests over {} connections on 4 pids, fifo_violations={}",
         stats.requests, stats.connections, stats.fifo_violations
+    );
+
+    // --- Overload behavior ------------------------------------------------
+    // Production fronts bound every queue. `ServerConfig` adds the knobs:
+    // `shed_depth` caps a shard's admission queue — a request over the
+    // limit is answered with a typed Overloaded error carrying a retry
+    // hint, before any side effect, and the connection survives;
+    // `request_deadline` bounds how long an admitted request may park;
+    // `idle_timeout` reaps connections with no work in flight. All three
+    // are off by default (`ServerConfig::default()`).
+    let guarded: Arc<Router<U64Map>> = Arc::new(Router::new(1, 1));
+    let cfg = ServerConfig {
+        shed_depth: Some(1), // at most one request parked per shard
+        request_deadline: Some(Duration::from_secs(2)),
+        idle_timeout: None,
+        retry_after_hint: Duration::from_millis(5),
+    };
+    let handle = Server::start_with(Arc::clone(&guarded), "127.0.0.1:0", cfg).expect("bind");
+    let camped = guarded.session(&0u64); // hold the only pid: the queue backs up
+
+    let mut parked = Client::connect(handle.addr()).expect("connect");
+    let mut turned_away = Client::connect(handle.addr()).expect("connect");
+    // This request parks in the admission queue (depth hits the limit).
+    parked
+        .send(&Request::Put { key: 1, value: 10 })
+        .expect("send");
+    std::thread::sleep(Duration::from_millis(50)); // let the server park it
+                                                   // The next arrival is over the limit: shed at the door, typed reply.
+    match turned_away.put(2, 20) {
+        Err(ClientError::Overloaded { retry_after_ms, .. }) => {
+            println!("shed at the door: retry after {retry_after_ms}ms, nothing applied");
+        }
+        other => panic!("expected a typed shed, got {other:?}"),
+    }
+    drop(camped); // capacity returns; the parked request completes untouched
+    assert!(matches!(
+        parked.recv().expect("parked reply"),
+        Response::Done
+    ));
+    turned_away.put(2, 20).expect("accepted after backoff");
+    assert_eq!(turned_away.get(2).expect("get"), Some(20));
+    let stats = handle.server().stats();
+    drop(parked);
+    drop(turned_away);
+    handle.shutdown().expect("clean shutdown");
+    assert_eq!(stats.shed, 1, "exactly the one over-limit request was shed");
+    assert_eq!(guarded.sessions_leased(), 0);
+    println!(
+        "overload: {} shed, {} deadline-expired, max queue depth {}",
+        stats.shed, stats.deadline_expired, stats.max_queue_depth
     );
 }

@@ -167,12 +167,12 @@ pub mod prelude {
     pub use mvcc_core::{
         AcquireTimeout, BatchWriter, CommitAck, Database, Durability, DurableConfig,
         DurableDatabase, DurableError, DurableSession, DurableStats, DurableTxn, GroupCommit,
-        MapOp, RecoveryReport, Router, Session, SessionError, SessionPool, SessionReadGuard,
-        Snapshot, WriteTxn,
+        LeaseGuard, LeaseRevoked, MapOp, PoolStats, RecoveryReport, Router, Session, SessionError,
+        SessionPool, SessionReadGuard, Snapshot, WriteTxn,
     };
     pub use mvcc_fds::{CellSession, VersionedCell};
     pub use mvcc_ftree::{Forest, MaxU64Map, SumU64Map, TreeParams, U64Map};
     pub use mvcc_index::{IndexSession, InvertedIndex};
-    pub use mvcc_net::{Client, Server, ServerHandle, TxnOp};
+    pub use mvcc_net::{Client, Server, ServerConfig, ServerHandle, TxnOp};
     pub use mvcc_vm::{VersionMaintenance, VmKind};
 }

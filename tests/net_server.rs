@@ -12,10 +12,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use multiversion::core::Router;
 use multiversion::ftree::U64Map;
-use multiversion::net::{Client, ClientError, ErrorCode, Request, Response, Server, TxnOp};
+use multiversion::net::{
+    Client, ClientError, ErrorCode, Request, Response, Server, ServerConfig, TxnOp,
+};
 
 /// Tier-1 smoke: one client, every request type, over a real socket.
 #[test]
@@ -259,6 +262,254 @@ fn oversubscribed_net_scaled(conns: usize, requests_per_conn: usize) {
         SHARDS as u64,
         "precise GC: one live version per quiescent shard"
     );
+}
+
+/// Tier-1 shed smoke (also the single-core degradation check: the CI
+/// `MVCC_POOL_THREADS=1` variant runs this same test): with
+/// `shed_depth = 0` every data request is answered with a typed
+/// `Overloaded` carrying the configured backoff hint, the connection
+/// stays open through repeated sheds, and nothing is ever applied.
+#[test]
+fn shed_replies_are_typed_carry_the_hint_and_apply_nothing() {
+    let router: Arc<Router<U64Map>> = Arc::new(Router::new(1, 1));
+    let handle = Server::start_with(
+        Arc::clone(&router),
+        "127.0.0.1:0",
+        ServerConfig {
+            shed_depth: Some(0),
+            retry_after_hint: Duration::from_millis(7),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for i in 0..5u64 {
+        match client.put(1, 10 + i) {
+            Err(ClientError::Overloaded { retry_after_ms, .. }) => {
+                assert_eq!(retry_after_ms, 7, "hint travels on the wire");
+            }
+            other => panic!("shed #{i}: expected Overloaded, got {other:?}"),
+        }
+    }
+    assert!(
+        matches!(client.get(1), Err(ClientError::Overloaded { .. })),
+        "the connection survived five sheds and still answers"
+    );
+
+    drop(client);
+    let stats = handle.server().stats();
+    handle.shutdown().unwrap();
+    assert!(stats.shed >= 6, "every data request was shed at the door");
+    assert_eq!(
+        stats.requests, stats.shed,
+        "shed replies are answered requests"
+    );
+    assert_eq!(router.sessions_leased(), 0);
+    // Side-effect-free: straight to the store, bypassing the server.
+    assert_eq!(router.session(&1u64).get(&1), None);
+    assert_eq!(router.live_versions(), 1, "only the initial empty version");
+}
+
+/// A request whose admission outlives `request_deadline` is answered
+/// `Overloaded` *while the pool is still camped* (the tick re-polls the
+/// expired future; no release ever wakes it), applies nothing, and the
+/// connection keeps working afterwards.
+#[test]
+fn queued_request_past_its_deadline_is_shed_and_the_conn_survives() {
+    let router: Arc<Router<U64Map>> = Arc::new(Router::new(1, 1));
+    let handle = Server::start_with(
+        Arc::clone(&router),
+        "127.0.0.1:0",
+        ServerConfig {
+            request_deadline: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Camp the only pid so every admission parks.
+    let blocker = router.session(&0u64);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert!(
+        matches!(client.put(1, 10), Err(ClientError::Overloaded { .. })),
+        "the reply arrived while the pid was still camped: deadline, not release"
+    );
+    assert!(
+        matches!(client.get(1), Err(ClientError::Overloaded { .. })),
+        "second request on the same conn also expires cleanly"
+    );
+    drop(blocker);
+
+    // Pool free again: the same connection serves, and the expired put
+    // left nothing behind.
+    assert_eq!(client.get(1).unwrap(), None, "expired PUT applied nothing");
+    client.put(1, 11).unwrap();
+    assert_eq!(client.get(1).unwrap(), Some(11));
+
+    drop(client);
+    let stats = handle.server().stats();
+    handle.shutdown().unwrap();
+    assert!(stats.deadline_expired >= 2);
+    assert_eq!(stats.fifo_violations, 0);
+    assert_eq!(router.sessions_leased(), 0);
+}
+
+/// The unbounded baseline the deadline exists to fix: with the default
+/// (fully permissive) config, a request against a camped pool is not
+/// answered until the camper lets go — its wait is exactly as long as
+/// the camp.
+#[test]
+fn without_shedding_a_request_waits_out_the_camped_pool() {
+    const CAMP: Duration = Duration::from_millis(300);
+    let router: Arc<Router<U64Map>> = Arc::new(Router::new(1, 1));
+    let handle = Server::start(Arc::clone(&router), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let blocker = router.session(&0u64);
+    let waiter = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.put(1, 10).unwrap();
+        Instant::now()
+    });
+    std::thread::sleep(CAMP);
+    let released = Instant::now();
+    drop(blocker);
+    let answered = waiter.join().unwrap();
+    assert!(
+        answered >= released,
+        "the reply cannot precede the camper's release"
+    );
+
+    handle.shutdown().unwrap();
+    assert_eq!(router.sessions_leased(), 0);
+}
+
+/// Idle connections are reaped by the tick once `idle_timeout` passes;
+/// a connection mid-pipeline (request parked in the admission queue)
+/// is *never* reaped no matter how long it waits.
+#[test]
+fn idle_conns_are_reaped_while_mid_pipeline_conns_survive() {
+    let router: Arc<Router<U64Map>> = Arc::new(Router::new(1, 1));
+    let handle = Server::start_with(
+        Arc::clone(&router),
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // `idler` completes one request, then goes quiet.
+    let mut idler = Client::connect(addr).unwrap();
+    idler.put(1, 10).unwrap();
+
+    // `worker` parks a request behind a camped pid: pending, not idle.
+    let blocker = router.session(&0u64);
+    let mut worker = Client::connect(addr).unwrap();
+    worker.send(&Request::Put { key: 2, value: 20 }).unwrap();
+
+    std::thread::sleep(Duration::from_millis(300));
+    drop(blocker);
+
+    assert_eq!(
+        worker.recv().unwrap(),
+        Response::Done,
+        "a conn waiting on admission outlived six idle timeouts"
+    );
+    assert!(
+        matches!(idler.get(1), Err(ClientError::Io(_))),
+        "the idle conn was closed by the reaper"
+    );
+
+    drop(worker);
+    let stats = handle.server().stats();
+    handle.shutdown().unwrap();
+    assert!(stats.reaped_idle >= 1, "the idler was reaped");
+    assert_eq!(router.sessions_leased(), 0);
+}
+
+/// The adversarial open-loop storm: every pid camped for the whole run,
+/// 12 pipelined connections firing 8 puts each. With shedding + a
+/// request deadline the server answers *all 96* requests with typed
+/// `Overloaded` while the pool stays camped — the storm joins in
+/// bounded time where the permissive config would park it until the
+/// campers exit (see `without_shedding_a_request_waits_out_the_camped_pool`).
+/// Afterwards: zero side effects, zero leaks, FIFO intact.
+#[test]
+fn open_loop_storm_with_shedding_is_answered_while_the_pool_is_camped() {
+    const CONNS: usize = 12;
+    const REQS: usize = 8;
+    let router: Arc<Router<U64Map>> = Arc::new(Router::new(1, 2));
+    let handle = Server::start_with(
+        Arc::clone(&router),
+        "127.0.0.1:0",
+        ServerConfig {
+            shed_depth: Some(3),
+            request_deadline: Some(Duration::from_millis(50)),
+            retry_after_hint: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Camp both pids for the storm's entire lifetime.
+    let campers = [router.session(&0u64), router.session(&0u64)];
+    std::thread::scope(|s| {
+        for c in 0..CONNS {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Pipeline the whole burst, then drain the replies.
+                for i in 0..REQS {
+                    let k = (c * REQS + i) as u64;
+                    client.send(&Request::Put { key: k, value: k }).unwrap();
+                }
+                for i in 0..REQS {
+                    match client.recv().unwrap() {
+                        Response::Error {
+                            code: ErrorCode::Overloaded,
+                            ..
+                        } => {}
+                        other => panic!("conn {c} req {i}: expected Overloaded, got {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    // The scope joined: every request was answered while both pids were
+    // still camped. That join *is* the boundedness assertion.
+    drop(campers);
+
+    let stats = handle.server().stats();
+    assert!(stats.shed > 0, "the depth limit engaged during the storm");
+    assert_eq!(
+        stats.shed + stats.deadline_expired,
+        (CONNS * REQS) as u64,
+        "every storm request was either shed at the door or expired in queue"
+    );
+    assert!(
+        stats.max_queue_depth <= 3 + 1,
+        "the gauge shows the queue never grew past the shed depth (+1 for \
+         the admission being classified), got {}",
+        stats.max_queue_depth
+    );
+
+    // Side-effect-free at scale: not one storm key exists.
+    let mut sweep = Client::connect(addr).unwrap();
+    for k in 0..(CONNS * REQS) as u64 {
+        assert_eq!(sweep.get(k).unwrap(), None, "shed PUT {k} left a residue");
+    }
+    sweep.put(9999, 1).unwrap();
+    assert_eq!(sweep.get(9999).unwrap(), Some(1), "normal service resumed");
+
+    drop(sweep);
+    let stats = handle.server().stats();
+    handle.shutdown().unwrap();
+    assert_eq!(stats.fifo_violations, 0);
+    assert_eq!(router.sessions_leased(), 0, "no pid leaked by the storm");
 }
 
 /// Disconnecting mid-wait (requests parked in the admission queue) must

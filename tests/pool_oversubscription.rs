@@ -15,10 +15,10 @@ use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use multiversion::core::pool::block_on;
-use multiversion::core::{AcquireState, Database, Router};
+use multiversion::core::{AcquireState, Database, PoolStats, Router};
 use multiversion::ftree::{SumU64Map, U64Map};
 
 /// A waker that counts its wakes — lets tests assert exactly who a
@@ -254,6 +254,136 @@ fn repoll_from_another_task_replaces_the_registered_waker() {
         Poll::Pending => panic!("front waiter of a free pool must be granted"),
     }
     assert_eq!(pool.waiters(), 0);
+    assert_eq!(db.sessions_leased(), 0);
+}
+
+/// A deadline expiring *mid-queue* removes exactly that waiter: the one
+/// ahead is still served first and the one behind is served next — the
+/// cancellation shares `WaitQueue::cancel`, so FIFO order is untouched.
+#[test]
+fn async_deadline_expiry_mid_queue_preserves_fifo() {
+    let db: Database<U64Map> = Database::new(1);
+    let pool = db.pool();
+    let gate = pool.acquire(); // the sole pid is out
+
+    let (a_count, a_waker) = CountWaker::pair();
+    let (b_count, b_waker) = CountWaker::pair();
+    let (c_count, c_waker) = CountWaker::pair();
+
+    // Ahead: a patient waiter. Middle: a 20ms deadline. Behind: patient.
+    let mut a = AcquireState::default();
+    assert!(pool
+        .poll_acquire(&mut Context::from_waker(&a_waker), &mut a)
+        .is_pending());
+    let mut b = AcquireState::with_deadline(Instant::now() + Duration::from_millis(20));
+    assert!(pool
+        .poll_acquire_deadline(&mut Context::from_waker(&b_waker), &mut b)
+        .is_pending());
+    let mut c = AcquireState::default();
+    assert!(pool
+        .poll_acquire(&mut Context::from_waker(&c_waker), &mut c)
+        .is_pending());
+    assert_eq!(
+        pool.stats(),
+        PoolStats {
+            capacity: 1,
+            leased: 1,
+            waiters: 3
+        },
+        "gauges see the full queue"
+    );
+
+    // Let the middle deadline lapse; its next poll expires it in place.
+    std::thread::sleep(Duration::from_millis(40));
+    match pool.poll_acquire_deadline(&mut Context::from_waker(&b_waker), &mut b) {
+        Poll::Ready(Err(err)) => assert!(err.waited >= Duration::from_millis(20)),
+        other => panic!("lapsed deadline must expire, got {other:?}"),
+    }
+    assert_eq!(pool.waiters(), 2, "the expired waiter removed only itself");
+    assert_eq!(
+        b_count.wakes(),
+        0,
+        "no release happened; expiry is poll-observed"
+    );
+
+    // The release chain serves A then C — the hole left by B is invisible.
+    drop(gate);
+    assert_eq!((a_count.wakes(), c_count.wakes()), (1, 0), "front first");
+    let a_session = match pool.poll_acquire(&mut Context::from_waker(&a_waker), &mut a) {
+        Poll::Ready(session) => session,
+        Poll::Pending => panic!("woken front waiter must be granted"),
+    };
+    // A's grant hands the new front (C) its coalesced-permit chance;
+    // with the pid still out, C's poll stays pending.
+    assert_eq!(c_count.wakes(), 1, "C was elected front, not B's ghost");
+    assert!(pool
+        .poll_acquire(&mut Context::from_waker(&c_waker), &mut c)
+        .is_pending());
+    drop(a_session);
+    assert_eq!(c_count.wakes(), 2, "A's release wakes C, skipping the hole");
+    match pool.poll_acquire(&mut Context::from_waker(&c_waker), &mut c) {
+        Poll::Ready(session) => drop(session),
+        Poll::Pending => panic!("woken back waiter must be granted"),
+    }
+
+    assert_eq!(pool.waiters(), 0);
+    assert_eq!(db.sessions_leased(), 0);
+}
+
+/// Lease revocation end-to-end: an expired *idle* lease is reaped, the
+/// pid serves a new client immediately, the stalled holder gets a typed
+/// `LeaseRevoked` on next use, and after everything drops the pool has
+/// exactly zero leaks — every pid acquirable again.
+#[test]
+fn revoked_lease_returns_the_pid_with_zero_leaks() {
+    const PIDS: usize = 2;
+    let db: Database<U64Map> = Database::new(PIDS);
+    let pool = db.pool();
+
+    let mut guard = pool.acquire_leased(Duration::from_millis(20));
+    guard
+        .with(|s| {
+            s.insert(1, 10);
+        })
+        .expect("a fresh lease runs transactions");
+    let camped_pid = guard.pid();
+    assert_eq!(db.sessions_leased(), 1);
+
+    // The holder stalls past its lease; the reaper reclaims the pid.
+    std::thread::sleep(Duration::from_millis(40));
+    assert_eq!(pool.reap_expired(), 1, "one expired idle lease");
+
+    // The pid is back: with one other session out, a try_acquire for the
+    // *last* free pid still succeeds — and sees the lease's writes.
+    let other = pool.try_acquire().expect("first free pid");
+    let mut reclaimed = pool
+        .try_acquire()
+        .expect("the reaped pid is immediately acquirable");
+    assert!(
+        [other.pid(), reclaimed.pid()].contains(&camped_pid),
+        "the camped pid is one of the two now in service"
+    );
+    assert_eq!(reclaimed.get(&1), Some(10), "committed state survived");
+    drop(reclaimed);
+    drop(other);
+
+    // The stalled holder finds out via a typed error, not a panic, and
+    // its drop must not return the pid a second time.
+    let err = guard
+        .with(|s| {
+            s.insert(2, 20);
+        })
+        .expect_err("a revoked lease must refuse to run");
+    assert_eq!(err.pid, camped_pid);
+    assert!(guard.is_revoked());
+    drop(guard);
+
+    assert_eq!(db.sessions_leased(), 0, "zero leaks after the guard drops");
+    // No double-release: every pid is acquirable exactly once.
+    let all: Vec<_> = (0..PIDS).map(|_| pool.try_acquire().unwrap()).collect();
+    assert_eq!(all.len(), PIDS);
+    assert!(pool.try_acquire().is_err(), "and not one more");
+    drop(all);
     assert_eq!(db.sessions_leased(), 0);
 }
 
