@@ -29,18 +29,29 @@
 //!   row rate-matches the writer to the disk (its `blocked_enqueues` /
 //!   `blocked_ms` show the backpressure actually engaging) instead of
 //!   letting unfsynced batches pile up in memory.
+//! * `maintenance` — the same time-boxed writer, once bare and once
+//!   with the background supervisor
+//!   ([`DurableDatabase::start_maintenance`]) checkpointing at the
+//!   `MVCC_CKPT_BYTES` wal-bytes threshold. The unsupervised row's WAL
+//!   footprint and recovery time grow linearly with the run; the
+//!   supervised row's stay bounded near the threshold — that bound is
+//!   the row pair's whole point.
 //!
 //! Knobs: `MVCC_SECS` (per-mode measurement window), `MVCC_KEYSPACE`
 //! (Zipfian key space), `MVCC_WAL_BATCH` (ops per commit, default 16),
 //! `MVCC_WAL_TAIL` (longest recovery tail, default 4000),
-//! `MVCC_WAL_BOUND` (bounded-queue watermark, default 4 batches).
+//! `MVCC_WAL_BOUND` (bounded-queue watermark, default 4 batches),
+//! `MVCC_CKPT_BYTES` (supervisor checkpoint threshold, default 256 KiB).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mvcc_bench::json::{self, JsonWriter};
 use mvcc_bench::{env_u64, run_secs};
-use mvcc_core::{Durability, DurableConfig, DurableDatabase, DurableSession, GroupCommit};
+use mvcc_core::{
+    Durability, DurableConfig, DurableDatabase, DurableSession, GroupCommit, MaintenancePolicy,
+};
 use mvcc_ftree::U64Map;
 use mvcc_workloads::{run_for_collect, LatencySummary, ScrambledZipf};
 use rand::rngs::SmallRng;
@@ -220,6 +231,79 @@ fn measure_saturation(
     (report.ops_per_sec(), stats)
 }
 
+/// One time-boxed run of the same single writer, with or without the
+/// background maintenance supervisor bounding the WAL at `ckpt_bytes`.
+/// Returns (commits/s, final wal bytes, checkpoints taken, batches
+/// replayed on recovery, recover_ms).
+fn measure_maintenance(
+    supervised: bool,
+    ckpt_bytes: u64,
+    secs: f64,
+    batch: u64,
+    zipf: &ScrambledZipf,
+) -> (f64, u64, u64, u64, f64) {
+    let dir = scratch_dir(&format!("maint-{}", if supervised { "on" } else { "off" }));
+    // EveryN keeps the fill disk-bound on frames, not fsyncs, so the
+    // supervised/unsupervised rows see the same write pressure. Segments
+    // roll well under the checkpoint threshold — only *sealed* segments
+    // can be truncated, so rotation bounds what the supervisor reclaims.
+    let db: Arc<DurableDatabase<U64Map>> = Arc::new(
+        DurableDatabase::recover(
+            &dir,
+            2,
+            DurableConfig {
+                segment_bytes: (ckpt_bytes / 4).max(4 << 10),
+                ..DurableConfig::default().with_durability(Durability::EveryN(8))
+            },
+        )
+        .unwrap_or_else(|e| panic!("open {}: {e}", dir.display())),
+    );
+    let handle = supervised.then(|| {
+        db.start_maintenance(MaintenancePolicy::default().with_wal_bytes_threshold(ckpt_bytes))
+    });
+    let (report, _) = run_for_collect(
+        1,
+        Duration::from_secs_f64(secs),
+        |_| {
+            (
+                db.session().expect("fresh pool has a free lease"),
+                SmallRng::seed_from_u64(42),
+            )
+        },
+        |_, iter, (session, rng): &mut (DurableSession<'_, U64Map>, _)| {
+            session
+                .write(|txn| {
+                    for i in 0..batch {
+                        txn.insert(zipf.sample(rng), iter * batch + i);
+                    }
+                })
+                .expect("durable commit");
+            1
+        },
+    );
+    if let Some(handle) = handle {
+        handle.shutdown();
+    }
+    db.sync().expect("final sync");
+    let wal_bytes = db.wal_bytes();
+    let checkpoints = db.maintenance_stats().checkpoints;
+    drop(db);
+    let t0 = Instant::now();
+    let db: DurableDatabase<U64Map> = DurableDatabase::recover(&dir, 2, DurableConfig::default())
+        .unwrap_or_else(|e| panic!("recover {}: {e}", dir.display()));
+    let elapsed = t0.elapsed();
+    let replayed = db.recovery().replayed as u64;
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        report.ops_per_sec(),
+        wal_bytes,
+        checkpoints,
+        replayed,
+        elapsed.as_secs_f64() * 1e3,
+    )
+}
+
 /// Fill `history` then (optionally) checkpoint, then fill `tail` more
 /// commits, then time recovery. Returns (replayed, recover_ms).
 fn measure_recovery(history: u64, tail: u64, checkpoint: bool, batch: u64) -> (u64, f64) {
@@ -389,6 +473,30 @@ fn main() {
         jw.field_f64("blocked_ms", stats.blocked_ns as f64 / 1e6);
         jw.field_u64("max_flush_ns", stats.max_flush_ns);
         jw.field_u64("slo_misses", stats.slo_misses);
+        jw.end_object();
+    }
+    jw.end_object();
+
+    let ckpt_bytes = env_u64("MVCC_CKPT_BYTES", 256 << 10);
+    jw.begin_object("maintenance");
+    for (name, supervised) in [("unsupervised", false), ("supervised", true)] {
+        let (commits, wal_bytes, checkpoints, replayed, recover_ms) =
+            measure_maintenance(supervised, ckpt_bytes, secs, batch, &zipf);
+        println!(
+            "  {name:<12} {commits:>9.0} commits/s  wal {:>9} B  {checkpoints:>3} ckpts  \
+             recover {replayed:>6} batches in {recover_ms:>8.2} ms",
+            wal_bytes,
+        );
+        jw.begin_object(name);
+        jw.field_u64(
+            "ckpt_bytes_threshold",
+            if supervised { ckpt_bytes } else { 0 },
+        );
+        jw.field_f64("commits_per_sec", commits);
+        jw.field_u64("final_wal_bytes", wal_bytes);
+        jw.field_u64("checkpoints", checkpoints);
+        jw.field_u64("batches_replayed", replayed);
+        jw.field_f64("recover_ms", recover_ms);
         jw.end_object();
     }
     jw.end_object();

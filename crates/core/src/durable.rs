@@ -54,14 +54,14 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mvcc_ftree::TreeParams;
 use mvcc_vm::{PswfVm, VersionMaintenance};
 use mvcc_wal::checkpoint::{self};
 use mvcc_wal::{
-    DirStorage, FsyncPolicy, RetryPolicy, Storage, TornTail, Wal, WalBatch, WalCodec, WalConfig,
-    WalError, WalOp,
+    is_segment_name, DirStorage, FsyncPolicy, RetryPolicy, Storage, TornTail, Wal, WalBatch,
+    WalCodec, WalConfig, WalError, WalOp,
 };
 
 use crate::batch::MapOp;
@@ -289,6 +289,9 @@ pub struct RecoveryReport {
     pub torn: Option<TornTail>,
     /// WAL segments dropped beyond the torn point.
     pub dropped_segments: usize,
+    /// Stale `ckpt-*.tmp` files swept — leftovers of a checkpointer that
+    /// crashed between its tmp write and the publishing rename.
+    pub swept_tmp: usize,
 }
 
 /// Group-commit counters of a [`DurableDatabase`]
@@ -333,6 +336,196 @@ impl DurableStats {
         self.flush_ns_total
             .checked_div(self.groups_flushed)
             .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+}
+
+/// When the durability maintenance supervisor checkpoints, how hard it
+/// backs off on failure, and where the disk-footprint red line sits.
+///
+/// Drives [`DurableDatabase::maintenance_tick`] — either from the
+/// dedicated thread of [`DurableDatabase::start_maintenance`] or embedded
+/// in a caller's own periodic loop (mvcc-net's server tick). A checkpoint
+/// is due when the WAL footprint reaches
+/// [`wal_bytes_threshold`](MaintenancePolicy::wal_bytes_threshold) *or*
+/// [`interval`](MaintenancePolicy::interval) has elapsed since the last
+/// one; failures retry with jittered exponential backoff capped at
+/// [`max_backoff`](MaintenancePolicy::max_backoff) while commits keep
+/// flowing (see [`Health`]).
+#[derive(Debug, Clone)]
+pub struct MaintenancePolicy {
+    /// Checkpoint once [`DurableDatabase::wal_bytes`] reaches this many
+    /// bytes (0 disables the bytes trigger).
+    pub wal_bytes_threshold: u64,
+    /// Checkpoint when this much time has passed since the last
+    /// successful checkpoint (`None` disables the time trigger).
+    pub interval: Option<Duration>,
+    /// Upper bound on the failure backoff (the first retry waits
+    /// ~10ms, doubling — with jitter — up to this cap).
+    pub max_backoff: Duration,
+    /// Published checkpoints to retain (clamped to at least 1). More
+    /// copies buy fallback redundancy against a corrupt newest image at
+    /// the price of disk space.
+    pub min_keep_checkpoints: usize,
+    /// Disk-footprint **red line**: when [`DurableDatabase::wal_bytes`]
+    /// reaches this, the supervisor narrows the WAL's group-commit
+    /// watermark to one pending record, so committers feel bounded-queue
+    /// backpressure at disk speed instead of growing the log without
+    /// bound while reclamation is stalled. Cleared automatically once a
+    /// checkpoint brings the footprint back under. 0 disables.
+    pub redline_bytes: u64,
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy {
+            // One default WAL segment: checkpoint roughly per segment roll.
+            wal_bytes_threshold: 8 << 20,
+            interval: None,
+            max_backoff: Duration::from_secs(5),
+            min_keep_checkpoints: checkpoint::KEEP_CHECKPOINTS,
+            redline_bytes: 0,
+        }
+    }
+}
+
+impl MaintenancePolicy {
+    /// This policy with a different WAL-bytes checkpoint trigger.
+    pub fn with_wal_bytes_threshold(mut self, bytes: u64) -> Self {
+        self.wal_bytes_threshold = bytes;
+        self
+    }
+
+    /// This policy with an elapsed-time checkpoint trigger.
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = Some(interval);
+        self
+    }
+
+    /// This policy with a different backoff cap.
+    pub fn with_max_backoff(mut self, cap: Duration) -> Self {
+        self.max_backoff = cap;
+        self
+    }
+
+    /// This policy with a different checkpoint retention depth.
+    pub fn with_min_keep_checkpoints(mut self, keep: usize) -> Self {
+        self.min_keep_checkpoints = keep;
+        self
+    }
+
+    /// This policy with a disk-footprint red line.
+    pub fn with_redline_bytes(mut self, bytes: u64) -> Self {
+        self.redline_bytes = bytes;
+        self
+    }
+}
+
+/// Maintenance health, surfaced by [`DurableDatabase::health`].
+///
+/// Degradation is *typed and bounded*: a failing checkpoint path stalls
+/// log reclamation (and, past the policy red line, slows commits to disk
+/// speed), but it never blocks commits outright and never corrupts the
+/// log — the supervisor keeps retrying with backoff and recovers to
+/// [`Health::Ok`] on the first success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// Maintenance is keeping up (or has not been needed yet).
+    Ok,
+    /// Checkpoints are failing; only reclamation is stalled.
+    Degraded {
+        /// The most recent failure, rendered.
+        reason: String,
+        /// When the current failure streak began.
+        since: Instant,
+        /// Consecutive failed attempts in the streak.
+        retries: u32,
+    },
+}
+
+impl Health {
+    /// Is maintenance currently degraded?
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Health::Degraded { .. })
+    }
+}
+
+/// Counters of the maintenance supervisor
+/// (see [`DurableDatabase::maintenance_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// [`DurableDatabase::maintenance_tick`] invocations.
+    pub ticks: u64,
+    /// Checkpoints the supervisor completed.
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed.
+    pub failures: u64,
+    /// Ticks skipped because a failure backoff was still in force.
+    pub skipped_backoff: u64,
+    /// `commit_ts` of the newest supervisor-written (or recovered)
+    /// checkpoint.
+    pub last_checkpoint_ts: u64,
+    /// [`DurableDatabase::wal_bytes`] at the most recent tick.
+    pub wal_bytes: u64,
+    /// Is the red-line backpressure currently engaged?
+    pub redline_engaged: bool,
+    /// How many times the red line newly engaged.
+    pub redline_engagements: u64,
+}
+
+/// What one [`DurableDatabase::maintenance_tick`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceTick {
+    /// No checkpoint was due.
+    Idle,
+    /// Another tick's checkpoint is still in flight (thread + embedded
+    /// tick can overlap; the work is never duplicated).
+    Busy,
+    /// A failure backoff is in force; nothing was attempted.
+    Backoff,
+    /// A checkpoint at this `commit_ts` was written and the WAL
+    /// truncated behind it.
+    Checkpointed(u64),
+    /// A checkpoint was due and failed; [`DurableDatabase::health`] is
+    /// now [`Health::Degraded`] and a backoff is armed.
+    Failed,
+}
+
+/// The embeddable form of the supervisor: a shareable closure that runs
+/// one [`DurableDatabase::maintenance_tick`] and reports [`Health`].
+/// Produced by [`DurableDatabase::maintenance_hook`]; mvcc-net's server
+/// invokes one from its poll-loop tick.
+pub type MaintenanceHook = Arc<dyn Fn() -> Health + Send + Sync>;
+
+/// First failure backoff; doubles (with jitter) up to
+/// [`MaintenancePolicy::max_backoff`].
+const MAINT_INITIAL_BACKOFF: Duration = Duration::from_millis(10);
+
+/// How long a maintenance checkpoint waits for a free session pid before
+/// treating the attempt as a transient failure. Bounds how long a
+/// [`MaintenanceHandle`] drop can block behind a pid-starved checkpoint.
+const MAINT_ACQUIRE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Supervisor-internal state, behind its own mutex (never held across
+/// checkpoint I/O).
+struct MaintInner {
+    health: Health,
+    stats: MaintenanceStats,
+    backoff_until: Option<Instant>,
+    next_backoff: Duration,
+    last_checkpoint_at: Instant,
+    in_flight: bool,
+    rng: u64,
+}
+
+impl MaintInner {
+    /// xorshift64*; deterministic jitter, no external RNG dependency.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 }
 
@@ -444,6 +637,7 @@ pub struct DurableDatabase<P: TreeParams, M: VersionMaintenance = PswfVm> {
     _flusher: Option<FlusherHandle>,
     commit: Mutex<CommitClock>,
     report: RecoveryReport,
+    maint: Mutex<MaintInner>,
 }
 
 /// The dedicated flusher thread of [`GroupCommit::Flusher`], joined on
@@ -580,11 +774,17 @@ where
     ) -> Result<Self, DurableError> {
         let (wal, replay) = Wal::open(Arc::clone(&storage), cfg.wal_config())?;
         let ckpt = checkpoint::load_latest(&*storage)?;
+        // A checkpointer that crashed before its publishing rename leaves
+        // a `ckpt-*.tmp`; sweep it here so a crash-then-recover sequence
+        // cannot leak tmp files while the disk stays too sick for the
+        // next successful checkpoint to prune them.
+        let swept_tmp = checkpoint::sweep_stale_tmp(&*storage)?;
 
         let db: Database<P, PswfVm> = Database::new(processes);
         let mut report = RecoveryReport {
             torn: replay.torn.clone(),
             dropped_segments: replay.dropped_segments,
+            swept_tmp,
             ..RecoveryReport::default()
         };
         let mut last_ts = 0u64;
@@ -659,6 +859,20 @@ where
             }
             _ => None,
         };
+        let maint = MaintInner {
+            health: Health::Ok,
+            stats: MaintenanceStats {
+                // The recovered checkpoint counts as the staleness
+                // baseline: nothing new to cover means nothing to write.
+                last_checkpoint_ts: report.checkpoint_ts.unwrap_or(0),
+                ..MaintenanceStats::default()
+            },
+            backoff_until: None,
+            next_backoff: MAINT_INITIAL_BACKOFF,
+            last_checkpoint_at: Instant::now(),
+            in_flight: false,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        };
         Ok(DurableDatabase {
             db,
             storage,
@@ -667,6 +881,7 @@ where
             _flusher,
             commit: Mutex::new(CommitClock { next_tx, last_ts }),
             report,
+            maint: Mutex::new(maint),
         })
     }
 }
@@ -702,10 +917,42 @@ impl<P: TreeParams, M: VersionMaintenance> DurableDatabase<P, M> {
         self.wal.is_some()
     }
 
-    /// Total bytes currently held by WAL segments (0 when logging is
-    /// off). Grows with commits, shrinks at checkpoints.
+    /// Total bytes currently held by WAL segment files — sealed *and*
+    /// active, so a maintenance threshold sees the true disk footprint.
+    /// Grows with commits, shrinks when a checkpoint truncates.
+    ///
+    /// With logging on this is the live [`Wal`]'s accounting. Under
+    /// [`Durability::Off`] there is no live log, but segments from an
+    /// earlier durable run may still sit on disk until a checkpoint
+    /// retires them; those are counted by scanning the storage listing.
     pub fn wal_bytes(&self) -> u64 {
-        self.wal.as_ref().map_or(0, |w| w.bytes())
+        match &self.wal {
+            Some(w) => w.bytes(),
+            None => {
+                let Ok(names) = self.storage.list() else {
+                    return 0;
+                };
+                names
+                    .iter()
+                    .filter(|n| is_segment_name(n))
+                    .filter_map(|n| self.storage.len(n).ok())
+                    .sum()
+            }
+        }
+    }
+
+    /// Maintenance health: [`Health::Ok`], or [`Health::Degraded`] while
+    /// the supervisor's checkpoints keep failing. Degradation stalls log
+    /// reclamation only — commits keep their WAL-before-visible order
+    /// and keep flowing (at disk speed past the policy red line).
+    pub fn health(&self) -> Health {
+        self.maint().health.clone()
+    }
+
+    /// Counters of the maintenance supervisor (all zero until the first
+    /// [`DurableDatabase::maintenance_tick`]).
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.maint().stats
     }
 
     /// The effective [`GroupCommit`] policy (always
@@ -753,6 +1000,10 @@ impl<P: TreeParams, M: VersionMaintenance> DurableDatabase<P, M> {
         self.commit.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn maint(&self) -> MutexGuard<'_, MaintInner> {
+        self.maint.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Lease a durable session (a [`Session`] whose write transactions go
     /// through the WAL). `Err(Exhausted)` when all pids are out.
     pub fn session(&self) -> Result<DurableSession<'_, P, M>, DurableError> {
@@ -785,7 +1036,22 @@ where
     /// image to still exist) — `last_commit_ts` then counts checkpoints
     /// rather than commits.
     pub fn checkpoint(&self) -> Result<u64, DurableError> {
-        let mut session = self.db.pool().acquire();
+        self.checkpoint_with_keep(checkpoint::KEEP_CHECKPOINTS)
+    }
+
+    /// [`DurableDatabase::checkpoint`] with an explicit retention depth:
+    /// after the new image publishes, all but the newest `keep`
+    /// checkpoints are pruned (`keep` clamps to at least 1).
+    pub fn checkpoint_with_keep(&self, keep: usize) -> Result<u64, DurableError> {
+        let session = self.db.pool().acquire();
+        self.checkpoint_session(session, keep)
+    }
+
+    fn checkpoint_session(
+        &self,
+        mut session: Session<'_, P, M>,
+        keep: usize,
+    ) -> Result<u64, DurableError> {
         // Flush the pending group tail first so the image the checkpoint
         // pins (which may include visible-but-unflushed group commits) is
         // never *ahead* of the durable log it truncates.
@@ -806,7 +1072,7 @@ where
         // Writers proceed from here; the walk goes at its own pace.
         let mut kb = Vec::new();
         let mut vb = Vec::new();
-        checkpoint::write_checkpoint(&*self.storage, ts, next_tx, |w| {
+        checkpoint::write_checkpoint_keep(&*self.storage, ts, next_tx, keep, |w| {
             guard.snapshot().for_each(|k, v| {
                 kb.clear();
                 vb.clear();
@@ -818,10 +1084,246 @@ where
         })?;
         drop(guard);
 
-        if let Some(wal) = &self.wal {
-            wal.truncate_before(ts)?;
+        match &self.wal {
+            Some(wal) => {
+                wal.truncate_before(ts)?;
+            }
+            None => {
+                // No live log, but segments from an earlier durable run
+                // may still sit on disk. Recovery replayed every one of
+                // their batches into the image just published, so they
+                // are fully covered: retire them all.
+                let names = self.storage.list().map_err(|e| {
+                    DurableError::Wal(WalError::Io {
+                        op: "list",
+                        name: "<storage>".to_string(),
+                        source: e,
+                    })
+                })?;
+                for name in names.into_iter().filter(|n| is_segment_name(n)) {
+                    self.storage.remove(&name).map_err(|e| {
+                        DurableError::Wal(WalError::Io {
+                            op: "remove",
+                            name,
+                            source: e,
+                        })
+                    })?;
+                }
+            }
         }
         Ok(ts)
+    }
+
+    /// Run one step of the durability maintenance supervisor: decide
+    /// whether a checkpoint is due under `policy`, run it off the commit
+    /// path if so, and fold the outcome into [`DurableDatabase::health`]
+    /// / [`DurableDatabase::maintenance_stats`].
+    ///
+    /// Embeddable: call it from any periodic loop (mvcc-net's server
+    /// invokes it from its ~1ms poll tick via
+    /// [`DurableDatabase::maintenance_hook`]) or let
+    /// [`DurableDatabase::start_maintenance`] drive it from a dedicated
+    /// thread — concurrent ticks coordinate through an in-flight guard,
+    /// so the checkpoint work is never duplicated.
+    ///
+    /// **Degrades instead of dying**: a failed checkpoint records
+    /// [`Health::Degraded`], arms a jittered exponential backoff (capped
+    /// at [`MaintenancePolicy::max_backoff`]) and returns
+    /// [`MaintenanceTick::Failed`] — it never panics and never blocks
+    /// commits. Past [`MaintenancePolicy::redline_bytes`] the WAL's
+    /// group tail is narrowed to one pending record, converting
+    /// unbounded disk growth into the existing bounded-queue
+    /// backpressure.
+    pub fn maintenance_tick(&self, policy: &MaintenancePolicy) -> MaintenanceTick {
+        let now = Instant::now();
+        let wal_bytes = self.wal_bytes();
+        {
+            let mut m = self.maint();
+            m.stats.ticks += 1;
+            m.stats.wal_bytes = wal_bytes;
+
+            // The red line engages and clears on every tick, independent
+            // of checkpoint cadence, backoff, or in-flight work.
+            if policy.redline_bytes > 0 {
+                if let Some(wal) = &self.wal {
+                    let over = wal_bytes >= policy.redline_bytes;
+                    let was = wal.set_redline(over);
+                    if over && !was {
+                        m.stats.redline_engagements += 1;
+                    }
+                    m.stats.redline_engaged = over;
+                }
+            }
+
+            if m.in_flight {
+                return MaintenanceTick::Busy;
+            }
+            if let Some(until) = m.backoff_until {
+                if now < until {
+                    m.stats.skipped_backoff += 1;
+                    return MaintenanceTick::Backoff;
+                }
+            }
+            let bytes_due =
+                policy.wal_bytes_threshold > 0 && wal_bytes >= policy.wal_bytes_threshold;
+            let time_due = policy
+                .interval
+                .is_some_and(|i| now.duration_since(m.last_checkpoint_at) >= i);
+            if !bytes_due && !time_due {
+                return MaintenanceTick::Idle;
+            }
+            // Staleness guard (durable mode): when no commit landed since
+            // the last checkpoint, a new image would be identical and the
+            // surviving bytes (the active segment) cannot shrink — skip
+            // rather than rewrite forever. Off-mode checkpoints advance
+            // the clock themselves, so they always proceed.
+            if self.wal.is_some() && self.last_commit_ts() == m.stats.last_checkpoint_ts {
+                return MaintenanceTick::Idle;
+            }
+            m.in_flight = true;
+        }
+
+        // The checkpoint itself runs outside the maintenance lock, so
+        // health/stats stay readable (and other ticks return `Busy`)
+        // while the snapshot walk does I/O. A pid-starved pool is a
+        // transient failure, not a hang: bounded acquire.
+        let res = match self.db.pool().acquire_timeout(MAINT_ACQUIRE_TIMEOUT) {
+            Ok(session) => self.checkpoint_session(session, policy.min_keep_checkpoints),
+            Err(_) => Err(DurableError::Session(SessionError::Exhausted {
+                processes: self.db.processes(),
+            })),
+        };
+
+        let mut m = self.maint();
+        m.in_flight = false;
+        match res {
+            Ok(ts) => {
+                m.stats.checkpoints += 1;
+                m.stats.last_checkpoint_ts = ts;
+                m.stats.wal_bytes = self.wal_bytes();
+                m.last_checkpoint_at = Instant::now();
+                m.backoff_until = None;
+                m.next_backoff = MAINT_INITIAL_BACKOFF;
+                m.health = Health::Ok;
+                MaintenanceTick::Checkpointed(ts)
+            }
+            Err(e) => {
+                m.stats.failures += 1;
+                let (since, retries) = match &m.health {
+                    Health::Degraded { since, retries, .. } => (*since, retries + 1),
+                    Health::Ok => (now, 1),
+                };
+                m.health = Health::Degraded {
+                    reason: e.to_string(),
+                    since,
+                    retries,
+                };
+                // Jittered exponential backoff: wait somewhere in
+                // [base/2, base], then double the base up to the cap.
+                let base = m.next_backoff.min(policy.max_backoff);
+                let half = base / 2;
+                let jitter_ns = (half.as_nanos() as u64).saturating_add(1);
+                let jitter = Duration::from_nanos(m.next_rand() % jitter_ns);
+                m.backoff_until = Some(Instant::now() + half + jitter);
+                m.next_backoff = (base * 2).min(policy.max_backoff);
+                MaintenanceTick::Failed
+            }
+        }
+    }
+}
+
+impl<P, M> DurableDatabase<P, M>
+where
+    P: TreeParams + 'static,
+    M: VersionMaintenance + 'static,
+    P::K: WalCodec,
+    P::V: WalCodec,
+{
+    /// Start the durability maintenance supervisor on a dedicated
+    /// background thread: [`DurableDatabase::maintenance_tick`] runs
+    /// every couple of milliseconds (the policy's thresholds decide when
+    /// a tick actually checkpoints). Returns a [`MaintenanceHandle`]
+    /// that stops and joins the thread on drop — promptly even
+    /// mid-backoff, and waiting out (never interrupting) a checkpoint
+    /// already in flight, so dropping the handle can never tear an image
+    /// or poison the WAL.
+    pub fn start_maintenance(self: &Arc<Self>, policy: MaintenancePolicy) -> MaintenanceHandle
+    where
+        Self: Send + Sync,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let db = Arc::clone(self);
+        const NAP: Duration = Duration::from_millis(2);
+        let join = std::thread::Builder::new()
+            .name("mvcc-maintenance".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    let _ = db.maintenance_tick(&policy);
+                    std::thread::park_timeout(NAP);
+                }
+            })
+            .expect("spawn maintenance thread");
+        MaintenanceHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// The supervisor as an embeddable closure: each call runs one
+    /// [`DurableDatabase::maintenance_tick`] under `policy` and returns
+    /// the current [`Health`]. Hand it to a caller-owned periodic loop —
+    /// mvcc-net's `Server::set_maintenance` drives one from its poll
+    /// tick — instead of (or alongside) the dedicated thread; the
+    /// in-flight guard keeps concurrent drivers from duplicating work.
+    pub fn maintenance_hook(self: &Arc<Self>, policy: MaintenancePolicy) -> MaintenanceHook
+    where
+        Self: Send + Sync,
+    {
+        let db = Arc::clone(self);
+        Arc::new(move || {
+            let _ = db.maintenance_tick(&policy);
+            db.health()
+        })
+    }
+}
+
+/// The background supervisor thread of
+/// [`DurableDatabase::start_maintenance`], stopped and joined on drop
+/// (RAII, mirroring the WAL flusher thread).
+pub struct MaintenanceHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MaintenanceHandle {
+    /// Stop and join the supervisor thread explicitly (drop does the
+    /// same). Returns once the thread is gone; a checkpoint already in
+    /// flight completes first.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            join.thread().unpark();
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for MaintenanceHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+impl std::fmt::Debug for MaintenanceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceHandle")
+            .field("stopped", &self.stop.load(Ordering::Acquire))
+            .finish_non_exhaustive()
     }
 }
 
@@ -1593,6 +2095,324 @@ mod tests {
         let err = s.insert(2, 2).expect_err("poisoned log takes no commits");
         assert!(matches!(err, DurableError::Wal(WalError::Poisoned)));
         assert_eq!(s.get(&2), None, "the refused commit never became visible");
+    }
+
+    fn wal_disk_bytes(storage: &FaultStorage) -> u64 {
+        storage
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| is_segment_name(n))
+            .map(|n| storage.len(n).unwrap())
+            .sum()
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn wal_bytes_counts_sealed_segments_across_a_roll() {
+        let storage = FaultStorage::unfaulted();
+        let cfg = DurableConfig {
+            segment_bytes: 256,
+            ..DurableConfig::default()
+        };
+        {
+            let db: DurableDatabase<U64Map> =
+                DurableDatabase::recover_storage(Arc::new(storage.clone()), 2, cfg.clone())
+                    .unwrap();
+            let mut s = db.session().unwrap();
+            for k in 0..64u64 {
+                s.insert(k, k).unwrap();
+            }
+            // The log rolled: the active segment alone is under the
+            // threshold, so equality with the on-disk total proves the
+            // sealed segments are counted too.
+            assert!(db.wal_bytes() > 256, "no roll happened");
+            assert_eq!(db.wal_bytes(), wal_disk_bytes(&storage));
+            let before = db.wal_bytes();
+            db.checkpoint().unwrap();
+            assert!(db.wal_bytes() < before, "truncation must shrink it");
+            assert_eq!(db.wal_bytes(), wal_disk_bytes(&storage));
+        }
+        // Re-opened with logging off: the segments still on disk are the
+        // footprint the supervisor must see, not zero.
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig {
+                durability: Durability::Off,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(db.wal_bytes() > 0, "Off must still count on-disk segments");
+        assert_eq!(db.wal_bytes(), wal_disk_bytes(&storage));
+        // An Off checkpoint covers and retires them.
+        db.checkpoint().unwrap();
+        assert_eq!(db.wal_bytes(), 0);
+        assert_eq!(wal_disk_bytes(&storage), 0);
+    }
+
+    #[test]
+    fn maintenance_tick_checkpoints_on_bytes_threshold() {
+        let storage = FaultStorage::unfaulted();
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig {
+                segment_bytes: 256,
+                ..DurableConfig::default()
+            },
+        )
+        .unwrap();
+        let policy = MaintenancePolicy::default().with_wal_bytes_threshold(512);
+        assert_eq!(db.maintenance_tick(&policy), MaintenanceTick::Idle);
+        let mut s = db.session().unwrap();
+        while db.wal_bytes() < 512 {
+            s.insert(db.wal_bytes(), 1).unwrap();
+        }
+        let ts = match db.maintenance_tick(&policy) {
+            MaintenanceTick::Checkpointed(ts) => ts,
+            other => panic!("expected a checkpoint, got {other:?}"),
+        };
+        assert_eq!(ts, db.last_commit_ts());
+        assert!(db.wal_bytes() < 512, "checkpoint must reclaim the log");
+        let stats = db.maintenance_stats();
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.last_checkpoint_ts, ts);
+        assert_eq!(db.health(), Health::Ok);
+        // Nothing new committed: the staleness guard skips a rewrite
+        // even though time keeps passing.
+        assert_eq!(
+            db.maintenance_tick(&MaintenancePolicy::default().with_interval(Duration::ZERO)),
+            MaintenanceTick::Idle
+        );
+    }
+
+    #[test]
+    fn maintenance_degrades_then_recovers_to_ok() {
+        use mvcc_wal::FaultPlan;
+        let storage = FaultStorage::new(
+            FaultPlan {
+                transient_checkpoint_failures: 2,
+                ..FaultPlan::default()
+            },
+            5,
+        );
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig::default(),
+        )
+        .unwrap();
+        db.session().unwrap().insert(1, 1).unwrap();
+        let policy = MaintenancePolicy::default()
+            .with_wal_bytes_threshold(1)
+            .with_max_backoff(Duration::from_millis(2));
+        assert_eq!(db.maintenance_tick(&policy), MaintenanceTick::Failed);
+        match db.health() {
+            Health::Degraded { retries, .. } => assert_eq!(retries, 1),
+            Health::Ok => panic!("first failure must degrade"),
+        }
+        // Commits keep flowing while maintenance is degraded.
+        db.session().unwrap().insert(2, 2).unwrap();
+        // Retry through the (jittered, capped) backoff until it heals.
+        let mut failed = 1u64;
+        loop {
+            match db.maintenance_tick(&policy) {
+                MaintenanceTick::Checkpointed(_) => break,
+                MaintenanceTick::Failed => failed += 1,
+                MaintenanceTick::Backoff => std::thread::sleep(Duration::from_millis(1)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(failed, 2, "exactly the injected failures");
+        assert_eq!(db.health(), Health::Ok, "first success heals");
+        let stats = db.maintenance_stats();
+        assert_eq!(stats.failures, 2);
+        assert_eq!(stats.checkpoints, 1);
+        assert!(stats.skipped_backoff > 0, "backoff was exercised");
+    }
+
+    #[test]
+    fn start_maintenance_checkpoints_in_background_and_joins() {
+        let storage = FaultStorage::unfaulted();
+        let db: Arc<DurableDatabase<U64Map>> = Arc::new(
+            DurableDatabase::recover_storage(
+                Arc::new(storage.clone()),
+                2,
+                DurableConfig {
+                    segment_bytes: 256,
+                    ..DurableConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let handle =
+            db.start_maintenance(MaintenancePolicy::default().with_wal_bytes_threshold(512));
+        let mut s = db.session().unwrap();
+        for k in 0..200u64 {
+            s.insert(k, k).unwrap();
+        }
+        // Once the writers stop, the supervisor must both have
+        // checkpointed and have brought the footprint back under the
+        // threshold (plus at most one unsealed segment).
+        wait_until(
+            || db.maintenance_stats().checkpoints >= 1 && db.wal_bytes() < 512 + 256,
+            "background checkpoint to bound the log",
+        );
+        drop(s);
+        handle.shutdown();
+        // The database is fully usable after the supervisor is gone.
+        db.session().unwrap().insert(999, 9).unwrap();
+        db.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn maintenance_handle_drop_is_prompt_mid_backoff() {
+        use mvcc_wal::FaultPlan;
+        let storage = FaultStorage::new(
+            FaultPlan {
+                fail_checkpoint_writes: true,
+                ..FaultPlan::default()
+            },
+            9,
+        );
+        let db: Arc<DurableDatabase<U64Map>> = Arc::new(
+            DurableDatabase::recover_storage(
+                Arc::new(storage.clone()),
+                2,
+                DurableConfig::default(),
+            )
+            .unwrap(),
+        );
+        db.session().unwrap().insert(1, 1).unwrap();
+        // A backoff far longer than the test: drop must not wait it out.
+        let handle = db.start_maintenance(
+            MaintenancePolicy::default()
+                .with_wal_bytes_threshold(1)
+                .with_max_backoff(Duration::from_secs(3600)),
+        );
+        wait_until(|| db.health().is_degraded(), "degraded health");
+        let t0 = Instant::now();
+        drop(handle);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "drop blocked on the backoff: {:?}",
+            t0.elapsed()
+        );
+        // Degradation stalled reclamation only: the WAL takes commits.
+        db.session().unwrap().insert(2, 2).unwrap();
+    }
+
+    #[test]
+    fn maintenance_handle_drop_waits_out_in_flight_checkpoint() {
+        let storage = FaultStorage::unfaulted();
+        let db: Arc<DurableDatabase<U64Map>> = Arc::new(
+            DurableDatabase::recover_storage(
+                Arc::new(storage.clone()),
+                2,
+                DurableConfig::default(),
+            )
+            .unwrap(),
+        );
+        // A big image makes the snapshot walk take real time, so the
+        // drop below almost certainly lands mid-checkpoint.
+        let mut s = db.session().unwrap();
+        s.write(|txn| {
+            txn.multi_insert((0..50_000u64).map(|k| (k, k)).collect(), |_o, n| *n);
+        })
+        .unwrap();
+        drop(s);
+        let handle = db.start_maintenance(MaintenancePolicy::default().with_wal_bytes_threshold(1));
+        std::thread::sleep(Duration::from_millis(1));
+        drop(handle); // joins; must not tear the image or poison the WAL
+        assert_eq!(db.health(), Health::Ok);
+        db.session().unwrap().insert(999_999, 1).unwrap();
+        db.checkpoint().unwrap();
+        drop(db);
+        let db = open(&storage, Durability::Always);
+        assert!(db.recovery().checkpoint_ts.is_some());
+        assert_eq!(db.session().unwrap().len(), 50_001);
+    }
+
+    #[test]
+    fn redline_escalates_to_commit_backpressure_and_clears() {
+        let storage = FaultStorage::unfaulted();
+        let db: DurableDatabase<U64Map> = DurableDatabase::recover_storage(
+            Arc::new(storage.clone()),
+            2,
+            DurableConfig {
+                segment_bytes: 256,
+                ..DurableConfig::default()
+            }
+            .with_group_commit(GroupCommit::Leader),
+        )
+        .unwrap();
+        let policy = MaintenancePolicy::default()
+            .with_wal_bytes_threshold(0) // isolate the red line
+            .with_redline_bytes(600);
+        let mut s = db.session().unwrap();
+        while db.wal_bytes() < 600 {
+            s.insert(db.wal_bytes(), 1).unwrap();
+        }
+        assert_eq!(db.maintenance_tick(&policy), MaintenanceTick::Idle);
+        let stats = db.maintenance_stats();
+        assert!(stats.redline_engaged);
+        assert_eq!(stats.redline_engagements, 1);
+        // With one commit already pending, the next one must block for a
+        // flush — the existing bounded-queue backpressure, forced by the
+        // narrowed watermark.
+        let blocked_before = db.durable_stats().blocked_enqueues;
+        let (_, a1) = s.write_acked(|txn| txn.insert(9_001, 1)).unwrap();
+        let (_, a2) = s.write_acked(|txn| txn.insert(9_002, 2)).unwrap();
+        a1.wait().unwrap();
+        a2.wait().unwrap();
+        assert!(
+            db.durable_stats().blocked_enqueues > blocked_before,
+            "red line never produced backpressure"
+        );
+        // A checkpoint shrinks the footprint; the next tick clears it.
+        let ts = db.checkpoint().unwrap();
+        assert_eq!(ts, db.last_commit_ts());
+        assert!(db.wal_bytes() < 600);
+        assert_eq!(db.maintenance_tick(&policy), MaintenanceTick::Idle);
+        assert!(!db.maintenance_stats().redline_engaged);
+        // And enqueues flow freely again.
+        let (_, a3) = s.write_acked(|txn| txn.insert(9_003, 3)).unwrap();
+        let (_, a4) = s.write_acked(|txn| txn.insert(9_004, 4)).unwrap();
+        a4.wait().unwrap();
+        a3.wait().unwrap();
+    }
+
+    #[test]
+    fn recover_sweeps_stale_checkpoint_tmp_files() {
+        let storage = FaultStorage::unfaulted();
+        {
+            let db = open(&storage, Durability::Always);
+            db.session().unwrap().insert(1, 1).unwrap();
+            db.checkpoint().unwrap();
+        }
+        // A checkpointer died before its rename: two orphaned tmps.
+        storage
+            .append("ckpt-00000000000000aa.tmp", b"torn image")
+            .unwrap();
+        storage
+            .append("ckpt-00000000000000ab.tmp", b"torn image")
+            .unwrap();
+        let db = open(&storage, Durability::Always);
+        assert_eq!(db.recovery().swept_tmp, 2);
+        assert!(
+            !storage.list().unwrap().iter().any(|n| n.ends_with(".tmp")),
+            "recovery must not leak tmp files"
+        );
+        assert_eq!(db.session().unwrap().get(&1), Some(1));
     }
 
     #[test]

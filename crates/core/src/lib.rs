@@ -174,7 +174,8 @@ use mvcc_vm::{PidPool, PswfVm, VersionMaintenance, VmKind};
 pub use batch::{BatchWriter, MapOp, SubmitError};
 pub use durable::{
     CommitAck, Durability, DurableConfig, DurableDatabase, DurableError, DurableSession,
-    DurableStats, DurableTxn, GroupCommit, RecoveryReport,
+    DurableStats, DurableTxn, GroupCommit, Health, MaintenanceHandle, MaintenanceHook,
+    MaintenancePolicy, MaintenanceStats, MaintenanceTick, RecoveryReport,
 };
 pub use mvcc_ftree as ftree;
 pub use mvcc_vm as vm;

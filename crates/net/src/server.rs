@@ -21,7 +21,8 @@
 //! 5. flush response bytes, reap finished connections;
 //! 6. every maintenance tick (~1ms), re-poll deadline-expired
 //!    admissions, reap idle connections, sample queue-depth gauges,
-//!    sweep expired session leases;
+//!    sweep expired session leases, and drive the installed
+//!    durability-maintenance hook ([`Server::set_maintenance`]);
 //! 7. if nothing moved and nothing is woken, sleep until the nearest
 //!    pending deadline (capped at the idle-sleep floor, ~50µs).
 //!
@@ -64,7 +65,7 @@ use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
 use mvcc_core::pool::AcquireState;
-use mvcc_core::{Router, Session};
+use mvcc_core::{Health, MaintenanceHook, Router, Session};
 use mvcc_ftree::U64Map;
 
 use crate::conn::{Conn, Hangup};
@@ -113,6 +114,12 @@ pub struct ServerStats {
     /// Deepest per-shard admission queue ever observed (sampled at
     /// shed checks and every tick — a high-water gauge, not a sum).
     pub max_queue_depth: u64,
+    /// Times the installed durability-maintenance hook
+    /// ([`Server::set_maintenance`]) was driven by the loop's tick.
+    pub maintenance_ticks: u64,
+    /// Whether the last maintenance hook invocation reported
+    /// [`Health::Degraded`] — reclamation is stalled, commits are not.
+    pub maintenance_degraded: bool,
 }
 
 /// Overload-protection knobs for a [`Server`]. The default is fully
@@ -169,6 +176,12 @@ pub struct Server {
     deadline_expired: AtomicU64,
     reaped_idle: AtomicU64,
     max_queue_depth: AtomicU64,
+    maintenance_ticks: AtomicU64,
+    /// Durability-maintenance hook driven by the loop's tick, plus the
+    /// health its last invocation reported (see
+    /// [`Server::set_maintenance`]).
+    maintenance: Mutex<Option<MaintenanceHook>>,
+    maintenance_health: Mutex<Option<Health>>,
     /// Nanoseconds each admitted request waited between joining the
     /// admission queue and leasing its session — the async-path
     /// equivalent of `SessionPool::acquire` wait time.
@@ -235,6 +248,9 @@ impl Server {
             deadline_expired: AtomicU64::new(0),
             reaped_idle: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
+            maintenance_ticks: AtomicU64::new(0),
+            maintenance: Mutex::new(None),
+            maintenance_health: Mutex::new(None),
             wait_samples: Mutex::new(Vec::new()),
         })
     }
@@ -296,7 +312,30 @@ impl Server {
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            maintenance_ticks: self.maintenance_ticks.load(Ordering::Relaxed),
+            maintenance_degraded: self.maintenance_health().is_some_and(|h| h.is_degraded()),
         }
+    }
+
+    /// Install a durability-maintenance hook the loop drives from its
+    /// coarse tick (~1ms): typically
+    /// `DurableDatabase::maintenance_hook`, which embeds the
+    /// checkpoint/retention supervisor in this server's thread instead
+    /// of a dedicated one. The hook runs *between* request batches —
+    /// a checkpoint executes synchronously in the tick, so admission
+    /// pauses for its duration, but commits already queued on the WAL
+    /// flush independently. Installing replaces any previous hook.
+    pub fn set_maintenance(&self, hook: MaintenanceHook) {
+        *self.maintenance.lock().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+    }
+
+    /// The health the maintenance hook reported on its last tick
+    /// (`None` until a hook is installed and has run once).
+    pub fn maintenance_health(&self) -> Option<Health> {
+        self.maintenance_health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Drain the recorded admission-wait samples (ns). The bench
@@ -444,7 +483,9 @@ impl Server {
     /// * sample the per-shard admission-queue depth high-water gauge;
     /// * sweep expired session leases on the router (other holders of
     ///   the same router may lease with timeouts; the server's tick is
-    ///   the reaper that makes those deadlines real).
+    ///   the reaper that makes those deadlines real);
+    /// * drive the installed durability-maintenance hook and record
+    ///   the [`Health`] it reports ([`Server::set_maintenance`]).
     fn tick(
         &self,
         router: &Router<U64Map>,
@@ -484,6 +525,22 @@ impl Server {
             self.note_queue_depth(router.with_shard(shard).pool().waiters());
         }
         router.reap_leases();
+        // Drive the durability-maintenance hook, if installed. The Arc
+        // is cloned out so the hook (which may run a checkpoint) never
+        // executes under the server's own lock.
+        let hook = self
+            .maintenance
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(hook) = hook {
+            let health = hook();
+            self.maintenance_ticks.fetch_add(1, Ordering::Relaxed);
+            *self
+                .maintenance_health
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(health);
+        }
         progress
     }
 

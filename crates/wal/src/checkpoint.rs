@@ -27,8 +27,9 @@ use crate::{io_err, Storage, WalError};
 
 const CKPT_MAGIC: &[u8; 8] = b"MVCKPT02";
 /// Published checkpoints kept after a successful write (newest first);
-/// older ones are pruned.
-const KEEP_CHECKPOINTS: usize = 2;
+/// older ones are pruned. [`write_checkpoint_keep`] overrides this
+/// per-call for policy-driven retention.
+pub const KEEP_CHECKPOINTS: usize = 2;
 
 fn final_name(ts: u64) -> String {
     format!("ckpt-{ts:016x}.ck")
@@ -101,6 +102,20 @@ pub fn write_checkpoint(
     next_tx: u64,
     fill: impl FnOnce(&mut CheckpointWriter) -> Result<(), WalError>,
 ) -> Result<String, WalError> {
+    write_checkpoint_keep(storage, ts, next_tx, KEEP_CHECKPOINTS, fill)
+}
+
+/// [`write_checkpoint`] with an explicit retention depth: after a
+/// successful publish, all but the newest `keep` checkpoints are pruned
+/// (`keep` is clamped to at least 1 — pruning the image just written
+/// would defeat the point).
+pub fn write_checkpoint_keep(
+    storage: &dyn Storage,
+    ts: u64,
+    next_tx: u64,
+    keep: usize,
+    fill: impl FnOnce(&mut CheckpointWriter) -> Result<(), WalError>,
+) -> Result<String, WalError> {
     let mut w = CheckpointWriter {
         buf: Vec::with_capacity(64 * 1024),
         count: 0,
@@ -131,32 +146,46 @@ pub fn write_checkpoint(
         .rename(&tmp, &name)
         .map_err(|e| io_err("rename", &tmp, e))?;
 
-    prune(storage)?;
+    prune(storage, keep)?;
     Ok(name)
 }
 
-/// Remove published checkpoints beyond the newest [`KEEP_CHECKPOINTS`]
-/// and any stale `.tmp` leftovers.
-fn prune(storage: &dyn Storage) -> Result<(), WalError> {
+/// Remove published checkpoints beyond the newest `keep` and any stale
+/// `.tmp` leftovers.
+fn prune(storage: &dyn Storage, keep: usize) -> Result<(), WalError> {
     let names = storage.list().map_err(|e| io_err("list", "<storage>", e))?;
     let mut published: Vec<u64> = names.iter().filter_map(|n| parse_final_name(n)).collect();
     published.sort_unstable_by(|a, b| b.cmp(a));
-    for &old in published.iter().skip(KEEP_CHECKPOINTS) {
+    for &old in published.iter().skip(keep.max(1)) {
         let name = final_name(old);
         storage
             .remove(&name)
             .map_err(|e| io_err("remove", &name, e))?;
     }
+    sweep_stale_tmp(storage)?;
+    Ok(())
+}
+
+/// Remove `ckpt-*.tmp` leftovers from a checkpointer that crashed between
+/// the tmp write and the publishing rename. Returns how many were swept.
+///
+/// Called by recovery as well as after every successful
+/// [`write_checkpoint`]: before this hook existed, a crash-then-recover
+/// sequence leaked tmp files until the *next successful* checkpoint,
+/// which on a degraded disk may never come.
+pub fn sweep_stale_tmp(storage: &dyn Storage) -> Result<usize, WalError> {
+    let names = storage.list().map_err(|e| io_err("list", "<storage>", e))?;
+    let mut swept = 0;
     for name in names {
         if name.starts_with("ckpt-") && name.ends_with(".tmp") {
             match storage.remove(&name) {
-                Ok(()) => {}
+                Ok(()) => swept += 1,
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(e) => return Err(io_err("remove", &name, e)),
             }
         }
     }
-    Ok(())
+    Ok(swept)
 }
 
 fn decode(data: &[u8]) -> Option<Checkpoint> {
@@ -257,6 +286,35 @@ mod tests {
         let mut names = storage.list().unwrap();
         names.sort();
         assert_eq!(names, vec![final_name(4), final_name(5)]);
+    }
+
+    #[test]
+    fn keep_depth_is_respected_and_clamped() {
+        let storage = FaultStorage::unfaulted();
+        for ts in [1, 2, 3, 4, 5] {
+            write_checkpoint_keep(&storage, ts, ts + 1, 3, |w| {
+                w.entry(b"k", b"v");
+                Ok(())
+            })
+            .unwrap();
+        }
+        let mut names = storage.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec![final_name(3), final_name(4), final_name(5)]);
+        // keep = 0 clamps to 1: the image just written survives.
+        write_checkpoint_keep(&storage, 6, 7, 0, |_| Ok(())).unwrap();
+        assert_eq!(storage.list().unwrap(), vec![final_name(6)]);
+    }
+
+    #[test]
+    fn sweep_stale_tmp_counts_and_spares_published() {
+        let storage = FaultStorage::unfaulted();
+        write(&storage, 8, 1);
+        storage.append(&tmp_name(11), b"torn").unwrap();
+        storage.append(&tmp_name(12), b"torn too").unwrap();
+        assert_eq!(sweep_stale_tmp(&storage).unwrap(), 2);
+        assert_eq!(storage.list().unwrap(), vec![final_name(8)]);
+        assert_eq!(sweep_stale_tmp(&storage).unwrap(), 0, "idempotent");
     }
 
     #[test]

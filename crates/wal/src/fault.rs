@@ -55,6 +55,21 @@ pub struct FaultPlan {
     /// advance); syncs after that succeed. Exercises the post-append
     /// rollback path in [`crate::Wal::append`].
     pub transient_sync_failures: u64,
+    /// Disk-exhaustion budget: once the bytes stored across *all* files
+    /// reach this total, further appends fail with
+    /// [`std::io::ErrorKind::StorageFull`] and write nothing. Removing or
+    /// truncating files frees budget, so checkpoint-driven segment
+    /// truncation is the cure — exactly the ENOSPC shape a maintenance
+    /// supervisor has to survive.
+    pub enospc_after_bytes: Option<u64>,
+    /// The first N appends to checkpoint files (`ckpt-*`) fail
+    /// transiently; WAL segment writes are untouched. Exercises the
+    /// supervisor's retry/backoff path without stalling commits.
+    pub transient_checkpoint_failures: u64,
+    /// Every append to a checkpoint file (`ckpt-*`) fails. Models a
+    /// persistently broken checkpoint path: commits must keep flowing
+    /// while maintenance degrades to a typed health state.
+    pub fail_checkpoint_writes: bool,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -70,8 +85,15 @@ struct Inner {
     appends: u64,
     reads: u64,
     syncs: u64,
+    ckpt_appends: u64,
     crashed: bool,
     rng: u64,
+}
+
+impl Inner {
+    fn used_bytes(&self) -> u64 {
+        self.files.values().map(|f| f.data.len() as u64).sum()
+    }
 }
 
 impl Inner {
@@ -94,6 +116,17 @@ fn transient_err() -> io::Error {
     io::Error::new(io::ErrorKind::Interrupted, "transient I/O fault (injected)")
 }
 
+fn enospc_err() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::StorageFull,
+        "no space left on device (injected)",
+    )
+}
+
+fn ckpt_err() -> io::Error {
+    io::Error::other("checkpoint write fault (injected)")
+}
+
 /// The in-memory fault-injection [`Storage`]. Cloning shares the
 /// underlying files (the handle is an `Arc`), so a test can keep a handle
 /// while the WAL owns another.
@@ -112,6 +145,7 @@ impl FaultStorage {
                 appends: 0,
                 reads: 0,
                 syncs: 0,
+                ckpt_appends: 0,
                 crashed: false,
                 rng: seed | 1,
             })),
@@ -188,6 +222,7 @@ impl FaultStorage {
                 appends: 0,
                 reads: 0,
                 syncs: 0,
+                ckpt_appends: 0,
                 crashed: false,
                 rng: seed | 1,
             })),
@@ -218,6 +253,21 @@ impl Storage for FaultStorage {
                 .extend_from_slice(&prefix);
             inner.crashed = true;
             return Err(crashed_err());
+        }
+        if name.starts_with("ckpt-") {
+            let c = inner.ckpt_appends;
+            inner.ckpt_appends += 1;
+            if inner.plan.fail_checkpoint_writes {
+                return Err(ckpt_err());
+            }
+            if c < inner.plan.transient_checkpoint_failures {
+                return Err(transient_err());
+            }
+        }
+        if let Some(budget) = inner.plan.enospc_after_bytes {
+            if inner.used_bytes() + data.len() as u64 > budget {
+                return Err(enospc_err());
+            }
         }
         inner
             .files
@@ -448,6 +498,59 @@ mod tests {
         assert!(short.len() <= 10);
         assert_eq!(&short[..], &b"0123456789"[..short.len()]);
         assert_eq!(s.read("f").unwrap().len(), 10, "only the Nth read is short");
+    }
+
+    #[test]
+    fn enospc_budget_fails_full_appends_and_frees_on_remove() {
+        let s = FaultStorage::new(
+            FaultPlan {
+                enospc_after_bytes: Some(10),
+                ..FaultPlan::default()
+            },
+            11,
+        );
+        s.append("a", b"12345678").unwrap(); // 8 of 10 bytes used
+        let err = s.append("a", b"xyz").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(
+            s.read("a").unwrap(),
+            b"12345678",
+            "failed append wrote nothing"
+        );
+        assert!(!s.crashed(), "ENOSPC is an error, not a crash");
+        s.append("b", b"12").unwrap(); // exactly at the budget
+        s.remove("a").unwrap(); // reclamation frees budget
+        s.append("b", b"12345678").unwrap();
+        assert_eq!(s.read("b").unwrap(), b"1212345678");
+    }
+
+    #[test]
+    fn checkpoint_faults_scope_to_ckpt_files() {
+        let s = FaultStorage::new(
+            FaultPlan {
+                transient_checkpoint_failures: 2,
+                ..FaultPlan::default()
+            },
+            13,
+        );
+        s.append("wal-00000001.seg", b"frame").unwrap();
+        assert!(s.append("ckpt-0001.tmp", b"img").is_err());
+        s.append("wal-00000001.seg", b"frame").unwrap();
+        assert!(s.append("ckpt-0001.tmp", b"img").is_err());
+        s.append("ckpt-0001.tmp", b"img").unwrap();
+
+        let s = FaultStorage::new(
+            FaultPlan {
+                fail_checkpoint_writes: true,
+                ..FaultPlan::default()
+            },
+            17,
+        );
+        for _ in 0..4 {
+            assert!(s.append("ckpt-0002.tmp", b"img").is_err(), "permanent");
+            s.append("wal-00000001.seg", b"frame").unwrap();
+        }
+        assert!(!s.crashed());
     }
 
     #[test]

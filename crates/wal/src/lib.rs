@@ -88,7 +88,7 @@ mod storage;
 pub use codec::WalCodec;
 pub use fault::{FaultPlan, FaultStorage};
 pub use frame::{crc32, WalBatch, WalOp, GROUP_TAG};
-pub use log::{GroupStats, Replay, TornTail, Wal};
+pub use log::{is_segment_name, GroupStats, Replay, TornTail, Wal};
 pub use storage::{DirStorage, Storage};
 
 use std::time::Duration;

@@ -43,6 +43,7 @@
 //! anywhere) costs the tail, never the log.
 
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -62,6 +63,14 @@ fn parse_segment_name(name: &str) -> Option<u64> {
         return None;
     }
     digits.parse().ok()
+}
+
+/// Is `name` a WAL segment file (`wal-<seq>.seg`)? Lets callers that see
+/// only a [`Storage`] listing — e.g. footprint accounting for a store
+/// opened without a live [`Wal`] — recognize segment files without
+/// duplicating the naming scheme.
+pub fn is_segment_name(name: &str) -> bool {
+    parse_segment_name(name).is_some()
 }
 
 #[derive(Debug, Clone)]
@@ -201,6 +210,11 @@ pub struct Wal {
     inner: Mutex<WalInner>,
     group: Mutex<GroupState>,
     group_cv: Condvar,
+    /// Disk-footprint red line (see [`Wal::set_redline`]): while set,
+    /// the group tail's effective watermark drops to a single pending
+    /// record, so committers feel backpressure at disk speed instead of
+    /// growing the log unboundedly.
+    redline: AtomicBool,
 }
 
 impl Wal {
@@ -332,6 +346,7 @@ impl Wal {
                 stats: GroupStats::default(),
             }),
             group_cv: Condvar::new(),
+            redline: AtomicBool::new(false),
         };
         Ok((wal, replay))
     }
@@ -474,10 +489,41 @@ impl Wal {
     }
 
     /// Is the pending tail at (or past) a configured high watermark?
+    /// Under the red line any pending record counts as "at the
+    /// watermark", so blocking enqueuers drain the tail themselves (one
+    /// flush per commit — disk speed) and [`Wal::try_enqueue`] reports
+    /// [`WalError::Backpressure`].
     fn over_watermark(&self, g: &GroupState) -> bool {
         let batches = self.cfg.max_pending_batches;
         let bytes = self.cfg.max_pending_bytes;
-        (batches > 0 && g.ends.len() >= batches) || (bytes > 0 && g.bodies.len() >= bytes)
+        (batches > 0 && g.ends.len() >= batches)
+            || (bytes > 0 && g.bodies.len() >= bytes)
+            || (self.redline.load(Ordering::Relaxed) && !g.ends.is_empty())
+    }
+
+    /// Engage (or clear) the disk-footprint **red line** and return the
+    /// previous state. While engaged, the group-commit tail admits at
+    /// most one pending record: every further enqueue blocks behind a
+    /// flush (or gets [`WalError::Backpressure`] from
+    /// [`Wal::try_enqueue`]), so commit throughput degrades to disk
+    /// speed instead of outrunning a reclamation path that has stopped
+    /// keeping up. The maintenance supervisor engages this when
+    /// `wal_bytes` crosses its policy's red-line threshold and clears it
+    /// once a checkpoint brings the footprint back down. Durability
+    /// semantics are untouched — this only narrows the coalescing
+    /// window.
+    pub fn set_redline(&self, on: bool) -> bool {
+        let was = self.redline.swap(on, Ordering::Relaxed);
+        if was && !on {
+            // Waiters blocked at the narrowed watermark can proceed.
+            self.group_cv.notify_all();
+        }
+        was
+    }
+
+    /// Is the red line currently engaged?
+    pub fn redline(&self) -> bool {
+        self.redline.load(Ordering::Relaxed)
     }
 
     /// Enqueue one committed batch on the group-commit tail and return
@@ -863,6 +909,42 @@ mod tests {
         let first = ts[0];
         assert!(first <= 11, "truncation dropped uncovered batches: {ts:?}");
         assert_eq!(ts, (first..=20).collect::<Vec<_>>(), "gap after truncate");
+    }
+
+    #[test]
+    fn redline_narrows_the_watermark_to_one_record() {
+        let storage = FaultStorage::unfaulted();
+        // Roomy watermark: without the red line, dozens of records fit.
+        let cfg = WalConfig {
+            max_pending_batches: 64,
+            ..WalConfig::default()
+        };
+        let (wal, _) = open_mem(&storage, cfg);
+        assert!(!wal.set_redline(true), "previously off");
+        assert!(wal.redline());
+        wal.enqueue(&batch(1)).unwrap(); // an empty tail always admits one
+        let err = wal.try_enqueue(&batch(2)).unwrap_err();
+        assert!(matches!(err, WalError::Backpressure));
+        // A blocking enqueue self-promotes to flush leader and proceeds
+        // at disk speed rather than deadlocking.
+        let seq = wal.enqueue(&batch(2)).unwrap();
+        wal.wait_durable(seq).unwrap();
+        assert!(wal.group_stats().blocked_enqueues >= 1);
+        // Clearing the red line restores the configured watermark.
+        assert!(wal.set_redline(false));
+        wal.enqueue(&batch(3)).unwrap();
+        wal.try_enqueue(&batch(4)).unwrap();
+        wal.flush_pending().unwrap();
+        assert_eq!(wal.durable_seq(), 4);
+    }
+
+    #[test]
+    fn segment_name_recognizer() {
+        assert!(is_segment_name("wal-00000001.seg"));
+        assert!(is_segment_name(&segment_name(42)));
+        assert!(!is_segment_name("wal-1.seg"));
+        assert!(!is_segment_name("ckpt-0000000000000001.ck"));
+        assert!(!is_segment_name("wal-0000000a.seg"));
     }
 
     #[test]

@@ -8,13 +8,17 @@
 //! acknowledged is on disk (`Durability::Always` fsyncs per commit).
 //! Recovery loads the newest checkpoint and replays the WAL tail; a torn
 //! tail ends replay at the last intact record instead of failing. The
-//! last act switches on `GroupCommit::Leader`: overlapping commits
+//! last acts switch on `GroupCommit::Leader` — overlapping commits
 //! coalesce into shared fsyncs, acknowledged through awaitable
-//! `CommitAck`s.
+//! `CommitAck`s — and then hand the whole checkpoint/retention chore to
+//! the background maintenance supervisor, which is killed mid-flight
+//! and recovered from.
 //!
 //! ```sh
 //! cargo run --release --example durable
 //! ```
+
+use std::sync::Arc;
 
 use multiversion::prelude::*;
 
@@ -159,7 +163,8 @@ fn main() {
     drop(db);
 
     // --- Fifth life: coalesced groups replay like any other commits ------
-    let db: DurableDatabase<SumU64Map> = DurableDatabase::recover(&dir, 2, cfg).expect("recover");
+    let db: DurableDatabase<SumU64Map> =
+        DurableDatabase::recover(&dir, 2, cfg.clone()).expect("recover");
     let mut session = db.session().expect("pid free");
     assert_eq!(session.get(&0), Some(755), "750 + the group-commit top-up");
     assert_eq!(session.get(&1_000), Some(0), "concurrent commits survived");
@@ -169,6 +174,63 @@ fn main() {
         db.recovery().checkpoint_ts,
         db.recovery().replayed
     );
+
+    drop(session);
+    drop(db);
+
+    // --- Sixth life: self-driving durability -----------------------------
+    // Instead of calling checkpoint() by hand, hand the chore to the
+    // background supervisor: it watches the WAL footprint and runs
+    // snapshot-pinned checkpoints off the commit path. Commits never
+    // block on it — a failing supervisor only stalls reclamation.
+    let db: Arc<DurableDatabase<SumU64Map>> =
+        Arc::new(DurableDatabase::recover(&dir, 4, cfg.clone()).expect("recover"));
+    let handle = db.start_maintenance(MaintenancePolicy::default().with_wal_bytes_threshold(1_024));
+    println!("supervisor on (checkpoint past 1024 WAL bytes); write load:");
+    let mut session = db.session().expect("pid free");
+    for round in 0..6u64 {
+        for j in 0..24u64 {
+            session.insert(2_000 + round * 100 + j, j).expect("durable");
+        }
+        // Give the 2ms-nap supervisor a beat, then sample the trajectory.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let stats = db.maintenance_stats();
+        println!(
+            "  round {round}: wal {:>5} B after {} checkpoint(s), health {:?}",
+            db.wal_bytes(),
+            stats.checkpoints,
+            db.health()
+        );
+    }
+    assert!(
+        db.maintenance_stats().checkpoints >= 1,
+        "the load crossed the threshold; the supervisor must have acted"
+    );
+    assert_eq!(db.health(), Health::Ok);
+    drop(session);
+    // The kill: drop the handle (joins the supervisor even if a
+    // checkpoint is mid-flight — RAII, no torn image, no poisoned WAL)
+    // and then drop the database without any graceful shutdown.
+    drop(handle);
+    drop(db);
+
+    // --- Final life: a supervised crash recovers like any other ----------
+    let db: DurableDatabase<SumU64Map> = DurableDatabase::recover(&dir, 2, cfg).expect("recover");
+    println!(
+        "recovered from the supervised run: checkpoint {:?} + {} replayed batch(es)",
+        db.recovery().checkpoint_ts,
+        db.recovery().replayed
+    );
+    assert!(
+        db.recovery().checkpoint_ts.is_some(),
+        "a background checkpoint anchored recovery"
+    );
+    let mut session = db.session().expect("pid free");
+    for round in 0..6u64 {
+        for j in 0..24u64 {
+            assert_eq!(session.get(&(2_000 + round * 100 + j)), Some(j));
+        }
+    }
 
     drop(session);
     drop(db);

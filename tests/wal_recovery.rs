@@ -882,3 +882,428 @@ fn crash_while_blocked_on_the_full_commit_queue_loses_nothing_acked() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Maintenance supervisor
+// ---------------------------------------------------------------------
+
+use multiversion::core::{Health, MaintenancePolicy, MaintenanceTick};
+use multiversion::wal::{Storage, WalError};
+
+/// The supervisor policy the chaos runs use: checkpoint early (small
+/// threshold relative to the 256-byte segments) and recover from
+/// injected failures fast (tiny backoff cap) so sweeps stay quick.
+fn chaos_policy() -> MaintenancePolicy {
+    MaintenancePolicy::default()
+        .with_wal_bytes_threshold(512)
+        .with_max_backoff(Duration::from_millis(2))
+}
+
+/// Single writer committing while the background supervisor thread
+/// checkpoints and truncates concurrently. Stops at the first injected
+/// failure; the supervisor must *degrade* across the same faults, never
+/// panic. Returns the acked commit count.
+fn run_supervised(storage: &FaultStorage, commits: u64) -> u64 {
+    let Ok(db) = open(storage, Durability::Always) else {
+        return 0;
+    };
+    let db = Arc::new(db);
+    let handle = db.start_maintenance(chaos_policy());
+    let mut acked = 0;
+    if let Ok(mut session) = db.session() {
+        for i in 0..commits {
+            match session.write(|txn| apply_commit(txn, i)) {
+                Ok(()) => acked += 1,
+                Err(_) => break,
+            }
+        }
+    }
+    handle.shutdown();
+    acked
+}
+
+/// Chaos sweep with the supervisor in the loop: crash at every append
+/// site — the writer's frames *and* the supervisor's checkpoint writes
+/// land in the same append stream, so the sweep necessarily dies inside
+/// background checkpoints too. The single-writer loss bound must not
+/// widen: `acked ≤ T ≤ acked + 1`, contents equal the prefix fold, and
+/// a torn background checkpoint never corrupts recovery. (CI's forced-
+/// sequential job reruns this under `MVCC_POOL_THREADS=1`, which is the
+/// single-core degradation check for the supervisor thread.)
+#[test]
+fn maintenance_chaos_sweep_every_write_site() {
+    const COMMITS: u64 = 10;
+    let dry = FaultStorage::unfaulted();
+    assert_eq!(run_supervised(&dry, COMMITS), COMMITS);
+    // The supervisor's append count is timing-dependent; the bound only
+    // shapes the sweep, the invariants hold at *every* crash point.
+    let total = dry.appends();
+
+    for n in 0..total + 2 {
+        let storage = FaultStorage::new(
+            FaultPlan {
+                crash_at_append: Some(n),
+                ..FaultPlan::default()
+            },
+            0xc4a0 ^ n,
+        );
+        let acked = run_supervised(&storage, COMMITS);
+        let db = match open(&storage.crash_view(), Durability::Always) {
+            Ok(db) => db,
+            Err(e) => panic!("crash point {n}: recovery must degrade gracefully, got {e}"),
+        };
+        let t = db.last_commit_ts();
+        assert!(
+            t >= acked,
+            "crash point {n}: lost acked commit ({t} < {acked})"
+        );
+        assert!(
+            t <= acked + 1,
+            "crash point {n}: more than the one in-flight commit appeared"
+        );
+        assert_eq!(
+            contents(&db),
+            model_after(t),
+            "crash point {n}: recovered state is not the prefix fold"
+        );
+        assert!(
+            !storage
+                .crash_view()
+                .list()
+                .unwrap()
+                .iter()
+                .any(|f| f.ends_with(".tmp"))
+                || db.recovery().swept_tmp > 0,
+            "crash point {n}: a torn checkpoint tmp survived recovery unswept"
+        );
+    }
+}
+
+/// A checkpoint torn by a crash mid-write (or mid-seal) must never
+/// regress recovery past the previous *valid* checkpoint: deterministic
+/// single-threaded variant using the embeddable `maintenance_tick`, so
+/// the crash lands at an exactly known site inside the second image.
+#[test]
+fn torn_background_checkpoint_never_regresses_recovery() {
+    const FIRST: u64 = 8;
+    const TAIL: u64 = 6;
+    let run = |storage: &FaultStorage| -> (u64, u64, MaintenanceTick) {
+        let Ok(db) = open(storage, Durability::Always) else {
+            return (0, 0, MaintenanceTick::Failed);
+        };
+        let mut acked = 0;
+        let mut session = db.session().unwrap();
+        for i in 0..FIRST {
+            if session.write(|txn| apply_commit(txn, i)).is_err() {
+                return (acked, storage.appends(), MaintenanceTick::Failed);
+            }
+            acked += 1;
+        }
+        if db.checkpoint().is_err() {
+            return (acked, storage.appends(), MaintenanceTick::Failed);
+        }
+        for i in FIRST..FIRST + TAIL {
+            if session.write(|txn| apply_commit(txn, i)).is_err() {
+                return (acked, storage.appends(), MaintenanceTick::Failed);
+            }
+            acked += 1;
+        }
+        let before = storage.appends();
+        let tick = db.maintenance_tick(&MaintenancePolicy::default().with_wal_bytes_threshold(1));
+        (acked, before, tick)
+    };
+
+    // Dry run pins the second checkpoint's write site.
+    let dry = FaultStorage::unfaulted();
+    let (acked, ckpt2_site, tick) = run(&dry);
+    assert_eq!(acked, FIRST + TAIL);
+    assert!(matches!(tick, MaintenanceTick::Checkpointed(ts) if ts == FIRST + TAIL));
+    assert!(dry.appends() > ckpt2_site, "the tick really wrote an image");
+
+    // Crash exactly inside the background image write, and at the seal
+    // fsync right after it.
+    let crash_plans = [
+        FaultPlan {
+            crash_at_append: Some(ckpt2_site),
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            crash_at_sync: Some(dry.syncs() - 1),
+            ..FaultPlan::default()
+        },
+    ];
+    for (pi, plan) in crash_plans.into_iter().enumerate() {
+        let storage = FaultStorage::new(plan, 0x7042 ^ pi as u64);
+        let (acked, _, tick) = run(&storage);
+        assert_eq!(acked, FIRST + TAIL, "plan {pi}: writer faults too early");
+        assert_eq!(
+            tick,
+            MaintenanceTick::Failed,
+            "plan {pi}: the torn checkpoint must surface as a failure"
+        );
+        let db = open(&storage.crash_view(), Durability::Always).unwrap();
+        assert_eq!(
+            db.recovery().checkpoint_ts,
+            Some(FIRST),
+            "plan {pi}: recovery regressed past (or trusted) the torn image"
+        );
+        assert_eq!(
+            db.recovery().replayed,
+            TAIL as usize,
+            "plan {pi}: tail replay"
+        );
+        assert_eq!(db.last_commit_ts(), FIRST + TAIL);
+        assert_eq!(contents(&db), model_after(FIRST + TAIL), "plan {pi}");
+        assert!(
+            db.recovery().swept_tmp <= 1,
+            "plan {pi}: at most the one torn tmp to sweep"
+        );
+    }
+}
+
+/// ENOSPC: an embedded supervisor (ticked on the commit path, the
+/// `mvcc-net` integration mode) keeps the same write load comfortably
+/// inside a disk budget that wedges the unsupervised run — and the
+/// unsupervised failure is a *typed, clean* one: `StorageFull`
+/// surfaces, nothing is torn, and recovery equals the acked prefix.
+#[test]
+fn enospc_wedges_unsupervised_but_supervised_load_survives() {
+    const BUDGET: u64 = 3072;
+    const COMMITS: u64 = 100;
+    let plan = FaultPlan {
+        enospc_after_bytes: Some(BUDGET),
+        ..FaultPlan::default()
+    };
+
+    // Unsupervised control: the log grows linearly into the budget.
+    let storage = FaultStorage::new(plan.clone(), 0xe05);
+    let db = open(&storage, Durability::Always).unwrap();
+    let mut session = db.session().unwrap();
+    let mut acked = 0;
+    let mut wedge = None;
+    for i in 0..COMMITS {
+        match session.write(|txn| apply_commit(txn, i)) {
+            Ok(()) => acked += 1,
+            Err(e) => {
+                wedge = Some(e);
+                break;
+            }
+        }
+    }
+    match wedge.expect("the budget must wedge the unsupervised run") {
+        DurableError::Wal(WalError::Io { source, .. }) => {
+            assert_eq!(source.kind(), std::io::ErrorKind::StorageFull)
+        }
+        other => panic!("expected a typed StorageFull, got {other}"),
+    }
+    drop(session);
+    drop(db);
+    // The failed append rolled back cleanly: recovery is exactly the
+    // acked prefix, not a torn one.
+    let db = open(&storage.crash_view(), Durability::Always).unwrap();
+    assert_eq!(db.last_commit_ts(), acked);
+    assert_eq!(contents(&db), model_after(acked));
+    drop(db);
+
+    // Supervised: same budget, same load, zero failures — checkpoint
+    // truncation keeps freeing the space the writer is about to use.
+    let storage = FaultStorage::new(plan, 0xe06);
+    let db = open(&storage, Durability::Always).unwrap();
+    let policy = MaintenancePolicy {
+        min_keep_checkpoints: 1,
+        ..MaintenancePolicy::default().with_wal_bytes_threshold(512)
+    };
+    let mut session = db.session().unwrap();
+    for i in 0..COMMITS {
+        session
+            .write(|txn| apply_commit(txn, i))
+            .unwrap_or_else(|e| panic!("supervised commit {i} failed: {e}"));
+        let tick = db.maintenance_tick(&policy);
+        assert!(
+            !matches!(tick, MaintenanceTick::Failed),
+            "commit {i}: supervised maintenance failed: {:?}",
+            db.health()
+        );
+    }
+    assert_eq!(db.health(), Health::Ok);
+    assert!(db.wal_bytes() < BUDGET, "footprint must stay inside budget");
+    assert!(db.maintenance_stats().checkpoints > 0);
+    drop(session);
+    drop(db);
+    let db = open(&storage.crash_view(), Durability::Always).unwrap();
+    assert_eq!(db.last_commit_ts(), COMMITS);
+    assert_eq!(contents(&db), model_after(COMMITS));
+}
+
+/// The red line: past `redline_bytes` the supervisor narrows the WAL's
+/// bounded-queue watermark, so overrunning writers feel backpressure
+/// (blocked enqueues) instead of the disk filling — and a checkpoint
+/// releases it.
+#[test]
+fn redline_applies_commit_backpressure_until_checkpoint_clears_it() {
+    let storage = FaultStorage::unfaulted();
+    let db = open_g(&storage, Durability::Always, GroupCommit::Leader).unwrap();
+    let db = Arc::new(db);
+    let policy = MaintenancePolicy::default()
+        .with_wal_bytes_threshold(0) // no checkpoints: isolate the red line
+        .with_redline_bytes(600);
+
+    let mut session = db.session().unwrap();
+    let mut i = 0;
+    while db.wal_bytes() < 600 {
+        session.write(|txn| apply_commit(txn, i)).unwrap();
+        i += 1;
+    }
+    assert_eq!(db.maintenance_tick(&policy), MaintenanceTick::Idle);
+    assert!(db.maintenance_stats().redline_engaged);
+
+    // Fire-and-forget acks: with the watermark narrowed to "flush every
+    // record", the second enqueue must block behind the first.
+    let before = db.durable_stats().blocked_enqueues;
+    let ((), a1) = session.write_acked(|txn| apply_commit(txn, i)).unwrap();
+    let ((), a2) = session.write_acked(|txn| apply_commit(txn, i + 1)).unwrap();
+    a1.wait().unwrap();
+    a2.wait().unwrap();
+    assert!(
+        db.durable_stats().blocked_enqueues > before,
+        "red line engaged but no backpressure materialised"
+    );
+
+    // Reclamation clears it: checkpoint + truncate, next tick disarms.
+    db.checkpoint().unwrap();
+    assert!(db.wal_bytes() < 600);
+    assert_eq!(db.maintenance_tick(&policy), MaintenanceTick::Idle);
+    assert!(!db.maintenance_stats().redline_engaged);
+    session.write(|txn| apply_commit(txn, i + 2)).unwrap();
+}
+
+/// Concurrent writers + the supervisor thread, swept across append
+/// *and* sync sites under tear/power-loss/ENOSPC plans. Per-writer
+/// recovered keys must form a gapless prefix covering every ack, with
+/// at most one in-flight commit across all writers — the supervisor
+/// changes *when* segments die, never the loss bound.
+#[test]
+#[ignore = "stress tier: supervised crash-point sweep, run with --ignored in release"]
+fn maintenance_chaos_sweep_concurrent_writers_stress() {
+    const WRITERS: usize = 3;
+    const PER: u64 = 120;
+
+    fn run_concurrent_supervised(storage: &FaultStorage, writers: usize, per: u64) -> Vec<u64> {
+        let Ok(db) = open(storage, Durability::Always) else {
+            return vec![0; writers];
+        };
+        let db = Arc::new(db);
+        let handle = db.start_maintenance(chaos_policy());
+        let acked = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..writers)
+                .map(|t| {
+                    let db = &db;
+                    scope.spawn(move || {
+                        let Ok(mut session) = db.session() else {
+                            return 0u64;
+                        };
+                        let mut acked = 0;
+                        for j in 0..per {
+                            let key = t as u64 * 1_000_000 + j;
+                            match session.insert(key, j) {
+                                Ok(()) => acked += 1,
+                                Err(_) => break,
+                            }
+                        }
+                        acked
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        handle.shutdown();
+        acked
+    }
+
+    let dry = FaultStorage::unfaulted();
+    let full = run_concurrent_supervised(&dry, WRITERS, PER);
+    assert_eq!(full, vec![PER; WRITERS], "dry run must not fail");
+    let total_appends = dry.appends();
+    let total_syncs = dry.syncs();
+
+    let plans = [
+        FaultPlan::default(),
+        FaultPlan {
+            drop_unsynced: true,
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            bit_flip_on_crash: true,
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            enospc_after_bytes: Some(4096),
+            ..FaultPlan::default()
+        },
+    ];
+
+    for (site_kind, total) in [("append", total_appends), ("sync", total_syncs)] {
+        let stride = (total / 32).max(1);
+        for seed in [0x5afe_0001u64, 0x5afe_0002] {
+            for (pi, base) in plans.iter().enumerate() {
+                let mut n = (pi as u64 + seed % 5) % stride;
+                while n < total + 2 {
+                    let plan = match site_kind {
+                        "append" => FaultPlan {
+                            crash_at_append: Some(n),
+                            ..base.clone()
+                        },
+                        _ => FaultPlan {
+                            crash_at_sync: Some(n),
+                            ..base.clone()
+                        },
+                    };
+                    let storage = FaultStorage::new(plan, seed ^ n);
+                    let acked = run_concurrent_supervised(&storage, WRITERS, PER);
+
+                    let db = match open(&storage.crash_view(), Durability::Always) {
+                        Ok(db) => db,
+                        Err(e) => {
+                            panic!("{site_kind} {n} plan {pi} seed {seed:#x}: recovery failed: {e}")
+                        }
+                    };
+                    let snapshot = contents(&db);
+                    let mut per_writer: Vec<Vec<u64>> = vec![Vec::new(); WRITERS];
+                    for (key, value) in snapshot {
+                        let t = (key / 1_000_000) as usize;
+                        let j = key % 1_000_000;
+                        assert!(t < WRITERS, "foreign key {key} recovered");
+                        assert_eq!(
+                            value, j,
+                            "{site_kind} {n} plan {pi} seed {seed:#x}: value torn"
+                        );
+                        per_writer[t].push(j);
+                    }
+                    let mut extra = 0u64;
+                    for (t, js) in per_writer.iter().enumerate() {
+                        for (expect, got) in js.iter().enumerate() {
+                            assert_eq!(
+                                *got, expect as u64,
+                                "{site_kind} {n} plan {pi} seed {seed:#x}: writer {t} gap"
+                            );
+                        }
+                        let k_t = js.len() as u64;
+                        assert!(
+                            k_t >= acked[t],
+                            "{site_kind} {n} plan {pi} seed {seed:#x}: writer {t} lost an \
+                             acked commit ({k_t} < {})",
+                            acked[t]
+                        );
+                        extra += k_t - acked[t];
+                    }
+                    assert!(
+                        extra <= 1,
+                        "{site_kind} {n} plan {pi} seed {seed:#x}: {extra} in-flight \
+                         commits materialised"
+                    );
+                    n += stride;
+                }
+            }
+        }
+    }
+}
